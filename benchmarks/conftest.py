@@ -1,0 +1,119 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark module reproduces one figure (or one ablation) from the paper.
+Workload sizes are scaled down from the paper's (which used up to 1,000 images
+on a 3×48-core cluster) so the full suite runs on a laptop in minutes; the
+*series shapes* — which runner is faster, how runtimes grow with workload size —
+are what the harness reports and asserts.
+
+A session-scoped ``series_recorder`` collects (figure, series, x, seconds)
+tuples from the benchmarks and prints paper-style tables at the end of the
+session, so ``pytest benchmarks/ --benchmark-only`` output contains the same
+rows the figures plot.
+"""
+
+from __future__ import annotations
+
+import collections
+import os
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CWL_DIR = REPO_ROOT / "examples" / "cwl"
+CONFIG_DIR = REPO_ROOT / "examples" / "configs"
+
+
+@pytest.fixture(scope="session")
+def cwl_dir() -> Path:
+    return CWL_DIR
+
+
+@pytest.fixture(scope="session")
+def config_dir() -> Path:
+    return CONFIG_DIR
+
+
+class SeriesRecorder:
+    """Collects benchmark measurements keyed by (figure, series, x)."""
+
+    def __init__(self) -> None:
+        self.points = collections.defaultdict(dict)   # figure -> {(series, x): seconds}
+
+    def record(self, figure: str, series: str, x, seconds: float) -> None:
+        self.points[figure][(series, x)] = seconds
+
+    def series(self, figure: str, series: str):
+        figure_points = self.points.get(figure, {})
+        xs = sorted({x for (name, x) in figure_points if name == series})
+        return [(x, figure_points[(series, x)]) for x in xs]
+
+    def tables(self) -> str:
+        lines = []
+        for figure in sorted(self.points):
+            lines.append(f"\n=== {figure} ===")
+            figure_points = self.points[figure]
+            series_names = sorted({name for (name, _x) in figure_points})
+            xs = sorted({x for (_name, x) in figure_points})
+            header = "x".ljust(10) + "".join(name.rjust(28) for name in series_names)
+            lines.append(header)
+            for x in xs:
+                row = str(x).ljust(10)
+                for name in series_names:
+                    value = figure_points.get((name, x))
+                    row += (f"{value:28.3f}" if value is not None else " " * 28)
+                lines.append(row)
+        return "\n".join(lines)
+
+
+_RECORDER = SeriesRecorder()
+
+
+@pytest.fixture(scope="session")
+def series_recorder() -> SeriesRecorder:
+    return _RECORDER
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print the paper-style series tables after the benchmark run."""
+    if _RECORDER.points:
+        terminalreporter.write_line("")
+        terminalreporter.write_line("Paper-figure series reproduced by this benchmark run")
+        for line in _RECORDER.tables().splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture
+def image_workload(tmp_path_factory):
+    """Factory: generate N synthetic images and return the CWL job order for them."""
+    from repro.imaging.synthetic import generate_image_files
+
+    def build(count: int, size: int = 64):
+        directory = tmp_path_factory.mktemp(f"images_{count}")
+        paths = generate_image_files(directory, count, width=size, height=size)
+        return {
+            "input_images": [{"class": "File", "path": path} for path in paths],
+            "size": 32,
+            "sepia": True,
+            "radius": 1,
+        }
+
+    return build
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    """Never leak a loaded DataFlowKernel or the shared cluster between benchmarks."""
+    yield
+    from repro.cluster.scheduler import reset_default_cluster
+    from repro.parsl.dataflow.dflow import DataFlowKernelLoader
+
+    try:
+        DataFlowKernelLoader.clear()
+    except Exception:
+        pass
+    try:
+        reset_default_cluster()
+    except Exception:
+        pass

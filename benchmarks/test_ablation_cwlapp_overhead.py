@@ -1,0 +1,79 @@
+"""Ablation A1 — what does importing a CWL tool cost compared with a native Parsl app?
+
+Two costs are isolated:
+
+* construction: parsing + validating the CWL document into a ``CWLApp`` versus
+  defining an equivalent ``@bash_app`` in Python,
+* per-invocation overhead: submitting and completing an ``echo`` task through a
+  CWLApp (command built from the CWL definition on the execution side) versus the
+  hand-written bash app.
+
+This quantifies the "price of portability" that the paper's integration pays for
+reusing CWL tool definitions instead of Python ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core import CWLApp
+from repro.parsl import bash_app
+
+
+@pytest.fixture
+def parsl_session(tmp_path_factory):
+    base = tmp_path_factory.mktemp("cwlapp_overhead")
+    import os
+
+    previous = os.getcwd()
+    os.chdir(base)
+    repro.load(repro.thread_config(max_threads=4, run_dir=str(base / "runinfo")))
+    yield base
+    repro.clear()
+    os.chdir(previous)
+
+
+def test_cwlapp_construction_cost(benchmark, cwl_dir):
+    """Parse + validate echo.cwl into a CWLApp."""
+    benchmark(lambda: CWLApp(str(cwl_dir / "echo.cwl")))
+
+
+def test_native_bash_app_construction_cost(benchmark):
+    """Define the equivalent bash app natively in Python."""
+
+    def construct():
+        @bash_app
+        def echo(message: str, stdout=None):
+            return f"echo {message}"
+
+        return echo
+
+    benchmark(construct)
+
+
+def test_cwlapp_invocation_cost(benchmark, cwl_dir, parsl_session):
+    app = CWLApp(str(cwl_dir / "echo.cwl"))
+    counter = {"n": 0}
+
+    def invoke():
+        counter["n"] += 1
+        future = app(message=f"invocation {counter['n']}", stdout=f"cwl_{counter['n']}.txt")
+        assert future.result() == 0
+
+    benchmark.pedantic(invoke, rounds=10, iterations=1)
+
+
+def test_native_bash_app_invocation_cost(benchmark, parsl_session):
+    @bash_app
+    def echo(message: str, stdout=None):
+        return f"echo {message}"
+
+    counter = {"n": 0}
+
+    def invoke():
+        counter["n"] += 1
+        future = echo(f"invocation {counter['n']}", stdout=f"native_{counter['n']}.txt")
+        assert future.result() == 0
+
+    benchmark.pedantic(invoke, rounds=10, iterations=1)

@@ -1,0 +1,84 @@
+"""Ablation A3 — where does the JavaScript expression cost go?
+
+Figure 2's superlinear JavaScript curve comes from two compounding costs: the
+per-evaluation engine construction (cwltool starts a fresh node.js sandbox) and
+the evaluation itself.  This ablation separates them on the pure-Python engine:
+
+* tokenize / parse / evaluate costs for the capitalisation expression,
+* a full evaluation with a fresh engine per call (cwltool-style) versus a cached
+  engine (what a long-lived Python runner can do),
+* the equivalent InlinePython evaluation for reference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.inline_python import InlinePythonEvaluator
+from repro.cwl.expressions.evaluator import ExpressionEvaluator
+from repro.cwl.expressions.jsengine.parser import parse_expression, parse_program
+from repro.cwl.expressions.jsengine.tokenizer import tokenize
+from repro.imaging.synthetic import word_corpus
+
+WORDS = 256
+
+JS_LIB = """
+function capitalize_words(message) {
+  var words = message.split(' ');
+  var out = [];
+  for (var i = 0; i < words.length; i++) {
+    var w = words[i];
+    if (w.length > 0) {
+      out.push(w.charAt(0).toUpperCase() + w.slice(1));
+    }
+  }
+  return out.join(' ');
+}
+"""
+
+PY_LIB = ["def capitalize_words(message):\n    return message.title()\n"]
+
+
+@pytest.fixture(scope="module")
+def message():
+    return " ".join(word_corpus(WORDS, seed=7))
+
+
+@pytest.fixture(scope="module")
+def context(message):
+    return {"inputs": {"message": message}, "runtime": {}, "self": None}
+
+
+def test_js_tokenize_cost(benchmark):
+    benchmark(tokenize, JS_LIB)
+
+
+def test_js_parse_expression_cost(benchmark):
+    benchmark(parse_expression, "capitalize_words(inputs.message)")
+
+
+def test_js_parse_library_cost(benchmark):
+    benchmark(parse_program, JS_LIB)
+
+
+def test_js_fresh_engine_per_evaluation(benchmark, context):
+    """cwltool-style: rebuild the engine (and re-parse the library) for every evaluation."""
+    evaluator = ExpressionEvaluator(expression_lib=[JS_LIB], cache_engine=False)
+    result = benchmark(evaluator.evaluate, "$(capitalize_words(inputs.message))", context)
+    assert result.split(" ")[0][0].isupper()
+
+
+def test_js_cached_engine_evaluation(benchmark, context):
+    """Long-lived-runner style: the engine (and parsed library) are reused."""
+    evaluator = ExpressionEvaluator(expression_lib=[JS_LIB], cache_engine=True)
+    evaluator.evaluate("$(capitalize_words(inputs.message))", context)  # warm the cache
+    result = benchmark(evaluator.evaluate, "$(capitalize_words(inputs.message))", context)
+    assert result.split(" ")[0][0].isupper()
+
+
+def test_inline_python_evaluation(benchmark, context):
+    """The paper's InlinePython path: native Python evaluation of the same expression."""
+    evaluator = InlinePythonEvaluator(expression_lib=PY_LIB)
+    result = benchmark(evaluator.evaluate,
+                       'f"{capitalize_words($(inputs.message))}"', context)
+    assert result.split(" ")[0][0].isupper()

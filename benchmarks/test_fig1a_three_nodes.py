@@ -1,0 +1,148 @@
+"""Figure 1a — image-processing workflow runtime on three nodes.
+
+The paper's distributed configuration: three 48-core nodes managed by Slurm.
+
+* ``cwltool --parallel``        → ReferenceRunner (parallel threads; cwltool has no
+                                  multi-node mode, matching the paper's setup where it
+                                  runs on one node of the allocation)
+* ``toil-cwl-runner --batchSystem slurm`` → ToilStyleRunner over the *simulated* Slurm
+                                  cluster: every task is a separate scheduler job
+* Parsl-CWL (HighThroughputExecutor)      → CWLApps on an HTEX pilot block spanning the
+                                  three simulated nodes (workers are real local processes)
+
+The simulated cluster replaces the physical one (see DESIGN.md §substitutions); the
+expected shape is linear scaling with Parsl-CWL fastest, Toil paying per-task
+scheduler overhead.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+
+import pytest
+
+import repro
+from repro.cluster.nodes import NodeInventory
+from repro.cluster.scheduler import SimulatedSlurmCluster
+from repro.core import CWLApp
+from repro.cwl import ReferenceRunner, ToilStyleRunner, load_document
+from repro.cwl.runners.toil.batch import SlurmBatchSystem
+from repro.cwl.runtime import RuntimeContext
+
+IMAGE_COUNTS = [2, 4, 8]
+NODES = 3
+CORES_PER_NODE = 8          # scaled down from the paper's 48 to stay laptop-friendly
+WORKERS_PER_NODE = 2
+FIGURE = "Figure 1a (three nodes): workflow runtime [s] vs number of images"
+
+
+def make_cluster() -> SimulatedSlurmCluster:
+    return SimulatedSlurmCluster(NodeInventory.homogeneous(NODES, cores=CORES_PER_NODE))
+
+
+def run_reference(workflow_path, job_order, workdir):
+    workflow = load_document(workflow_path)
+    runner = ReferenceRunner(runtime_context=RuntimeContext(basedir=str(workdir)),
+                             parallel=True, max_workers=NODES * WORKERS_PER_NODE)
+    result = runner.run(workflow, job_order)
+    assert len(result.outputs["final_outputs"]) == len(job_order["input_images"])
+
+
+def run_toil_slurm(workflow_path, job_order, workdir):
+    cluster = make_cluster()
+    workflow = load_document(workflow_path)
+    runner = ToilStyleRunner(
+        job_store_dir=str(workdir / "jobstore"),
+        batch_system=SlurmBatchSystem(cluster=cluster),
+        runtime_context=RuntimeContext(basedir=str(workdir)),
+        max_workers=NODES * WORKERS_PER_NODE,
+    )
+    try:
+        result = runner.run(workflow, job_order)
+        assert len(result.outputs["final_outputs"]) == len(job_order["input_images"])
+    finally:
+        runner.close(destroy_job_store=True)
+        cluster.shutdown()
+
+
+def run_parsl_htex(cwl_dir, job_order, workdir):
+    cluster = make_cluster()
+    previous = os.getcwd()
+    os.makedirs(workdir, exist_ok=True)
+    os.chdir(workdir)
+    repro.load(repro.htex_config(nodes=NODES, workers_per_node=WORKERS_PER_NODE,
+                                 cores_per_node=CORES_PER_NODE, cluster=cluster,
+                                 run_dir=str(workdir / "runinfo")))
+    try:
+        resize = CWLApp(str(cwl_dir / "resize_image.cwl"))
+        filt = CWLApp(str(cwl_dir / "filter_image.cwl"))
+        blur = CWLApp(str(cwl_dir / "blur_image.cwl"))
+        finals = []
+        for index, image in enumerate(job_order["input_images"]):
+            resized = resize(input_image=image["path"], size=job_order["size"],
+                             output_image=f"resized_{index}.png")
+            filtered = filt(input_image=resized.outputs[0], sepia=job_order["sepia"],
+                            output_image=f"filtered_{index}.png")
+            blurred = blur(input_image=filtered.outputs[0], radius=job_order["radius"],
+                           output_image=f"blurred_{index}.png")
+            finals.append(blurred)
+        concurrent.futures.wait(finals)
+        assert all(f.exception() is None for f in finals)
+    finally:
+        repro.clear()
+        cluster.shutdown()
+        os.chdir(previous)
+
+
+RUNNERS = {
+    "cwltool-like (--parallel)": "reference",
+    "toil-like (slurm)": "toil",
+    "parsl-cwl (HTEX, 3 nodes)": "parsl",
+}
+
+
+@pytest.mark.parametrize("count", IMAGE_COUNTS)
+@pytest.mark.parametrize("series", list(RUNNERS))
+def test_fig1a_three_nodes(benchmark, series, count, image_workload, cwl_dir, tmp_path,
+                           series_recorder):
+    job_order = image_workload(count)
+    kind = RUNNERS[series]
+
+    def run():
+        if kind == "reference":
+            run_reference(cwl_dir / "scatter_images.cwl", dict(job_order), tmp_path / "ref")
+        elif kind == "toil":
+            run_toil_slurm(cwl_dir / "scatter_images.cwl", dict(job_order), tmp_path / "toil")
+        else:
+            run_parsl_htex(cwl_dir, dict(job_order), tmp_path / "parsl")
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    series_recorder.record(FIGURE, series, count, benchmark.stats.stats.mean)
+
+
+def test_fig1a_shape_toil_pays_per_task_scheduler_overhead(series_recorder):
+    """Shape check: the Toil-like runner (one scheduler job per task) is not faster than
+    Parsl-CWL's pilot-job execution at the largest workload."""
+    largest = IMAGE_COUNTS[-1]
+    figure = series_recorder.points.get(FIGURE, {})
+    if not figure:
+        pytest.skip("benchmarks did not run")
+    parsl = figure.get(("parsl-cwl (HTEX, 3 nodes)", largest))
+    toil = figure.get(("toil-like (slurm)", largest))
+    if parsl is None or toil is None:
+        pytest.skip("not all series were measured")
+    assert parsl <= toil * 1.2, f"parsl={parsl:.3f}s vs toil-slurm={toil:.3f}s"
+
+
+def test_fig1a_shape_runtime_grows_with_workload(series_recorder):
+    """Shape check: each runner's runtime grows (roughly linearly) with the image count."""
+    figure = series_recorder.points.get(FIGURE, {})
+    if not figure:
+        pytest.skip("benchmarks did not run")
+    for series in RUNNERS:
+        xs = sorted(x for (name, x) in figure if name == series)
+        if len(xs) < 2:
+            continue
+        first, last = figure[(series, xs[0])], figure[(series, xs[-1])]
+        assert last >= first * 0.8, f"{series}: runtime should not shrink as images increase"

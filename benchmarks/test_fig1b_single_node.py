@@ -1,0 +1,119 @@
+"""Figure 1b — image-processing workflow runtime on a single node.
+
+The paper runs the scatter-wrapped resize→sepia→blur workflow over an increasing
+number of images on one node (2×12-core CPUs) with three runners:
+
+* ``cwltool --parallel``            → :class:`repro.cwl.runners.reference.ReferenceRunner` (parallel)
+* ``toil-cwl-runner`` (single node) → :class:`repro.cwl.runners.toil.runner.ToilStyleRunner`
+                                       with the single-machine batch system
+* Parsl-CWL (ThreadPoolExecutor)    → chained :class:`repro.core.cwl_app.CWLApp` s, the
+                                       program of Listing 4
+
+Image counts are scaled down (the paper sweeps up to 1,000); the expected shape
+is linear growth for all three runners with Parsl-CWL at or below cwltool
+(the paper reports ≈1.5× at the largest point).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+
+import pytest
+
+import repro
+from repro.core import CWLApp
+from repro.cwl import ReferenceRunner, ToilStyleRunner, load_document
+from repro.cwl.runtime import RuntimeContext
+
+IMAGE_COUNTS = [2, 4, 8]
+WORKERS = 8
+FIGURE = "Figure 1b (single node): workflow runtime [s] vs number of images"
+
+
+def run_reference(workflow_path, job_order, workdir):
+    workflow = load_document(workflow_path)
+    runner = ReferenceRunner(runtime_context=RuntimeContext(basedir=str(workdir)),
+                             parallel=True, max_workers=WORKERS)
+    result = runner.run(workflow, job_order)
+    assert len(result.outputs["final_outputs"]) == len(job_order["input_images"])
+
+
+def run_toil(workflow_path, job_order, workdir):
+    workflow = load_document(workflow_path)
+    runner = ToilStyleRunner(job_store_dir=str(workdir / "jobstore"),
+                             runtime_context=RuntimeContext(basedir=str(workdir)),
+                             max_workers=WORKERS)
+    result = runner.run(workflow, job_order)
+    assert len(result.outputs["final_outputs"]) == len(job_order["input_images"])
+    runner.close(destroy_job_store=True)
+
+
+def run_parsl_threads(cwl_dir, job_order, workdir):
+    previous = os.getcwd()
+    os.makedirs(workdir, exist_ok=True)
+    os.chdir(workdir)
+    repro.load(repro.thread_config(max_threads=WORKERS, run_dir=str(workdir / "runinfo")))
+    try:
+        resize = CWLApp(str(cwl_dir / "resize_image.cwl"))
+        filt = CWLApp(str(cwl_dir / "filter_image.cwl"))
+        blur = CWLApp(str(cwl_dir / "blur_image.cwl"))
+        finals = []
+        for index, image in enumerate(job_order["input_images"]):
+            resized = resize(input_image=image["path"], size=job_order["size"],
+                             output_image=f"resized_{index}.png")
+            filtered = filt(input_image=resized.outputs[0], sepia=job_order["sepia"],
+                            output_image=f"filtered_{index}.png")
+            blurred = blur(input_image=filtered.outputs[0], radius=job_order["radius"],
+                           output_image=f"blurred_{index}.png")
+            finals.append(blurred)
+        concurrent.futures.wait(finals)
+        assert all(f.exception() is None for f in finals)
+    finally:
+        repro.clear()
+        os.chdir(previous)
+
+
+RUNNERS = {
+    "cwltool-like (--parallel)": "reference",
+    "toil-like (single_machine)": "toil",
+    "parsl-cwl (ThreadPool)": "parsl",
+}
+
+
+@pytest.mark.parametrize("count", IMAGE_COUNTS)
+@pytest.mark.parametrize("series", list(RUNNERS))
+def test_fig1b_single_node(benchmark, series, count, image_workload, cwl_dir, tmp_path,
+                           series_recorder):
+    job_order = image_workload(count)
+    kind = RUNNERS[series]
+
+    def run():
+        if kind == "reference":
+            run_reference(cwl_dir / "scatter_images.cwl", dict(job_order), tmp_path / "ref")
+        elif kind == "toil":
+            run_toil(cwl_dir / "scatter_images.cwl", dict(job_order), tmp_path / "toil")
+        else:
+            run_parsl_threads(cwl_dir, dict(job_order), tmp_path / "parsl")
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    series_recorder.record(FIGURE, series, count, benchmark.stats.stats.mean)
+
+
+def test_fig1b_shape_parsl_not_slower_than_baselines(series_recorder):
+    """Shape check: at the largest point Parsl-CWL is not slower than the baselines.
+
+    (The paper reports Parsl-CWL ≈1.5× faster than cwltool at 1,000 images; at
+    laptop scale we only assert the ordering with a 20% tolerance.)
+    """
+    largest = IMAGE_COUNTS[-1]
+    figure = series_recorder.points.get(FIGURE, {})
+    if not figure:
+        pytest.skip("benchmarks did not run (e.g. --benchmark-skip)")
+    parsl = figure.get(("parsl-cwl (ThreadPool)", largest))
+    cwltool = figure.get(("cwltool-like (--parallel)", largest))
+    toil = figure.get(("toil-like (single_machine)", largest))
+    if parsl is None or cwltool is None or toil is None:
+        pytest.skip("not all series were measured")
+    assert parsl <= cwltool * 1.2, f"parsl={parsl:.3f}s vs cwltool={cwltool:.3f}s"
+    assert parsl <= toil * 1.2, f"parsl={parsl:.3f}s vs toil={toil:.3f}s"

@@ -1,0 +1,119 @@
+"""Figure 2 — expression-evaluation runtime vs number of words (2 → 1024).
+
+The paper compares the time to run the Listing-5 workflow (echo a message whose
+words are capitalised by an embedded expression) as the message length grows:
+
+* InlineJavaScript via cwltool   → capitalize_js.cwl through the ReferenceRunner
+  (a fresh JavaScript engine is built per evaluation, as cwltool spawns node.js)
+* InlineJavaScript via Toil      → capitalize_js.cwl through the ToilStyleRunner
+* InlinePython via Parsl-CWL     → capitalize_python.cwl through a CWLApp
+  (the Python expression evaluates natively in the runner's interpreter)
+
+The paper reports a superlinear increase for the JavaScript runners and an
+essentially flat curve for InlinePython; the same shape is asserted here.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro
+from repro.core import CWLApp
+from repro.cwl import ReferenceRunner, ToilStyleRunner, load_document
+from repro.cwl.runtime import RuntimeContext
+from repro.imaging.synthetic import word_corpus
+
+WORD_COUNTS = [2, 16, 128, 1024]
+FIGURE = "Figure 2: expression runtime [s] vs number of words"
+
+
+def message_of(count: int) -> str:
+    return " ".join(word_corpus(count, seed=42))
+
+
+def run_js_reference(cwl_dir, message, workdir):
+    tool = load_document(cwl_dir / "capitalize_js.cwl")
+    runner = ReferenceRunner(runtime_context=RuntimeContext(basedir=str(workdir)))
+    result = runner.run(tool, {"message": message})
+    assert result.outputs["output"]["size"] > 0
+
+
+def run_js_toil(cwl_dir, message, workdir):
+    tool = load_document(cwl_dir / "capitalize_js.cwl")
+    runner = ToilStyleRunner(job_store_dir=str(workdir / "jobstore"),
+                             runtime_context=RuntimeContext(basedir=str(workdir)))
+    result = runner.run(tool, {"message": message})
+    assert result.outputs["output"]["size"] > 0
+    runner.close(destroy_job_store=True)
+
+
+def run_python_parsl(cwl_dir, message, workdir):
+    previous = os.getcwd()
+    os.makedirs(workdir, exist_ok=True)
+    os.chdir(workdir)
+    repro.load(repro.thread_config(max_threads=2, run_dir=str(workdir / "runinfo")))
+    try:
+        app = CWLApp(str(cwl_dir / "capitalize_python.cwl"))
+        future = app(message=message, stdout="capitalized.txt")
+        assert future.result() == 0
+    finally:
+        repro.clear()
+        os.chdir(previous)
+
+
+SERIES = {
+    "InlineJavaScript (cwltool-like)": run_js_reference,
+    "InlineJavaScript (toil-like)": run_js_toil,
+    "InlinePython (parsl-cwl)": run_python_parsl,
+}
+
+
+@pytest.mark.parametrize("words", WORD_COUNTS)
+@pytest.mark.parametrize("series", list(SERIES))
+def test_fig2_expression_scaling(benchmark, series, words, cwl_dir, tmp_path, series_recorder):
+    message = message_of(words)
+    runner = SERIES[series]
+
+    def run():
+        runner(cwl_dir, message, tmp_path / series.replace(" ", "_"))
+
+    benchmark.pedantic(run, rounds=1, iterations=2)
+    series_recorder.record(FIGURE, series, words, benchmark.stats.stats.mean)
+
+
+def test_fig2_shape_python_flat_javascript_grows(series_recorder):
+    """Shape check: JS expression cost grows with word count much faster than InlinePython.
+
+    The paper shows roughly constant InlinePython cost and a superlinear JS curve;
+    here we assert (a) the JS growth factor from the smallest to the largest word
+    count exceeds the InlinePython growth factor, and (b) at 1024 words InlinePython
+    is faster than both JavaScript runners.
+    """
+    figure = series_recorder.points.get(FIGURE, {})
+    if not figure:
+        pytest.skip("benchmarks did not run")
+    smallest, largest = WORD_COUNTS[0], WORD_COUNTS[-1]
+
+    def growth(series):
+        small = figure.get((series, smallest))
+        large = figure.get((series, largest))
+        if small is None or large is None or small == 0:
+            return None
+        return large / small
+
+    js_growth = growth("InlineJavaScript (cwltool-like)")
+    py_growth = growth("InlinePython (parsl-cwl)")
+    if js_growth is None or py_growth is None:
+        pytest.skip("not all series were measured")
+    assert js_growth > py_growth, (
+        f"JS growth {js_growth:.2f}x should exceed InlinePython growth {py_growth:.2f}x"
+    )
+
+    js_large = figure.get(("InlineJavaScript (cwltool-like)", largest))
+    toil_large = figure.get(("InlineJavaScript (toil-like)", largest))
+    py_large = figure.get(("InlinePython (parsl-cwl)", largest))
+    if None not in (js_large, toil_large, py_large):
+        assert py_large <= js_large
+        assert py_large <= toil_large

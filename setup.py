@@ -1,0 +1,15 @@
+"""Legacy setuptools entry point.
+
+The offline environment has no ``wheel`` package, so PEP 660 editable installs
+(``pip install -e .`` with build isolation) cannot build an editable wheel.
+This ``setup.py`` enables the legacy development-install path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All project metadata lives in ``pyproject.toml``; this file only exists so the
+legacy code path has something to execute.
+"""
+
+from setuptools import setup
+
+setup()

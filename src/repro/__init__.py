@@ -1,0 +1,67 @@
+"""repro — reproduction of *Parsl+CWL: Towards Combining the Python and CWL Ecosystems*.
+
+The package is organised as a set of substrates plus the paper's core contribution:
+
+* :mod:`repro.parsl` — a from-scratch implementation of the Parsl parallel programming
+  model (apps, futures, DataFlowKernel, executors, providers).
+* :mod:`repro.cwl` — a from-scratch implementation of a CWL v1.2 subset (document model,
+  expressions, command-line construction, output collection, reference and Toil-like
+  runners).
+* :mod:`repro.imaging` — a pure-numpy PNG codec and the image-processing command-line
+  tools used by the paper's evaluation workflow.
+* :mod:`repro.cluster` — a simulated Slurm-like cluster used by providers and batch
+  systems so that "multi node" experiments can run on a laptop.
+* :mod:`repro.core` — the paper's contribution: ``CWLApp``, the ``parsl-cwl`` runner,
+  the TaPS-style YAML configuration loader and ``InlinePythonRequirement`` support.
+
+The most commonly used entry points are re-exported here for convenience::
+
+    import repro
+    repro.load(repro.thread_config())
+    echo = repro.CWLApp("echo.cwl")
+    fut = echo(message="Hello, World!")
+    fut.result()
+"""
+
+from __future__ import annotations
+
+from repro.parsl import (
+    Config,
+    DataFlowKernel,
+    bash_app,
+    clear,
+    dfk,
+    join_app,
+    load,
+    python_app,
+)
+from repro.parsl.data_provider.files import File
+from repro.parsl.configs import (
+    htex_config,
+    local_process_config,
+    thread_config,
+)
+from repro.core.cwl_app import CWLApp
+from repro.core.yaml_config import load_yaml_config
+from repro.core.workflow_bridge import CWLWorkflowBridge
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CWLApp",
+    "CWLWorkflowBridge",
+    "Config",
+    "DataFlowKernel",
+    "File",
+    "bash_app",
+    "clear",
+    "dfk",
+    "htex_config",
+    "join_app",
+    "load",
+    "load_yaml_config",
+    "local_process_config",
+    "python_app",
+    "thread_config",
+    "__version__",
+]

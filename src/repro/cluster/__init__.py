@@ -1,0 +1,35 @@
+"""A simulated Slurm-like cluster.
+
+The paper's evaluation runs on a departmental HPC cluster (three nodes, two
+12-core processors each) managed by Slurm; the Parsl configuration in Listing 4
+targets Perlmutter.  Neither a batch scheduler nor multiple hosts are available
+in this environment, so this subpackage provides a *simulated* cluster:
+
+* a configurable node inventory (:class:`~repro.cluster.nodes.Node`,
+  :class:`~repro.cluster.nodes.NodeInventory`),
+* a batch scheduler (:class:`~repro.cluster.scheduler.SimulatedSlurmCluster`) with
+  ``sbatch``/``squeue``/``scancel``-shaped methods, a FIFO queue, per-node core
+  accounting and a background scheduling thread,
+* job objects (:class:`~repro.cluster.jobs.ClusterJob`) whose payloads execute as
+  real local subprocesses or Python callables, so that wall-clock measurements on
+  a laptop remain meaningful.
+
+The Parsl-like ``SlurmProvider`` and the Toil-like ``SlurmBatchSystem`` both sit
+on top of this scheduler, which is how the "three node" experiment (Fig. 1a) is
+reproduced on a single machine.  This substitution is recorded in DESIGN.md.
+"""
+
+from repro.cluster.nodes import Node, NodeInventory
+from repro.cluster.jobs import ClusterJob, JobSpec, JobState
+from repro.cluster.scheduler import SimulatedSlurmCluster, default_cluster, reset_default_cluster
+
+__all__ = [
+    "ClusterJob",
+    "JobSpec",
+    "JobState",
+    "Node",
+    "NodeInventory",
+    "SimulatedSlurmCluster",
+    "default_cluster",
+    "reset_default_cluster",
+]

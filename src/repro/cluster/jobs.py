@@ -1,0 +1,111 @@
+"""Job objects for the simulated cluster.
+
+A :class:`JobSpec` describes what a submitter wants to run — either a shell
+command (like an ``sbatch`` script) or a Python callable (used by in-process
+batch systems).  A :class:`ClusterJob` is the scheduler's record of a submitted
+job: its state machine follows the familiar Slurm states.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+class JobState(str, enum.Enum):
+    """Slurm-like job states."""
+
+    PENDING = "PENDING"
+    RUNNING = "RUNNING"
+    COMPLETED = "COMPLETED"
+    FAILED = "FAILED"
+    CANCELLED = "CANCELLED"
+    TIMEOUT = "TIMEOUT"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED, JobState.TIMEOUT)
+
+
+@dataclass
+class JobSpec:
+    """Everything needed to run one batch job.
+
+    Exactly one of ``command`` (a shell command string) or ``callable_payload``
+    (a Python callable) must be provided.
+    """
+
+    name: str = "job"
+    command: Optional[str] = None
+    callable_payload: Optional[Callable[[], Any]] = None
+    nodes: int = 1
+    cores_per_node: int = 1
+    memory_mb_per_node: int = 0
+    walltime_s: Optional[float] = None
+    stdout_path: Optional[str] = None
+    stderr_path: Optional[str] = None
+    env: Dict[str, str] = field(default_factory=dict)
+    working_dir: Optional[str] = None
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for malformed specifications."""
+        if (self.command is None) == (self.callable_payload is None):
+            raise ValueError("exactly one of command/callable_payload must be set")
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        if self.cores_per_node < 1:
+            raise ValueError(f"cores_per_node must be >= 1, got {self.cores_per_node}")
+        if self.memory_mb_per_node < 0:
+            raise ValueError("memory_mb_per_node must be non-negative")
+        if self.walltime_s is not None and self.walltime_s <= 0:
+            raise ValueError("walltime_s must be positive when given")
+
+
+@dataclass
+class ClusterJob:
+    """The scheduler's record of a submitted job."""
+
+    job_id: int
+    spec: JobSpec
+    state: JobState = JobState.PENDING
+    assigned_nodes: List[str] = field(default_factory=list)
+    submit_time: float = field(default_factory=time.time)
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    exit_code: Optional[int] = None
+    error: Optional[str] = None
+    result: Any = None
+    _done_event: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def mark_running(self, node_names: List[str]) -> None:
+        self.assigned_nodes = list(node_names)
+        self.state = JobState.RUNNING
+        self.start_time = time.time()
+
+    def mark_finished(self, state: JobState, exit_code: Optional[int] = None,
+                      error: Optional[str] = None, result: Any = None) -> None:
+        self.state = state
+        self.exit_code = exit_code
+        self.error = error
+        self.result = result
+        self.end_time = time.time()
+        self._done_event.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state.  Returns ``False`` on timeout."""
+        return self._done_event.wait(timeout)
+
+    @property
+    def pending_seconds(self) -> float:
+        start = self.start_time if self.start_time is not None else time.time()
+        return max(0.0, start - self.submit_time)
+
+    @property
+    def runtime_seconds(self) -> float:
+        if self.start_time is None:
+            return 0.0
+        end = self.end_time if self.end_time is not None else time.time()
+        return max(0.0, end - self.start_time)

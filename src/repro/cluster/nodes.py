@@ -1,0 +1,121 @@
+"""Node inventory for the simulated cluster.
+
+A :class:`Node` models one compute host with a fixed number of cores and a
+memory budget.  The :class:`NodeInventory` tracks allocations across nodes and
+supports the two placement queries the scheduler needs: "find a node with at
+least N free cores" and "find K distinct nodes each with at least N free cores"
+(for multi-node pilot jobs).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class Node:
+    """One simulated compute node.
+
+    Attributes
+    ----------
+    name:
+        Host name, e.g. ``node01``.
+    cores:
+        Total logical cores (the paper's nodes expose 48).
+    memory_mb:
+        Total memory in MiB (the paper's nodes have 126 GB).
+    allocated_cores / allocated_memory_mb:
+        Currently allocated resources; maintained by :class:`NodeInventory`.
+    """
+
+    name: str
+    cores: int = 48
+    memory_mb: int = 126 * 1024
+    allocated_cores: int = 0
+    allocated_memory_mb: int = 0
+    labels: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def free_cores(self) -> int:
+        return self.cores - self.allocated_cores
+
+    @property
+    def free_memory_mb(self) -> int:
+        return self.memory_mb - self.allocated_memory_mb
+
+    def can_fit(self, cores: int, memory_mb: int = 0) -> bool:
+        """Whether this node currently has room for the requested resources."""
+        return self.free_cores >= cores and self.free_memory_mb >= memory_mb
+
+
+class NodeInventory:
+    """Thread-safe collection of :class:`Node` objects with allocation tracking."""
+
+    def __init__(self, nodes: Optional[List[Node]] = None) -> None:
+        self._nodes: Dict[str, Node] = {}
+        self._lock = threading.Lock()
+        for node in nodes or []:
+            self.add_node(node)
+
+    @classmethod
+    def homogeneous(cls, count: int, cores: int = 48, memory_mb: int = 126 * 1024,
+                    prefix: str = "node") -> "NodeInventory":
+        """Create ``count`` identical nodes named ``<prefix>01`` … (paper-style cluster)."""
+        return cls([Node(name=f"{prefix}{i + 1:02d}", cores=cores, memory_mb=memory_mb)
+                    for i in range(count)])
+
+    def add_node(self, node: Node) -> None:
+        with self._lock:
+            if node.name in self._nodes:
+                raise ValueError(f"duplicate node name {node.name!r}")
+            self._nodes[node.name] = node
+
+    def nodes(self) -> List[Node]:
+        with self._lock:
+            return list(self._nodes.values())
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __getitem__(self, name: str) -> Node:
+        return self._nodes[name]
+
+    @property
+    def total_cores(self) -> int:
+        return sum(node.cores for node in self.nodes())
+
+    @property
+    def free_cores(self) -> int:
+        return sum(node.free_cores for node in self.nodes())
+
+    def try_allocate(self, nodes_required: int, cores_per_node: int,
+                     memory_mb_per_node: int = 0) -> Optional[List[str]]:
+        """Attempt to allocate ``cores_per_node`` on ``nodes_required`` distinct nodes.
+
+        Returns the list of node names on success, or ``None`` when the request
+        cannot currently be satisfied (the caller should retry later — the
+        scheduler keeps the job queued, exactly like a real batch system).
+        """
+        with self._lock:
+            candidates = [n for n in self._nodes.values()
+                          if n.can_fit(cores_per_node, memory_mb_per_node)]
+            if len(candidates) < nodes_required:
+                return None
+            chosen = sorted(candidates, key=lambda n: n.free_cores, reverse=True)[:nodes_required]
+            for node in chosen:
+                node.allocated_cores += cores_per_node
+                node.allocated_memory_mb += memory_mb_per_node
+            return [node.name for node in chosen]
+
+    def release(self, node_names: List[str], cores_per_node: int,
+                memory_mb_per_node: int = 0) -> None:
+        """Return resources previously obtained from :meth:`try_allocate`."""
+        with self._lock:
+            for name in node_names:
+                node = self._nodes.get(name)
+                if node is None:
+                    continue
+                node.allocated_cores = max(0, node.allocated_cores - cores_per_node)
+                node.allocated_memory_mb = max(0, node.allocated_memory_mb - memory_mb_per_node)

@@ -1,0 +1,117 @@
+"""The ``parsl-cwl`` command-line runner (paper §III-B).
+
+Usage, matching the paper::
+
+    parsl-cwl config.yml echo.cwl inputs.yml
+    parsl-cwl config.yml echo.cwl --message='Hello'
+
+The first positional argument is the TaPS-style YAML Parsl configuration, the
+second is the CWL CommandLineTool, and inputs come either from a YAML job order
+file or from ``--name value`` / ``--name=value`` flags.  The CWL output object
+is printed as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional, Sequence
+
+from repro.core.runner import run_tool_with_parsl
+from repro.cwl.cli import parse_cli_inputs
+from repro.utils.yamlio import dump_json, load_yaml_file
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``parsl-cwl``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+
+    # Separate "--name value" input overrides (everything after the positionals).
+    positionals = []
+    index = 0
+    options = {"--outdir": None, "--quiet": False}
+    while index < len(argv) and len(positionals) < 3:
+        token = argv[index]
+        if token in ("-h", "--help"):
+            _print_help()
+            return 0
+        if token == "--quiet":
+            options["--quiet"] = True
+            index += 1
+            continue
+        if token == "--outdir":
+            options["--outdir"] = argv[index + 1] if index + 1 < len(argv) else None
+            index += 2
+            continue
+        if token.startswith("--"):
+            break
+        positionals.append(token)
+        index += 1
+    overrides = argv[index:]
+
+    if len(positionals) < 2:
+        print("usage: parsl-cwl [--outdir DIR] config.yml tool.cwl [inputs.yml] [--input value ...]",
+              file=sys.stderr)
+        return 2
+
+    config_path = positionals[0]
+    tool_path = positionals[1]
+    job_file = positionals[2] if len(positionals) > 2 else None
+
+    try:
+        job_order = {}
+        if job_file:
+            loaded = load_yaml_file(job_file)
+            if loaded:
+                if not isinstance(loaded, dict):
+                    raise ValueError(f"job order file {job_file} must contain a mapping")
+                job_order.update(loaded)
+        job_order.update(parse_cli_inputs(overrides))
+
+        outdir = options["--outdir"]
+        previous_cwd = os.getcwd()
+        if outdir:
+            os.makedirs(outdir, exist_ok=True)
+            os.chdir(outdir)
+        try:
+            outputs = run_tool_with_parsl(
+                tool=os.path.join(previous_cwd, tool_path) if not os.path.isabs(tool_path) else tool_path,
+                job_order=_resolve_job_paths(job_order, previous_cwd),
+                config=os.path.join(previous_cwd, config_path) if not os.path.isabs(config_path) else config_path,
+            )
+        finally:
+            if outdir:
+                os.chdir(previous_cwd)
+    except Exception as exc:  # CLI boundary
+        print(f"parsl-cwl: error: {exc}", file=sys.stderr)
+        return 1
+
+    print(dump_json(outputs))
+    if not options["--quiet"]:
+        print("Final process status is success", file=sys.stderr)
+    return 0
+
+
+def _resolve_job_paths(job_order: dict, base: str) -> dict:
+    """Make relative File paths in the job order absolute against the invocation cwd."""
+    resolved = {}
+    for key, value in job_order.items():
+        if isinstance(value, dict) and value.get("class") == "File" and "path" in value \
+                and not os.path.isabs(value["path"]):
+            value = dict(value)
+            value["path"] = os.path.join(base, value["path"])
+        elif isinstance(value, str) and not os.path.isabs(value) and os.path.exists(os.path.join(base, value)) \
+                and ("/" in value or value.endswith((".png", ".txt", ".csv", ".json", ".yml", ".yaml"))):
+            value = os.path.join(base, value)
+        resolved[key] = value
+    return resolved
+
+
+def _print_help() -> None:
+    print(__doc__)
+    print("usage: parsl-cwl [--outdir DIR] [--quiet] config.yml tool.cwl [inputs.yml] [--input value ...]")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,316 @@
+"""``CWLApp``: import a CWL CommandLineTool into a Parsl program (paper §III-A).
+
+A ``CWLApp`` is constructed from a CWL ``CommandLineTool`` file (or an
+already-loaded tool).  Calling it looks exactly like calling a Parsl app:
+
+.. code-block:: python
+
+    echo = CWLApp("echo.cwl")
+    future = echo(message="Hello, World!", stdout="hello.txt")
+    future.result()
+
+What happens underneath, following the paper:
+
+* the CWL definition supplies the input/output schema — inputs become keyword
+  arguments, ``File``-typed inputs are converted to Parsl ``File`` objects (or
+  accepted as ``DataFuture`` s from upstream apps, which is what lets CWLApps be
+  chained without waiting),
+* the command line is constructed from the tool's ``baseCommand``, ``arguments``
+  and ``inputBinding`` definitions *on the execution side*, after upstream
+  DataFutures have resolved,
+* ``stdout`` / ``stderr`` and any statically determinable output files become
+  ``DataFuture`` s on the returned ``AppFuture`` (``future.outputs``),
+* if the tool carries an ``InlinePythonRequirement``, its per-input ``validate:``
+  expressions run before the command executes and its expression library is
+  available to ``arguments`` entries written in the paper's f-string syntax.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.core.inline_python import InlinePythonEvaluator, extract_inline_python, is_python_expression
+from repro.cwl.command_line import build_command_line, fill_in_defaults
+from repro.cwl.errors import InputValidationError, ValidationException
+from repro.cwl.loader import load_tool
+from repro.cwl.schema import CommandLineTool
+from repro.cwl.types import build_file_value, coerce_file_inputs, matches
+from repro.cwl.validate import ensure_valid
+from repro.parsl.apps.bash import remote_side_bash_executor
+from repro.parsl.data_provider.files import File
+from repro.parsl.dataflow.dflow import DataFlowKernel, DataFlowKernelLoader
+from repro.parsl.dataflow.futures import AppFuture, DataFuture
+
+__all__ = ["CWLApp", "cwl_tool_command"]
+
+
+def cwl_tool_command(tool_raw: Dict[str, Any], source_path: Optional[str],
+                     cwl_inputs: Dict[str, Any], **_parsl_kwargs: Any) -> str:
+    """Execution-side body of a CWLApp (a Parsl *bash app* function).
+
+    Receives the raw tool document plus the resolved CWL input values (Parsl has
+    already replaced DataFutures with Files by the time this runs), rebuilds the
+    tool model, runs InlinePython validation, evaluates InlinePython arguments,
+    and returns the command line string for the bash executor to run.
+    """
+    from repro.cwl.loader import load_document  # local import: runs inside workers
+
+    tool = load_document(dict(tool_raw), base_dir=os.path.dirname(source_path) if source_path else None)
+    if not isinstance(tool, CommandLineTool):
+        raise ValidationException("CWLApp payload must be a CommandLineTool")
+
+    job_order: Dict[str, Any] = {}
+    for key, value in cwl_inputs.items():
+        job_order[key] = _to_cwl_value(value)
+    job_order = fill_in_defaults(tool.inputs, job_order)
+    job_order = {k: coerce_file_inputs(v) for k, v in job_order.items()}
+
+    runtime = {"outdir": os.getcwd(), "tmpdir": os.getcwd(), "cores": 1, "ram": 1024}
+
+    inline_python = extract_inline_python(tool)
+    evaluator: Optional[InlinePythonEvaluator] = None
+    if inline_python is not None:
+        evaluator = InlinePythonEvaluator(
+            expression_lib=inline_python.get("expressionLib", []),
+            external_files=inline_python.get("externalPythonFiles", []),
+        )
+        evaluator.validate_inputs(tool, job_order, runtime)
+
+    # Evaluate InlinePython arguments before handing the tool to the generic
+    # (JavaScript-based) command-line builder.
+    if evaluator is not None and tool.arguments:
+        context = {"inputs": job_order, "runtime": runtime, "self": None}
+        rewritten: List[Any] = []
+        for argument in tool.arguments:
+            if isinstance(argument, str) and is_python_expression(argument):
+                rewritten.append(str(evaluator.evaluate(argument, context)))
+            else:
+                rewritten.append(argument)
+        tool.arguments = rewritten
+
+    parts = build_command_line(tool, job_order, runtime)
+    return parts.joined()
+
+
+def _to_cwl_value(value: Any) -> Any:
+    """Convert Parsl-side values (File, paths, plain scalars) to CWL job-order values."""
+    if isinstance(value, File):
+        return build_file_value(value.filepath)
+    if isinstance(value, list):
+        return [_to_cwl_value(item) for item in value]
+    return value
+
+
+class CWLApp:
+    """A CWL CommandLineTool callable as a Parsl app."""
+
+    def __init__(
+        self,
+        cwl_file: Union[str, os.PathLike, CommandLineTool],
+        data_flow_kernel: Optional[DataFlowKernel] = None,
+        executors: Union[str, Sequence[str], None] = "all",
+        validate_document: bool = True,
+    ) -> None:
+        if isinstance(cwl_file, CommandLineTool):
+            self.tool = cwl_file
+            self.cwl_path = cwl_file.source_path
+        else:
+            self.cwl_path = os.fspath(cwl_file)
+            self.tool = load_tool(self.cwl_path)
+        if validate_document:
+            ensure_valid(self.tool)
+        self.data_flow_kernel = data_flow_kernel
+        self.executor_label = executors if isinstance(executors, str) or executors is None \
+            else (executors[0] if executors else "all")
+        if self.executor_label is None:
+            self.executor_label = "all"
+        self._inline_python = extract_inline_python(self.tool)
+        self.__name__ = self.tool.id or os.path.basename(self.cwl_path or "cwl_app")
+        self.__doc__ = self.tool.doc or f"CWLApp wrapping {self.__name__}"
+
+    # ------------------------------------------------------------- introspection
+
+    @property
+    def input_names(self) -> List[str]:
+        """Names of the tool's declared inputs (the valid keyword arguments)."""
+        return [param.id for param in self.tool.inputs]
+
+    @property
+    def output_names(self) -> List[str]:
+        """Names of the tool's declared outputs."""
+        return [param.id for param in self.tool.outputs]
+
+    @property
+    def required_inputs(self) -> List[str]:
+        """Inputs that must be supplied at call time."""
+        return [param.id for param in self.tool.inputs
+                if not (param.type.is_optional or param.has_default)]
+
+    def describe(self) -> Dict[str, Any]:
+        """A summary of the imported tool (used by examples and the CLI)."""
+        return {
+            "id": self.tool.id,
+            "baseCommand": self.tool.base_command,
+            "inputs": {p.id: str(p.type) for p in self.tool.inputs},
+            "outputs": {p.id: str(p.type) for p in self.tool.outputs},
+            "stdout": self.tool.stdout,
+            "inline_python": bool(self._inline_python),
+            "source": self.cwl_path,
+        }
+
+    # ------------------------------------------------------------------ calling
+
+    def __call__(self, **kwargs: Any) -> AppFuture:
+        """Invoke the tool through Parsl; returns an :class:`AppFuture`.
+
+        Keyword arguments are the tool's declared inputs; additionally the Parsl
+        conventions ``stdout=``, ``stderr=`` override the tool's redirections
+        and any unknown keyword raises immediately.
+        """
+        dfk = self.data_flow_kernel or DataFlowKernelLoader.dfk()
+
+        stdout_override = kwargs.pop("stdout", None)
+        stderr_override = kwargs.pop("stderr", None)
+
+        declared = set(self.input_names)
+        unknown = [key for key in kwargs if key not in declared]
+        if unknown:
+            raise InputValidationError(
+                f"unknown input(s) {sorted(unknown)} for CWL tool {self.__name__!r}; "
+                f"declared inputs are {sorted(declared)}"
+            )
+        missing = [name for name in self.required_inputs if name not in kwargs]
+        if missing:
+            raise InputValidationError(
+                f"missing required input(s) {sorted(missing)} for CWL tool {self.__name__!r}"
+            )
+
+        # Convert values: File-typed inputs given as paths become Parsl Files;
+        # DataFutures and Files pass straight through (dependencies / staging).
+        cwl_inputs: Dict[str, Any] = {}
+        for param in self.tool.inputs:
+            if param.id not in kwargs:
+                continue
+            value = kwargs[param.id]
+            cwl_inputs[param.id] = self._convert_input(value, wants_file=param.type.is_file)
+        self._validate_concrete_inputs(cwl_inputs)
+
+        stdout_path = stdout_override or self.tool.stdout
+        stderr_path = stderr_override or self.tool.stderr
+        named_outputs = self._predict_output_files(cwl_inputs, stdout_path, stderr_path)
+        output_files = [file_obj for _name, file_obj in named_outputs]
+
+        app_kwargs: Dict[str, Any] = {"cwl_inputs": cwl_inputs}
+        if stdout_path:
+            app_kwargs["stdout"] = stdout_path
+        if stderr_path:
+            app_kwargs["stderr"] = stderr_path
+        if output_files:
+            app_kwargs["outputs"] = output_files
+
+        body = functools.partial(cwl_tool_command, self.tool.raw, self.cwl_path)
+        functools.update_wrapper(body, cwl_tool_command)
+        body.__name__ = self.__name__  # type: ignore[attr-defined]
+        wrapped = functools.partial(remote_side_bash_executor, body)
+        functools.update_wrapper(wrapped, body)
+
+        future = dfk.submit(
+            wrapped,
+            (),
+            app_kwargs,
+            app_type="bash",
+            executor_label=self.executor_label,
+        )
+        # Attach a name -> DataFuture mapping so callers (and the workflow
+        # bridge) can look up outputs by their CWL output id rather than index.
+        named: Dict[str, DataFuture] = {}
+        for (name, _file_obj), data_future in zip(named_outputs, future.outputs):
+            named.setdefault(name, data_future)
+        future.cwl_outputs = named  # type: ignore[attr-defined]
+        return future
+
+    # ----------------------------------------------------------------- helpers
+
+    def _convert_input(self, value: Any, wants_file: bool) -> Any:
+        if isinstance(value, (DataFuture, File)):
+            return value
+        if isinstance(value, list):
+            return [self._convert_input(item, wants_file) for item in value]
+        if wants_file and isinstance(value, (str, os.PathLike)):
+            return File(os.fspath(value))
+        if wants_file and isinstance(value, dict) and value.get("class") == "File":
+            return File(value.get("path") or value.get("location", ""))
+        return value
+
+    def _validate_concrete_inputs(self, cwl_inputs: Dict[str, Any]) -> None:
+        """Fail fast on concrete values that cannot match the declared type."""
+        for param in self.tool.inputs:
+            if param.id not in cwl_inputs:
+                continue
+            value = cwl_inputs[param.id]
+            if isinstance(value, (DataFuture, File)) or (
+                isinstance(value, list) and any(isinstance(v, (DataFuture, File)) for v in value)
+            ):
+                continue  # resolved and staged later
+            if param.type.is_file:
+                continue
+            if not matches(value, param.type):
+                raise InputValidationError(
+                    f"input {param.id!r} value {value!r} does not match declared type {param.type}"
+                )
+
+    def _predict_output_files(self, cwl_inputs: Dict[str, Any],
+                              stdout_path: Optional[str],
+                              stderr_path: Optional[str]) -> List[tuple]:
+        """Determine output file names that are knowable at submission time.
+
+        Returns ``(output_id, File)`` pairs.  Covers the common cases used
+        throughout the paper: ``type: stdout`` / ``type: stderr`` outputs and
+        ``outputBinding.glob`` patterns that are either literal file names or
+        single ``$(inputs.x)`` references to an input provided in this call (or
+        a default).
+        """
+        job_for_defaults = fill_in_defaults(self.tool.inputs, dict(cwl_inputs))
+        predicted: List[tuple] = []
+        for param in self.tool.outputs:
+            if param.raw_type == "stdout":
+                if stdout_path:
+                    predicted.append((param.id, File(stdout_path)))
+                continue
+            if param.raw_type == "stderr":
+                if stderr_path:
+                    predicted.append((param.id, File(stderr_path)))
+                continue
+            binding = param.output_binding
+            if binding is None or binding.glob is None:
+                continue
+            globs = binding.glob if isinstance(binding.glob, list) else [binding.glob]
+            for pattern in globs:
+                resolved = self._resolve_static_glob(pattern, job_for_defaults)
+                if resolved is not None and not any(ch in resolved for ch in "*?["):
+                    predicted.append((param.id, File(resolved)))
+        return predicted
+
+    @staticmethod
+    def _resolve_static_glob(pattern: str, job_order: Dict[str, Any]) -> Optional[str]:
+        if not isinstance(pattern, str):
+            return None
+        pattern = pattern.strip()
+        if pattern.startswith("$(") and pattern.endswith(")"):
+            body = pattern[2:-1].strip()
+            if body.startswith("inputs."):
+                value = job_order.get(body[len("inputs."):])
+                if isinstance(value, File):
+                    return value.filepath
+                if isinstance(value, str):
+                    return value
+                return None
+            return None
+        if "$(" in pattern or "${" in pattern:
+            return None
+        return pattern
+
+    def __repr__(self) -> str:
+        return f"<CWLApp {self.__name__!r} from {self.cwl_path!r}>"

@@ -1,0 +1,212 @@
+"""``InlinePythonRequirement`` — Python expressions inside CWL documents (paper §V).
+
+The paper proposes a CWL extension mirroring ``InlineJavascriptRequirement``:
+
+.. code-block:: yaml
+
+    requirements:
+      - class: InlinePythonRequirement
+        expressionLib:
+          - |
+            def capitalize_words(message):
+                return message.title()
+
+    arguments:
+      - f"{capitalize_words($(inputs.message))}"
+
+An expression is any string wrapped in an f-string literal (``f"..."`` or
+``f'...'``).  Inside it, ``$(inputs.x)`` / ``$(runtime.y)`` / ``$(self...)``
+parameter references are resolved first, then the f-string is evaluated in a
+namespace containing the functions defined by ``expressionLib`` (and any
+modules imported by it).  A per-input ``validate:`` field is evaluated the same
+way before the tool executes; an exception raised by the expression aborts the
+job (Listing 6).
+
+Because expressions are author-supplied Python, evaluation deliberately uses
+``exec``/``eval`` — the same trust model as CWL's JavaScript expressions, where
+the document author's code runs inside the runner.
+"""
+
+from __future__ import annotations
+
+import builtins
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.cwl.errors import ExpressionError, InputValidationError
+from repro.cwl.expressions.paramrefs import find_expressions, resolve_parameter_reference
+from repro.cwl.schema import Process
+
+#: The requirement class name introduced by the paper.
+INLINE_PYTHON_CLASS = "InlinePythonRequirement"
+
+
+class InlinePythonRequirementError(ExpressionError):
+    """Raised when an inline Python expression fails to parse or evaluate."""
+
+
+def extract_inline_python(process: Process) -> Optional[Dict[str, Any]]:
+    """Return the ``InlinePythonRequirement`` dictionary of ``process``, if any."""
+    return process.get_requirement(INLINE_PYTHON_CLASS)
+
+
+def is_python_expression(value: Any) -> bool:
+    """Whether ``value`` is a string the paper's syntax marks as a Python expression.
+
+    The paper signals Python expressions by enclosing them in an f-string
+    literal: ``f"{...}"`` (Listing 5) — that is what parsl-cwl looks for.
+    """
+    if not isinstance(value, str):
+        return False
+    stripped = value.strip()
+    return (stripped.startswith('f"') and stripped.endswith('"')) or \
+           (stripped.startswith("f'") and stripped.endswith("'"))
+
+
+class InlinePythonEvaluator:
+    """Evaluate inline Python expressions against a CWL evaluation context."""
+
+    def __init__(self, expression_lib: Optional[Sequence[str]] = None,
+                 external_files: Optional[Sequence[str]] = None) -> None:
+        self.expression_lib = list(expression_lib or [])
+        self.external_files = list(external_files or [])
+        self._namespace: Dict[str, Any] = {"__builtins__": builtins}
+        self._load_library()
+
+    @classmethod
+    def from_process(cls, process: Process) -> "InlinePythonEvaluator":
+        """Build an evaluator from a process's ``InlinePythonRequirement`` (possibly empty)."""
+        requirement = extract_inline_python(process) or {}
+        return cls(
+            expression_lib=requirement.get("expressionLib", []),
+            external_files=requirement.get("externalPythonFiles", []),
+        )
+
+    # ------------------------------------------------------------------ library
+
+    def _load_library(self) -> None:
+        for path in self.external_files:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+            except OSError as exc:
+                raise InlinePythonRequirementError(
+                    f"cannot read external Python file {path!r}: {exc}"
+                ) from exc
+            self._exec_source(source, origin=path)
+        for index, source in enumerate(self.expression_lib):
+            self._exec_source(source, origin=f"expressionLib[{index}]")
+
+    def _exec_source(self, source: str, origin: str) -> None:
+        try:
+            exec(compile(source, origin, "exec"), self._namespace)  # noqa: S102 - by design
+        except Exception as exc:
+            raise InlinePythonRequirementError(
+                f"error loading inline Python library from {origin}: {exc}"
+            ) from exc
+
+    @property
+    def namespace(self) -> Dict[str, Any]:
+        """The evaluation namespace (library functions plus builtins)."""
+        return self._namespace
+
+    def defined_names(self) -> List[str]:
+        """Names defined by the expression library (functions, constants)."""
+        return [name for name in self._namespace
+                if not name.startswith("__") and name != "__builtins__"]
+
+    # --------------------------------------------------------------- evaluation
+
+    def evaluate(self, expression: str, context: Dict[str, Any]) -> Any:
+        """Evaluate one Python expression string against ``context``.
+
+        ``context`` maps reference roots (``inputs``, ``self``, ``runtime``) to
+        values.  Returns the evaluated value; for f-string expressions the result
+        is the formatted string unless the f-string consists of exactly one
+        replacement field, in which case the field's native value is returned
+        (so numeric results stay numeric).
+        """
+        stripped = expression.strip()
+        if not is_python_expression(stripped):
+            # A bare parameter reference (or plain string) — reuse CWL semantics.
+            refs = find_expressions(stripped)
+            if len(refs) == 1 and refs[0].start == 0 and refs[0].end == len(stripped):
+                return resolve_parameter_reference(refs[0].body, context)
+            return self._interpolate_refs(stripped, context)
+
+        inner = stripped[2:-1]  # strip f" ... " (or f' ... ')
+        substituted, bindings = self._substitute_refs(inner, context)
+        local_namespace = dict(self._namespace)
+        local_namespace.update(bindings)
+        local_namespace.update({"inputs": context.get("inputs", {}),
+                                "runtime": context.get("runtime", {}),
+                                "self": context.get("self")})
+
+        # Single replacement field covering the whole expression: return the raw value.
+        single = substituted.strip()
+        if single.startswith("{") and single.endswith("}") and \
+                single.count("{") == 1 and single.count("}") == 1:
+            return self._eval(single[1:-1], local_namespace, expression)
+
+        quote = '"""' if '"""' not in substituted else "'''"
+        return self._eval(f"f{quote}{substituted}{quote}", local_namespace, expression)
+
+    def validate_inputs(self, process: Process, job_order: Dict[str, Any],
+                        runtime: Optional[Dict[str, Any]] = None) -> None:
+        """Run every input's ``validate:`` expression; raise on the first failure."""
+        context = {"inputs": job_order, "runtime": runtime or {}, "self": None}
+        for param in process.inputs:
+            if not param.validate:
+                continue
+            local_context = dict(context)
+            local_context["self"] = job_order.get(param.id)
+            try:
+                self.evaluate(param.validate, local_context)
+            except InlinePythonRequirementError:
+                raise
+            except Exception as exc:
+                raise InputValidationError(
+                    f"validation of input {param.id!r} failed: {exc}"
+                ) from exc
+
+    # ----------------------------------------------------------------- helpers
+
+    def _substitute_refs(self, text: str, context: Dict[str, Any]):
+        """Replace ``$(...)`` references with synthetic variable names."""
+        bindings: Dict[str, Any] = {}
+        pieces: List[str] = []
+        cursor = 0
+        for index, ref in enumerate(find_expressions(text)):
+            if ref.kind != "paren":
+                raise InlinePythonRequirementError(
+                    "${...} blocks are not valid inside InlinePython expressions"
+                )
+            name = f"__cwl_ref_{index}"
+            bindings[name] = resolve_parameter_reference(ref.body, context)
+            pieces.append(text[cursor:ref.start])
+            pieces.append(name)
+            cursor = ref.end
+        pieces.append(text[cursor:])
+        return "".join(pieces), bindings
+
+    def _interpolate_refs(self, text: str, context: Dict[str, Any]) -> Any:
+        refs = find_expressions(text)
+        if not refs:
+            return text
+        pieces: List[str] = []
+        cursor = 0
+        for ref in refs:
+            pieces.append(text[cursor:ref.start])
+            pieces.append(str(resolve_parameter_reference(ref.body, context)))
+            cursor = ref.end
+        pieces.append(text[cursor:])
+        return "".join(pieces)
+
+    def _eval(self, source: str, namespace: Dict[str, Any], original: str) -> Any:
+        try:
+            return eval(compile(source, "<inline-python>", "eval"), namespace)  # noqa: S307 - by design
+        except InlinePythonRequirementError:
+            raise
+        except Exception as exc:
+            raise InlinePythonRequirementError(
+                f"error evaluating inline Python expression {original!r}: {exc}"
+            ) from exc

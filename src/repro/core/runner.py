@@ -1,0 +1,115 @@
+"""Programmatic entry point of the ``parsl-cwl`` runner (paper §III-B).
+
+``run_tool_with_parsl`` executes one CWL CommandLineTool on Parsl executors and
+returns the CWL output object, which is also what the ``parsl-cwl`` command
+line prints.  The function manages the DataFlowKernel lifecycle only when it
+loaded the kernel itself, so it can be embedded in a larger Parsl program that
+already called :func:`repro.parsl.load`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional, Union
+
+from repro.core.cwl_app import CWLApp
+from repro.core.yaml_config import load_yaml_config
+from repro.cwl.loader import load_tool
+from repro.cwl.outputs import collect_outputs
+from repro.cwl.types import value_to_path
+from repro.parsl.config import Config
+from repro.parsl.dataflow.dflow import DataFlowKernelLoader
+from repro.parsl.errors import NoDataFlowKernelError
+from repro.utils.logging_config import get_logger
+
+logger = get_logger("core.runner")
+
+
+def run_tool_with_parsl(
+    tool: Union[str, os.PathLike],
+    job_order: Optional[Dict[str, Any]] = None,
+    config: Union[None, str, os.PathLike, Config] = None,
+    outdir: Optional[str] = None,
+    cleanup: Optional[bool] = None,
+) -> Dict[str, Any]:
+    """Execute ``tool`` with the given ``job_order`` on Parsl.
+
+    Parameters
+    ----------
+    tool:
+        Path to a CWL CommandLineTool document.
+    job_order:
+        Input values (plain values; ``File`` inputs may be given as paths or
+        ``{"class": "File", "path": ...}`` objects).
+    config:
+        A YAML configuration path, an already-built :class:`Config`, or ``None``
+        to use whatever DataFlowKernel is already loaded.
+    outdir:
+        Directory in which output files are collected (defaults to the current
+        working directory, which is where Parsl bash apps execute).
+    cleanup:
+        Whether to shut down the DataFlowKernel afterwards.  Defaults to True
+        exactly when this call loaded the kernel itself.
+    """
+    job_order = dict(job_order or {})
+
+    loaded_here = False
+    if config is not None:
+        if not isinstance(config, Config):
+            config = load_yaml_config(config)
+        DataFlowKernelLoader.load(config)
+        loaded_here = True
+    else:
+        try:
+            DataFlowKernelLoader.dfk()
+        except NoDataFlowKernelError:
+            DataFlowKernelLoader.load(Config.default())
+            loaded_here = True
+    if cleanup is None:
+        cleanup = loaded_here
+
+    try:
+        tool_doc = load_tool(tool)
+        app = CWLApp(tool_doc if tool_doc.source_path else os.fspath(tool))
+        future = app(**job_order)
+        future.result()
+
+        outdir = outdir or os.getcwd()
+        stdout_path = future.stdout
+        stderr_path = future.stderr
+        runtime = {"outdir": outdir, "tmpdir": outdir, "cores": 1, "ram": 1024}
+        outputs = collect_outputs(
+            app.tool,
+            outdir=outdir,
+            stdout_path=_absolute(stdout_path, outdir),
+            stderr_path=_absolute(stderr_path, outdir),
+            job_order=_cwl_job_order(app, job_order),
+            runtime=runtime,
+        )
+        return outputs
+    finally:
+        if cleanup:
+            DataFlowKernelLoader.clear()
+
+
+def _absolute(path: Optional[str], base: str) -> Optional[str]:
+    if path is None:
+        return None
+    return path if os.path.isabs(path) else os.path.join(base, path)
+
+
+def _cwl_job_order(app: CWLApp, job_order: Dict[str, Any]) -> Dict[str, Any]:
+    """Rebuild the CWL-side job order (File values as dictionaries) for output collection."""
+    from repro.cwl.command_line import fill_in_defaults
+    from repro.cwl.types import build_file_value, coerce_file_inputs
+
+    rebuilt: Dict[str, Any] = {}
+    for param in app.tool.inputs:
+        if param.id not in job_order:
+            continue
+        value = job_order[param.id]
+        if param.type.is_file and isinstance(value, (str, os.PathLike)):
+            rebuilt[param.id] = build_file_value(os.fspath(value))
+        else:
+            rebuilt[param.id] = coerce_file_inputs(value)
+    return fill_in_defaults(app.tool.inputs, rebuilt)

@@ -1,0 +1,229 @@
+"""Execute complete CWL Workflows through Parsl (the paper's stated future work).
+
+The paper's ``parsl-cwl`` prototype only runs single CommandLineTools; §VIII
+lists "support in Parsl to run complete CWL workflows" as future work.  This
+module implements that extension so the evaluation workflow (Listing 3) can be
+run either through the hand-written Parsl program of Listing 4 *or* directly
+from its CWL Workflow definition:
+
+* every step's CommandLineTool becomes a :class:`~repro.core.cwl_app.CWLApp`,
+* step-to-step data dependencies become ``DataFuture`` s, so Parsl's dataflow
+  scheduler interleaves steps exactly as it would for a native Parsl program,
+* ``scatter`` over workflow-level array inputs expands at submission time,
+* step-level ``valueFrom`` strings (literal values or ``$(inputs.x)``
+  references over concrete values) are evaluated at submission time,
+* workflow outputs are returned as ``DataFuture`` s / values keyed by output id.
+
+Dynamic constructs whose value depends on *task results* (e.g. ``when`` guards
+referencing upstream outputs) are outside what can be decided at submission
+time and raise a clear error instead of silently misbehaving.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.cwl_app import CWLApp
+from repro.cwl.errors import UnsupportedRequirement, WorkflowException
+from repro.cwl.expressions.evaluator import ExpressionEvaluator, needs_expression_evaluation
+from repro.cwl.loader import load_document
+from repro.cwl.scatter import build_scatter_jobs
+from repro.cwl.schema import CommandLineTool, Workflow, WorkflowStep
+from repro.cwl.validate import ensure_valid
+from repro.parsl.dataflow.dflow import DataFlowKernel
+from repro.parsl.dataflow.futures import AppFuture, DataFuture
+from repro.utils.logging_config import get_logger
+
+logger = get_logger("core.workflow_bridge")
+
+
+class CWLWorkflowBridge:
+    """Convert a CWL Workflow into a Parsl dataflow and run it."""
+
+    def __init__(self, workflow: Union[str, os.PathLike, Workflow],
+                 data_flow_kernel: Optional[DataFlowKernel] = None,
+                 validate: bool = True) -> None:
+        if isinstance(workflow, Workflow):
+            self.workflow = workflow
+        else:
+            loaded = load_document(workflow)
+            if not isinstance(loaded, Workflow):
+                raise WorkflowException(f"{workflow} is not a CWL Workflow")
+            self.workflow = loaded
+        if validate:
+            ensure_valid(self.workflow)
+        self.data_flow_kernel = data_flow_kernel
+        self._apps: Dict[str, CWLApp] = {}
+
+    # -------------------------------------------------------------- submission
+
+    def submit(self, job_order: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit every step and return workflow outputs as futures/values."""
+        values: Dict[str, Any] = {}
+        for param in self.workflow.inputs:
+            if param.id in job_order:
+                values[param.id] = job_order[param.id]
+            elif param.has_default:
+                values[param.id] = param.default
+            elif param.type.is_optional:
+                values[param.id] = None
+            else:
+                raise WorkflowException(f"workflow input {param.id!r} is required")
+
+        remaining = list(self.workflow.steps)
+        submitted: Dict[str, AppFuture] = {}
+        # Steps are submitted in dependency order, but they execute concurrently:
+        # Parsl's DFK holds each task until its DataFuture inputs resolve.
+        while remaining:
+            progressed = False
+            for step in list(remaining):
+                if not self._sources_known(step, values):
+                    continue
+                self._submit_step(step, values, submitted)
+                remaining.remove(step)
+                progressed = True
+            if not progressed:
+                unresolved = {s.id: [src for si in s.in_ for src in si.source
+                                     if src not in values] for s in remaining}
+                raise WorkflowException(
+                    f"cannot order workflow steps; unresolved sources: {unresolved}"
+                )
+
+        outputs: Dict[str, Any] = {}
+        for output in self.workflow.workflow_outputs:
+            if not output.output_source:
+                outputs[output.id] = None
+                continue
+            resolved = [values.get(source) for source in output.output_source]
+            outputs[output.id] = resolved[0] if len(resolved) == 1 else resolved
+        return outputs
+
+    def run(self, job_order: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit the workflow and block until all outputs are concrete values."""
+        outputs = self.submit(job_order)
+        return {key: self._wait(value) for key, value in outputs.items()}
+
+    # ----------------------------------------------------------------- plumbing
+
+    def _sources_known(self, step: WorkflowStep, values: Dict[str, Any]) -> bool:
+        return all(source in values for step_input in step.in_ for source in step_input.source)
+
+    def _submit_step(self, step: WorkflowStep, values: Dict[str, Any],
+                     submitted: Dict[str, AppFuture]) -> None:
+        app = self._app_for(step)
+        gathered = self._gather_inputs(step, values)
+
+        if step.when is not None:
+            condition = self._evaluate_static(step.when, gathered)
+            if not condition:
+                for out_id in step.out:
+                    values[f"{step.id}/{out_id}"] = None
+                return
+
+        if step.scatter:
+            concrete = {key: self._require_concrete(value, step.id, key)
+                        for key, value in gathered.items() if key in step.scatter}
+            merged = dict(gathered)
+            merged.update(concrete)
+            plan = build_scatter_jobs(merged, step.scatter, step.scatter_method)
+            per_output: Dict[str, List[Any]] = {out_id: [] for out_id in step.out}
+            for job in plan.jobs:
+                future = app(**job)
+                submitted[f"{step.id}[{len(per_output[step.out[0]]) if step.out else 0}]"] = future
+                named = getattr(future, "cwl_outputs", {})
+                for out_id in step.out:
+                    per_output[out_id].append(named.get(out_id, future))
+            for out_id in step.out:
+                values[f"{step.id}/{out_id}"] = per_output[out_id]
+            return
+
+        future = app(**gathered)
+        submitted[step.id] = future
+        named = getattr(future, "cwl_outputs", {})
+        for out_id in step.out:
+            if out_id not in named:
+                raise WorkflowException(
+                    f"step {step.id!r}: output {out_id!r} cannot be predicted at submission "
+                    f"time (predictable outputs: {sorted(named)}); the workflow bridge requires "
+                    "literal or input-derived glob patterns"
+                )
+            values[f"{step.id}/{out_id}"] = named[out_id]
+
+    def _app_for(self, step: WorkflowStep) -> CWLApp:
+        if step.id in self._apps:
+            return self._apps[step.id]
+        process = step.embedded_process
+        if process is None and isinstance(step.run, str):
+            base = os.path.dirname(self.workflow.source_path or "")
+            path = step.run if os.path.isabs(step.run) else os.path.join(base, step.run)
+            process = load_document(path)
+        if isinstance(process, Workflow):
+            raise UnsupportedRequirement(
+                f"step {step.id!r} runs a nested Workflow; the Parsl workflow bridge currently "
+                "supports CommandLineTool steps (use ReferenceRunner for nested workflows)"
+            )
+        if not isinstance(process, CommandLineTool):
+            raise WorkflowException(f"step {step.id!r} does not resolve to a CommandLineTool")
+        app = CWLApp(process, data_flow_kernel=self.data_flow_kernel)
+        self._apps[step.id] = app
+        return app
+
+    def _gather_inputs(self, step: WorkflowStep, values: Dict[str, Any]) -> Dict[str, Any]:
+        gathered: Dict[str, Any] = {}
+        for step_input in step.in_:
+            if step_input.source:
+                sourced = [values[source] for source in step_input.source]
+                value = sourced[0] if len(sourced) == 1 else sourced
+            else:
+                value = None
+            if value is None and step_input.has_default:
+                value = step_input.default
+            gathered[step_input.id] = value
+        for step_input in step.in_:
+            if step_input.value_from is None:
+                continue
+            gathered[step_input.id] = self._evaluate_static(
+                step_input.value_from, gathered, self_value=gathered.get(step_input.id))
+        return gathered
+
+    def _evaluate_static(self, expression: str, inputs: Dict[str, Any],
+                         self_value: Any = None) -> Any:
+        """Evaluate a step-level expression at submission time.
+
+        Plain strings pass through; expressions may only reference values that
+        are concrete at submission time (workflow inputs, literals) — futures
+        cannot be inspected before they run.
+        """
+        if not needs_expression_evaluation(expression):
+            return expression
+        concrete_inputs = {}
+        for key, value in inputs.items():
+            if isinstance(value, (AppFuture, DataFuture)):
+                concrete_inputs[key] = {"basename": getattr(value, "filename", None),
+                                        "path": getattr(value, "filepath", None),
+                                        "class": "File"}
+            else:
+                concrete_inputs[key] = value
+        evaluator = ExpressionEvaluator(js_enabled=True, cache_engine=True)
+        return evaluator.evaluate(expression, {"inputs": concrete_inputs, "self": self_value,
+                                               "runtime": {}})
+
+    @staticmethod
+    def _require_concrete(value: Any, step_id: str, key: str) -> Any:
+        if isinstance(value, (AppFuture, DataFuture)):
+            raise UnsupportedRequirement(
+                f"step {step_id!r} scatters over {key!r} whose value is a future; scatter widths "
+                "must be known at submission time in the Parsl workflow bridge"
+            )
+        return value
+
+    @staticmethod
+    def _wait(value: Any) -> Any:
+        if isinstance(value, DataFuture):
+            return value.result()
+        if isinstance(value, AppFuture):
+            return value.result()
+        if isinstance(value, list):
+            return [CWLWorkflowBridge._wait(item) for item in value]
+        return value

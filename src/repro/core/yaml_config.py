@@ -1,0 +1,155 @@
+"""TaPS-style YAML configuration for the ``parsl-cwl`` runner (paper §III-B).
+
+The paper adopts a YAML configuration format (following the TaPS benchmark
+suite) so that Parsl configuration lives alongside the CWL documents rather than
+in Python.  The supported keys:
+
+.. code-block:: yaml
+
+    executor: htex            # htex | thread-pool | process-pool | workqueue
+    provider: slurm           # local | slurm | pbs | kubernetes  (htex only)
+    nodes: 3                  # nodes per block (htex + slurm/pbs)
+    cores_per_node: 48
+    workers_per_node: 8
+    max_threads: 8            # thread-pool
+    max_workers: 4            # process-pool
+    total_cores: 8            # workqueue
+    retries: 0
+    run_dir: runinfo
+    app_cache: true
+    label: htex
+
+Unknown keys raise immediately — misspelling ``workers_per_node`` should not
+silently fall back to a default.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional, Union
+
+from repro.cluster.nodes import NodeInventory
+from repro.cluster.scheduler import SimulatedSlurmCluster
+from repro.parsl.config import Config
+from repro.parsl.errors import ConfigurationError
+from repro.parsl.executors.high_throughput.executor import HighThroughputExecutor
+from repro.parsl.executors.processes import ProcessPoolExecutor
+from repro.parsl.executors.threads import ThreadPoolExecutor
+from repro.parsl.executors.workqueue import WorkQueueStyleExecutor
+from repro.parsl.providers.kubernetes import KubernetesProvider
+from repro.parsl.providers.local import LocalProvider
+from repro.parsl.providers.pbs import PBSProProvider
+from repro.parsl.providers.slurm import SlurmProvider
+from repro.utils.yamlio import load_yaml_file
+
+_KNOWN_KEYS = {
+    "executor", "provider", "nodes", "cores_per_node", "workers_per_node",
+    "max_threads", "max_workers", "total_cores", "retries", "run_dir",
+    "app_cache", "label", "monitoring", "queue", "partition", "namespace",
+    "walltime",
+}
+
+_EXECUTOR_ALIASES = {
+    "htex": "htex",
+    "high-throughput": "htex",
+    "highthroughput": "htex",
+    "thread-pool": "threads",
+    "threads": "threads",
+    "threadpool": "threads",
+    "process-pool": "processes",
+    "processes": "processes",
+    "workqueue": "workqueue",
+    "work-queue": "workqueue",
+    "taskvine": "workqueue",
+}
+
+
+def load_yaml_config(path: Union[str, os.PathLike],
+                     cluster: Optional[SimulatedSlurmCluster] = None) -> Config:
+    """Load a TaPS-style YAML configuration file into a live :class:`Config`."""
+    document = load_yaml_file(path)
+    if document is None:
+        document = {}
+    if not isinstance(document, dict):
+        raise ConfigurationError(f"configuration file {path} must contain a mapping")
+    return config_from_dict(document, cluster=cluster)
+
+
+def config_from_dict(document: Dict[str, Any],
+                     cluster: Optional[SimulatedSlurmCluster] = None) -> Config:
+    """Build a :class:`Config` from an already-parsed configuration dictionary."""
+    unknown = set(document) - _KNOWN_KEYS
+    if unknown:
+        raise ConfigurationError(
+            f"unknown configuration key(s) {sorted(unknown)}; supported keys are {sorted(_KNOWN_KEYS)}"
+        )
+
+    executor_name = _EXECUTOR_ALIASES.get(str(document.get("executor", "thread-pool")).lower())
+    if executor_name is None:
+        raise ConfigurationError(
+            f"unknown executor {document.get('executor')!r}; expected one of {sorted(_EXECUTOR_ALIASES)}"
+        )
+    label = document.get("label", executor_name)
+
+    if executor_name == "threads":
+        executor = ThreadPoolExecutor(label=label, max_threads=int(document.get("max_threads", 8)))
+    elif executor_name == "processes":
+        executor = ProcessPoolExecutor(label=label, max_workers=int(document.get("max_workers", 4)))
+    elif executor_name == "workqueue":
+        executor = WorkQueueStyleExecutor(label=label, total_cores=int(document.get("total_cores", 8)))
+    else:  # htex
+        executor = HighThroughputExecutor(
+            label=label,
+            provider=_build_provider(document, cluster),
+            max_workers_per_node=int(document.get("workers_per_node", 4)),
+        )
+
+    return Config(
+        executors=[executor],
+        retries=int(document.get("retries", 0)),
+        app_cache=bool(document.get("app_cache", True)),
+        run_dir=str(document.get("run_dir", "runinfo")),
+        monitoring=bool(document.get("monitoring", False)),
+    )
+
+
+def _build_provider(document: Dict[str, Any], cluster: Optional[SimulatedSlurmCluster]):
+    provider_name = str(document.get("provider", "local")).lower()
+    nodes = int(document.get("nodes", 1))
+    cores_per_node = int(document.get("cores_per_node", os.cpu_count() or 4))
+    walltime = str(document.get("walltime", "00:30:00"))
+
+    if provider_name == "local":
+        return LocalProvider(nodes_per_block=nodes, cores_per_node=cores_per_node,
+                             init_blocks=1, max_blocks=1, walltime=walltime)
+    if provider_name == "slurm":
+        return SlurmProvider(
+            nodes_per_block=nodes,
+            cores_per_node=cores_per_node,
+            init_blocks=1,
+            max_blocks=1,
+            walltime=walltime,
+            partition=str(document.get("partition", "normal")),
+            cluster=cluster or SimulatedSlurmCluster(
+                NodeInventory.homogeneous(nodes, cores=cores_per_node)),
+        )
+    if provider_name in ("pbs", "pbspro"):
+        return PBSProProvider(
+            nodes_per_block=nodes,
+            cores_per_node=cores_per_node,
+            init_blocks=1,
+            max_blocks=1,
+            walltime=walltime,
+            queue=str(document.get("queue", "workq")),
+            cluster=cluster or SimulatedSlurmCluster(
+                NodeInventory.homogeneous(nodes, cores=cores_per_node)),
+        )
+    if provider_name in ("kubernetes", "k8s"):
+        return KubernetesProvider(
+            pods_per_block=nodes,
+            cores_per_pod=cores_per_node,
+            namespace=str(document.get("namespace", "default")),
+        )
+    raise ConfigurationError(
+        f"unknown provider {provider_name!r}; expected local, slurm, pbs or kubernetes"
+    )

@@ -1,0 +1,42 @@
+"""A from-scratch implementation of a CWL v1.2 subset.
+
+The Common Workflow Language reference implementation (``cwltool``) and the
+Toil runner are not installable offline, so this subpackage provides the CWL
+machinery the paper's integration and evaluation need:
+
+* :mod:`repro.cwl.types` — the CWL type system (primitive types, ``File`` /
+  ``Directory`` values, arrays, records, enums, optional/union types).
+* :mod:`repro.cwl.schema` — the document model (``CommandLineTool``,
+  ``Workflow``, ``ExpressionTool``, steps, parameters, bindings, requirements).
+* :mod:`repro.cwl.loader` — YAML loading and normalisation into the model.
+* :mod:`repro.cwl.validate` — structural validation of documents.
+* :mod:`repro.cwl.expressions` — parameter references and a pure-Python
+  interpreter for CWL's JavaScript expressions.
+* :mod:`repro.cwl.command_line` — command-line construction from a tool and a
+  job order (positions, prefixes, arrays, stdin/stdout/stderr redirection).
+* :mod:`repro.cwl.outputs` — output collection (glob, outputEval, checksums).
+* :mod:`repro.cwl.job` — single-tool job execution.
+* :mod:`repro.cwl.workflow` — the workflow engine (dataflow scheduling, scatter,
+  conditional ``when``, subworkflows).
+* :mod:`repro.cwl.runners` — the cwltool-like reference runner and the
+  Toil-like runner used as evaluation baselines.
+"""
+
+from repro.cwl.loader import load_document, load_tool
+from repro.cwl.schema import CommandLineTool, ExpressionTool, Workflow
+from repro.cwl.runtime import RuntimeContext
+from repro.cwl.job import CommandLineJob
+from repro.cwl.runners.reference import ReferenceRunner
+from repro.cwl.runners.toil.runner import ToilStyleRunner
+
+__all__ = [
+    "CommandLineJob",
+    "CommandLineTool",
+    "ExpressionTool",
+    "ReferenceRunner",
+    "RuntimeContext",
+    "ToilStyleRunner",
+    "Workflow",
+    "load_document",
+    "load_tool",
+]

@@ -1,0 +1,180 @@
+"""Command-line interfaces for the CWL runners.
+
+* ``repro-cwltool [--parallel] [--outdir DIR] document.cwl [job.yml] [--input value ...]``
+  mirrors ``cwltool``'s basic invocation.
+* ``repro-toil-cwl-runner [--batchSystem single_machine|slurm] [--jobStore DIR] document.cwl [job.yml] ...``
+  mirrors ``toil-cwl-runner``.
+
+Both print the CWL output object as JSON on stdout (the behaviour scripts and
+tests rely on) and return a non-zero exit code on failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.cwl.loader import load_document
+from repro.cwl.runners.reference import ReferenceRunner
+from repro.cwl.runners.toil.batch import SingleMachineBatchSystem, SlurmBatchSystem
+from repro.cwl.runners.toil.runner import ToilStyleRunner
+from repro.cwl.runtime import RuntimeContext
+from repro.utils.yamlio import dump_json, load_yaml_file
+
+
+def parse_job_order(job_file: Optional[str], overrides: Sequence[str]) -> Dict[str, Any]:
+    """Combine a YAML job file with ``--key value`` / ``--key=value`` overrides."""
+    job_order: Dict[str, Any] = {}
+    if job_file:
+        loaded = load_yaml_file(job_file)
+        if loaded is not None:
+            if not isinstance(loaded, dict):
+                raise ValueError(f"job order file {job_file} must contain a mapping")
+            job_order.update(loaded)
+    job_order.update(parse_cli_inputs(overrides))
+    return job_order
+
+
+def parse_cli_inputs(tokens: Sequence[str]) -> Dict[str, Any]:
+    """Parse trailing ``--name value`` or ``--name=value`` input overrides."""
+    overrides: Dict[str, Any] = {}
+    i = 0
+    tokens = list(tokens)
+    while i < len(tokens):
+        token = tokens[i]
+        if not token.startswith("--"):
+            raise ValueError(f"unexpected input argument {token!r} (expected --name value)")
+        name = token[2:]
+        if "=" in name:
+            name, raw = name.split("=", 1)
+            i += 1
+        else:
+            if i + 1 >= len(tokens):
+                raw = "true"  # bare flag
+                i += 1
+            else:
+                raw = tokens[i + 1]
+                i += 2
+        overrides[name] = _coerce_scalar(raw)
+    return overrides
+
+
+def _coerce_scalar(raw: str) -> Any:
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    return raw
+
+
+def _split_known_args(argv: Sequence[str]) -> Tuple[List[str], List[str]]:
+    """Split argv into (known option/positional tokens, trailing input overrides).
+
+    Everything after the first positional CWL document and optional job file
+    that starts with ``--`` is treated as an input override.
+    """
+    known: List[str] = []
+    overrides: List[str] = []
+    positionals = 0
+    i = 0
+    argv = list(argv)
+    option_with_value = {"--outdir", "--max-workers", "--jobStore", "--batchSystem", "--nodes",
+                         "--cores-per-node"}
+    while i < len(argv):
+        token = argv[i]
+        if token.startswith("--") and positionals >= 1:
+            overrides.extend(argv[i:])
+            break
+        known.append(token)
+        if token in option_with_value and i + 1 < len(argv):
+            known.append(argv[i + 1])
+            i += 2
+            continue
+        if not token.startswith("-"):
+            positionals += 1
+        i += 1
+    return known, overrides
+
+
+def cwltool_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-cwltool``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    known, overrides = _split_known_args(argv)
+
+    parser = argparse.ArgumentParser(prog="repro-cwltool",
+                                     description="cwltool-like CWL runner (repro reimplementation)")
+    parser.add_argument("document", help="CWL document (CommandLineTool or Workflow)")
+    parser.add_argument("job_order", nargs="?", help="YAML/JSON job order file")
+    parser.add_argument("--parallel", action="store_true", help="run independent jobs concurrently")
+    parser.add_argument("--outdir", default=None, help="directory for final outputs")
+    parser.add_argument("--max-workers", type=int, default=8)
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(known)
+
+    try:
+        process = load_document(args.document)
+        job_order = parse_job_order(args.job_order, overrides)
+        runtime_context = RuntimeContext(outdir=args.outdir, basedir=args.outdir)
+        runner = ReferenceRunner(runtime_context=runtime_context, parallel=args.parallel,
+                                 max_workers=args.max_workers)
+        result = runner.run(process, job_order)
+    except Exception as exc:  # CLI boundary: report and return failure
+        print(f"repro-cwltool: error: {exc}", file=sys.stderr)
+        return 1
+    print(dump_json(result.outputs))
+    if not args.quiet:
+        print(f"Final process status is {result.status}", file=sys.stderr)
+    return 0
+
+
+def toil_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-toil-cwl-runner``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    known, overrides = _split_known_args(argv)
+
+    parser = argparse.ArgumentParser(prog="repro-toil-cwl-runner",
+                                     description="Toil-like CWL runner (repro reimplementation)")
+    parser.add_argument("document", help="CWL document (CommandLineTool or Workflow)")
+    parser.add_argument("job_order", nargs="?", help="YAML/JSON job order file")
+    parser.add_argument("--batchSystem", default="single_machine",
+                        choices=("single_machine", "slurm"))
+    parser.add_argument("--jobStore", default=None, help="job store directory")
+    parser.add_argument("--outdir", default=None)
+    parser.add_argument("--max-workers", type=int, default=8)
+    parser.add_argument("--nodes", type=int, default=3, help="simulated cluster size for slurm")
+    parser.add_argument("--cores-per-node", type=int, default=48)
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(known)
+
+    try:
+        process = load_document(args.document)
+        job_order = parse_job_order(args.job_order, overrides)
+        runtime_context = RuntimeContext(outdir=args.outdir, basedir=args.outdir)
+        if args.batchSystem == "slurm":
+            from repro.cluster.nodes import NodeInventory
+            from repro.cluster.scheduler import SimulatedSlurmCluster
+
+            cluster = SimulatedSlurmCluster(
+                NodeInventory.homogeneous(args.nodes, cores=args.cores_per_node))
+            batch = SlurmBatchSystem(cluster=cluster)
+        else:
+            batch = SingleMachineBatchSystem(max_cores=args.max_workers)
+        runner = ToilStyleRunner(job_store_dir=args.jobStore, batch_system=batch,
+                                 runtime_context=runtime_context, max_workers=args.max_workers)
+        result = runner.run(process, job_order)
+        runner.close()
+    except Exception as exc:
+        print(f"repro-toil-cwl-runner: error: {exc}", file=sys.stderr)
+        return 1
+    print(dump_json(result.outputs))
+    if not args.quiet:
+        print(f"Final process status is {result.status}", file=sys.stderr)
+    return 0

@@ -1,0 +1,59 @@
+"""Exception types for the CWL implementation."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class CWLError(Exception):
+    """Base class for all CWL errors."""
+
+
+class ValidationException(CWLError):
+    """A document is structurally invalid.
+
+    Collects one or more individual problems so that a validator run can report
+    everything wrong with a document at once (matching cwltool's behaviour of
+    listing all validation messages).
+    """
+
+    def __init__(self, message: str, issues: Optional[List[str]] = None) -> None:
+        self.issues = issues or [message]
+        super().__init__(message if not issues else message + "\n  - " + "\n  - ".join(issues))
+
+
+class UnsupportedRequirement(CWLError):
+    """A document uses a CWL feature outside the supported subset."""
+
+
+class ExpressionError(CWLError):
+    """An embedded expression failed to parse or evaluate."""
+
+
+class JavaScriptError(ExpressionError):
+    """The mini-JavaScript engine rejected or failed to run an expression."""
+
+
+class WorkflowException(CWLError):
+    """Runtime failure while executing a tool or workflow."""
+
+
+class JobFailure(WorkflowException):
+    """A command-line job exited with a non-zero (non-permitted) code."""
+
+    def __init__(self, tool_id: str, exit_code: int, command: Optional[str] = None) -> None:
+        self.tool_id = tool_id
+        self.exit_code = exit_code
+        self.command = command
+        message = f"tool {tool_id!r} failed with exit code {exit_code}"
+        if command:
+            message += f" (command: {command})"
+        super().__init__(message)
+
+
+class OutputCollectionError(WorkflowException):
+    """Declared outputs could not be collected after a job ran."""
+
+
+class InputValidationError(WorkflowException):
+    """A job order does not satisfy the tool's input schema (or a ``validate:`` rule)."""

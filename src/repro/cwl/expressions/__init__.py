@@ -1,0 +1,30 @@
+"""CWL expression support.
+
+CWL documents embed two kinds of dynamic content:
+
+* **parameter references** — ``$(inputs.name)``, ``$(runtime.outdir)``,
+  ``$(self.basename)`` — simple attribute/index paths into the evaluation
+  context, and
+* **expressions** — arbitrary JavaScript, either inline ``$( ... )`` expressions
+  or ``${ ... }`` function bodies, enabled by ``InlineJavascriptRequirement``.
+
+Because no JavaScript runtime is available offline, :mod:`repro.cwl.expressions.jsengine`
+implements a small ECMAScript-expression interpreter in pure Python covering the
+subset CWL documents actually use.  :class:`~repro.cwl.expressions.evaluator.ExpressionEvaluator`
+ties it together: it finds references/expressions in strings, evaluates them
+against the CWL context (``inputs``, ``self``, ``runtime``) and performs string
+interpolation, mirroring the behaviour of cwltool's expression handling.
+"""
+
+from repro.cwl.expressions.evaluator import ExpressionEvaluator, needs_expression_evaluation
+from repro.cwl.expressions.paramrefs import (
+    find_expressions,
+    resolve_parameter_reference,
+)
+
+__all__ = [
+    "ExpressionEvaluator",
+    "find_expressions",
+    "needs_expression_evaluation",
+    "resolve_parameter_reference",
+]

@@ -1,0 +1,143 @@
+"""The expression evaluator used by command-line building and output collection.
+
+``ExpressionEvaluator.evaluate`` takes a string that may contain parameter
+references and/or JavaScript expressions, together with the CWL evaluation
+context (``inputs``, ``self``, ``runtime``), and returns the evaluated value:
+
+* when the whole string is exactly one expression, the expression's native
+  value is returned (so ``$(inputs.size)`` stays an int),
+* otherwise each embedded expression is evaluated and string-interpolated.
+
+The evaluator can be configured to build a fresh JavaScript engine per
+evaluation (``cache_engine=False`` — the behaviour of cwltool, which launches a
+node.js process per evaluation batch) or to re-use a single engine
+(``cache_engine=True``).  The expression benchmark (Fig. 2) exercises exactly
+this difference.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.cwl.errors import ExpressionError
+from repro.cwl.expressions.jsengine.interpreter import JSEngine
+from repro.cwl.expressions.paramrefs import (
+    FoundExpression,
+    find_expressions,
+    is_simple_parameter_reference,
+    resolve_parameter_reference,
+)
+
+
+def needs_expression_evaluation(value: Any) -> bool:
+    """Whether ``value`` is a string containing at least one expression."""
+    if not isinstance(value, str):
+        return False
+    return bool(find_expressions(value))
+
+
+def _stringify(value: Any) -> str:
+    """Interpolate an evaluated value back into a string, CWL-style."""
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (dict, list)):
+        return json.dumps(value)
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+class ExpressionEvaluator:
+    """Evaluate CWL parameter references and JavaScript expressions."""
+
+    def __init__(
+        self,
+        expression_lib: Optional[Sequence[str]] = None,
+        js_enabled: bool = True,
+        cache_engine: bool = False,
+    ) -> None:
+        self.expression_lib = list(expression_lib or [])
+        self.js_enabled = js_enabled
+        self.cache_engine = cache_engine
+        self._cached_engine: Optional[JSEngine] = None
+        self._cached_context_id: Optional[int] = None
+        #: Number of JavaScript engine constructions (exposed for the benchmarks).
+        self.engine_builds = 0
+
+    # ------------------------------------------------------------------ public
+
+    def evaluate(self, value: Any, context: Dict[str, Any]) -> Any:
+        """Evaluate ``value`` against ``context``.
+
+        Non-string values are returned unchanged; strings are scanned for
+        expressions.  ``context`` should provide ``inputs`` and usually
+        ``runtime`` and ``self``.
+        """
+        if not isinstance(value, str):
+            return value
+        expressions = find_expressions(value)
+        if not expressions:
+            return value.replace("\\$", "$")
+
+        # Whole-string single expression: preserve the native value type.
+        only = expressions[0]
+        if len(expressions) == 1 and only.start == 0 and only.end == len(value.strip()) \
+                and value.strip() == value:
+            return self._evaluate_one(only, context)
+
+        # Otherwise: string interpolation.
+        pieces: List[str] = []
+        cursor = 0
+        for expression in expressions:
+            pieces.append(value[cursor:expression.start].replace("\\$", "$"))
+            pieces.append(_stringify(self._evaluate_one(expression, context)))
+            cursor = expression.end
+        pieces.append(value[cursor:].replace("\\$", "$"))
+        return "".join(pieces)
+
+    def evaluate_structure(self, value: Any, context: Dict[str, Any]) -> Any:
+        """Recursively evaluate expressions inside lists and dictionaries."""
+        if isinstance(value, str):
+            return self.evaluate(value, context)
+        if isinstance(value, list):
+            return [self.evaluate_structure(item, context) for item in value]
+        if isinstance(value, dict):
+            return {key: self.evaluate_structure(item, context) for key, item in value.items()}
+        return value
+
+    # ----------------------------------------------------------------- helpers
+
+    def _evaluate_one(self, expression: FoundExpression, context: Dict[str, Any]) -> Any:
+        if expression.kind == "paren":
+            if is_simple_parameter_reference(expression.body):
+                return resolve_parameter_reference(expression.body, context)
+            if not self.js_enabled:
+                raise ExpressionError(
+                    f"expression $({expression.body}) requires InlineJavascriptRequirement, "
+                    "which this document does not declare"
+                )
+            return self._engine_for(context).evaluate(expression.body)
+        # ${ ... } — a JavaScript function body.
+        if not self.js_enabled:
+            raise ExpressionError(
+                "${...} expressions require InlineJavascriptRequirement, "
+                "which this document does not declare"
+            )
+        return self._engine_for(context).run_function_body(expression.body)
+
+    def _engine_for(self, context: Dict[str, Any]) -> JSEngine:
+        if self.cache_engine:
+            # Re-use the engine when the context object is literally the same dict;
+            # rebuild when the caller switched to a different context.
+            if self._cached_engine is None or self._cached_context_id != id(context):
+                self._cached_engine = self._build_engine(context)
+                self._cached_context_id = id(context)
+            return self._cached_engine
+        return self._build_engine(context)
+
+    def _build_engine(self, context: Dict[str, Any]) -> JSEngine:
+        self.engine_builds += 1
+        return JSEngine(context=context, expression_lib=self.expression_lib)

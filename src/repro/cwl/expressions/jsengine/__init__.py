@@ -1,0 +1,5 @@
+"""A pure-Python interpreter for the JavaScript subset used by CWL expressions."""
+
+from repro.cwl.expressions.jsengine.interpreter import JSEngine, evaluate_expression
+
+__all__ = ["JSEngine", "evaluate_expression"]

@@ -1,0 +1,623 @@
+"""Tree-walking interpreter for the mini-JavaScript engine.
+
+Values map onto Python values: JS strings/numbers/booleans become ``str`` /
+``int`` / ``float`` / ``bool``; ``null`` and ``undefined`` both become ``None``;
+arrays become ``list``; objects become ``dict``.  A small standard library is
+provided (``Math``, ``JSON``, ``parseInt``, string and array methods) covering
+what CWL expressions typically use.
+
+The engine is intentionally *not* cached or optimised per evaluation when used
+by the cwltool-like reference runner: the cost of re-parsing the expression
+library for every evaluation is exactly the per-expression overhead the paper's
+Figure 2 attributes to JavaScript expression handling in existing runners.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.cwl.errors import JavaScriptError
+from repro.cwl.expressions.jsengine import ast_nodes as ast
+from repro.cwl.expressions.jsengine.parser import parse_expression, parse_program
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class JSThrownError(JavaScriptError):
+    """A ``throw`` statement executed inside evaluated JavaScript."""
+
+
+class Environment:
+    """A lexical scope chain."""
+
+    def __init__(self, parent: Optional["Environment"] = None,
+                 variables: Optional[Dict[str, Any]] = None) -> None:
+        self.parent = parent
+        self.variables: Dict[str, Any] = dict(variables or {})
+
+    def lookup(self, name: str) -> Any:
+        env: Optional[Environment] = self
+        while env is not None:
+            if name in env.variables:
+                return env.variables[name]
+            env = env.parent
+        raise JavaScriptError(f"reference to undefined variable {name!r}")
+
+    def has(self, name: str) -> bool:
+        env: Optional[Environment] = self
+        while env is not None:
+            if name in env.variables:
+                return True
+            env = env.parent
+        return False
+
+    def declare(self, name: str, value: Any) -> None:
+        self.variables[name] = value
+
+    def assign(self, name: str, value: Any) -> None:
+        env: Optional[Environment] = self
+        while env is not None:
+            if name in env.variables:
+                env.variables[name] = value
+                return
+            env = env.parent
+        # Implicit global declaration (sloppy-mode JS).
+        self.variables[name] = value
+
+
+class JSFunction:
+    """A user-defined function closing over its defining environment."""
+
+    def __init__(self, node: ast.FunctionExpression, closure: Environment,
+                 engine: "JSEngine") -> None:
+        self.node = node
+        self.closure = closure
+        self.engine = engine
+
+    def __call__(self, *args: Any) -> Any:
+        local = Environment(parent=self.closure)
+        for index, param in enumerate(self.node.params):
+            local.declare(param, args[index] if index < len(args) else None)
+        local.declare("arguments", list(args))
+        if self.node.expression_body is not None:
+            return self.engine.evaluate_node(self.node.expression_body, local)
+        try:
+            self.engine.execute_block(self.node.body, local)
+        except _ReturnSignal as signal:
+            return signal.value
+        return None
+
+
+def _js_truthy(value: Any) -> bool:
+    if value is None:
+        return False
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0 and not (isinstance(value, float) and math.isnan(value))
+    if isinstance(value, str):
+        return len(value) > 0
+    return True
+
+
+def _js_typeof(value: Any) -> str:
+    if value is None:
+        return "undefined"
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, (int, float)):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if callable(value):
+        return "function"
+    return "object"
+
+
+def _to_number(value: Any) -> float:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    if value is None:
+        return 0.0
+    if isinstance(value, str):
+        try:
+            return float(value.strip() or 0)
+        except ValueError:
+            return float("nan")
+    return float("nan")
+
+
+def _js_string(value: Any) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    if isinstance(value, (dict, list)):
+        return json.dumps(value)
+    return str(value)
+
+
+def _maybe_int(value: float) -> Any:
+    """Collapse floats with no fractional part back to int (JS has one number type)."""
+    if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
+        return int(value)
+    return value
+
+
+class JSEngine:
+    """Evaluate expressions and statement bodies against a global context."""
+
+    def __init__(self, context: Optional[Dict[str, Any]] = None,
+                 expression_lib: Optional[Sequence[str]] = None) -> None:
+        self.globals = Environment(variables=self._standard_library())
+        for name, value in (context or {}).items():
+            self.globals.declare(name, value)
+        # The expressionLib entries run once, populating the global scope with
+        # the helper functions they define.
+        for source in expression_lib or []:
+            self.run_statements(source, self.globals)
+
+    # -------------------------------------------------------------- public API
+
+    def evaluate(self, source: str) -> Any:
+        """Evaluate a single expression and return its value."""
+        node = parse_expression(source)
+        return self.evaluate_node(node, self.globals)
+
+    def run_function_body(self, source: str) -> Any:
+        """Run a ``${ ... }`` body: statements with an expected ``return``."""
+        program = parse_program(source)
+        local = Environment(parent=self.globals)
+        try:
+            self.execute_block(list(program.body), local)
+        except _ReturnSignal as signal:
+            return signal.value
+        return None
+
+    def run_statements(self, source: str, env: Optional[Environment] = None) -> None:
+        program = parse_program(source)
+        self.execute_block(list(program.body), env or self.globals)
+
+    # --------------------------------------------------------------- execution
+
+    def execute_block(self, statements: List[ast.Node], env: Environment) -> None:
+        for statement in statements:
+            self.execute_statement(statement, env)
+
+    def execute_statement(self, node: ast.Node, env: Environment) -> None:
+        if isinstance(node, ast.ExpressionStatement):
+            self.evaluate_node(node.expression, env)
+        elif isinstance(node, ast.VariableDeclaration):
+            for name, init in node.declarations:
+                value = self.evaluate_node(init, env) if init is not None else None
+                env.declare(name, value)
+        elif isinstance(node, ast.ReturnStatement):
+            value = self.evaluate_node(node.argument, env) if node.argument is not None else None
+            raise _ReturnSignal(value)
+        elif isinstance(node, ast.IfStatement):
+            if _js_truthy(self.evaluate_node(node.test, env)):
+                self.execute_block(node.consequent, Environment(parent=env))
+            elif node.alternate is not None:
+                self.execute_block(node.alternate, Environment(parent=env))
+        elif isinstance(node, ast.ForStatement):
+            loop_env = Environment(parent=env)
+            if node.init is not None:
+                self.execute_statement(node.init, loop_env)
+            iterations = 0
+            while node.test is None or _js_truthy(self.evaluate_node(node.test, loop_env)):
+                try:
+                    self.execute_block(node.body, Environment(parent=loop_env))
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    pass
+                if node.update is not None:
+                    self.evaluate_node(node.update, loop_env)
+                iterations += 1
+                if iterations > 1_000_000:
+                    raise JavaScriptError("for-loop exceeded 1,000,000 iterations")
+        elif isinstance(node, ast.ForOfStatement):
+            iterable = self.evaluate_node(node.iterable, env)
+            if isinstance(iterable, dict):
+                values = list(iterable.values()) if node.of else list(iterable.keys())
+            elif isinstance(iterable, str):
+                values = list(iterable) if node.of else [str(i) for i in range(len(iterable))]
+            elif isinstance(iterable, list):
+                values = list(iterable) if node.of else [str(i) for i in range(len(iterable))]
+            else:
+                raise JavaScriptError(f"value of type {type(iterable).__name__} is not iterable")
+            for value in values:
+                loop_env = Environment(parent=env)
+                loop_env.declare(node.variable, value)
+                try:
+                    self.execute_block(node.body, loop_env)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    continue
+        elif isinstance(node, ast.WhileStatement):
+            iterations = 0
+            while _js_truthy(self.evaluate_node(node.test, env)):
+                try:
+                    self.execute_block(node.body, Environment(parent=env))
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    pass
+                iterations += 1
+                if iterations > 1_000_000:
+                    raise JavaScriptError("while-loop exceeded 1,000,000 iterations")
+        elif isinstance(node, ast.ThrowStatement):
+            value = self.evaluate_node(node.argument, env)
+            raise JSThrownError(_js_string(value))
+        elif isinstance(node, ast.BreakStatement):
+            raise _BreakSignal()
+        elif isinstance(node, ast.ContinueStatement):
+            raise _ContinueSignal()
+        elif isinstance(node, ast.Program):
+            self.execute_block(list(node.body), Environment(parent=env))
+        else:
+            # Bare expressions used in statement position.
+            self.evaluate_node(node, env)
+
+    # -------------------------------------------------------------- evaluation
+
+    def evaluate_node(self, node: ast.Node, env: Environment) -> Any:
+        if isinstance(node, ast.Literal):
+            return node.value
+        if isinstance(node, ast.Identifier):
+            return env.lookup(node.name)
+        if isinstance(node, ast.ArrayLiteral):
+            return [self.evaluate_node(el, env) for el in node.elements]
+        if isinstance(node, ast.ObjectLiteral):
+            return {key: self.evaluate_node(value, env) for key, value in node.entries}
+        if isinstance(node, ast.UnaryOp):
+            return self._unary(node, env)
+        if isinstance(node, ast.BinaryOp):
+            return self._binary(node, env)
+        if isinstance(node, ast.Conditional):
+            if _js_truthy(self.evaluate_node(node.test, env)):
+                return self.evaluate_node(node.consequent, env)
+            return self.evaluate_node(node.alternate, env)
+        if isinstance(node, ast.Member):
+            return self._member(self.evaluate_node(node.obj, env), node.prop)
+        if isinstance(node, ast.Index):
+            return self._index(self.evaluate_node(node.obj, env),
+                               self.evaluate_node(node.index, env))
+        if isinstance(node, ast.Call):
+            return self._call(node, env)
+        if isinstance(node, ast.FunctionExpression):
+            return JSFunction(node, env, self)
+        if isinstance(node, ast.Assignment):
+            return self._assignment(node, env)
+        if isinstance(node, ast.UpdateExpression):
+            return self._update(node, env)
+        raise JavaScriptError(f"cannot evaluate AST node {type(node).__name__}")
+
+    # ------------------------------------------------------------- operations
+
+    def _unary(self, node: ast.UnaryOp, env: Environment) -> Any:
+        if node.operator == "typeof":
+            try:
+                value = self.evaluate_node(node.operand, env)
+            except JavaScriptError:
+                return "undefined"
+            return _js_typeof(value)
+        value = self.evaluate_node(node.operand, env)
+        if node.operator == "!":
+            return not _js_truthy(value)
+        if node.operator == "-":
+            return _maybe_int(-_to_number(value))
+        if node.operator == "+":
+            return _maybe_int(_to_number(value))
+        raise JavaScriptError(f"unsupported unary operator {node.operator!r}")
+
+    def _binary(self, node: ast.BinaryOp, env: Environment) -> Any:
+        operator = node.operator
+        if operator == "&&":
+            left = self.evaluate_node(node.left, env)
+            return self.evaluate_node(node.right, env) if _js_truthy(left) else left
+        if operator == "||":
+            left = self.evaluate_node(node.left, env)
+            return left if _js_truthy(left) else self.evaluate_node(node.right, env)
+
+        left = self.evaluate_node(node.left, env)
+        right = self.evaluate_node(node.right, env)
+
+        if operator == "+":
+            if isinstance(left, str) or isinstance(right, str):
+                return _js_string(left) + _js_string(right)
+            if isinstance(left, list) and isinstance(right, list):
+                return left + right
+            return _maybe_int(_to_number(left) + _to_number(right))
+        if operator == "-":
+            return _maybe_int(_to_number(left) - _to_number(right))
+        if operator == "*":
+            return _maybe_int(_to_number(left) * _to_number(right))
+        if operator == "/":
+            denominator = _to_number(right)
+            if denominator == 0:
+                return float("inf") if _to_number(left) > 0 else float("-inf") if _to_number(left) < 0 else float("nan")
+            return _maybe_int(_to_number(left) / denominator)
+        if operator == "%":
+            denominator = _to_number(right)
+            if denominator == 0:
+                return float("nan")
+            return _maybe_int(math.fmod(_to_number(left), denominator))
+        if operator in ("==", "==="):
+            return self._equals(left, right, strict=(operator == "==="))
+        if operator in ("!=", "!=="):
+            return not self._equals(left, right, strict=(operator == "!=="))
+        if operator in ("<", ">", "<=", ">="):
+            if isinstance(left, str) and isinstance(right, str):
+                a, b = left, right
+            else:
+                a, b = _to_number(left), _to_number(right)
+            return {"<": a < b, ">": a > b, "<=": a <= b, ">=": a >= b}[operator]
+        if operator == "in":
+            if isinstance(right, dict):
+                return left in right
+            if isinstance(right, list):
+                return isinstance(left, int) and 0 <= left < len(right)
+            raise JavaScriptError("'in' requires an object or array on the right")
+        raise JavaScriptError(f"unsupported binary operator {operator!r}")
+
+    @staticmethod
+    def _equals(left: Any, right: Any, strict: bool) -> bool:
+        if strict:
+            if type(left) is bool or type(right) is bool:
+                return left is right if isinstance(left, bool) and isinstance(right, bool) else False
+            if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+                return float(left) == float(right)
+            return type(left) is type(right) and left == right
+        # Loose equality: numeric coercion for mixed number/string, null == undefined.
+        if left is None and right is None:
+            return True
+        if isinstance(left, (int, float)) and isinstance(right, str):
+            return float(left) == _to_number(right)
+        if isinstance(left, str) and isinstance(right, (int, float)):
+            return _to_number(left) == float(right)
+        return left == right
+
+    def _member(self, obj: Any, prop: str) -> Any:
+        # length works on strings, arrays and objects.
+        if prop == "length":
+            if isinstance(obj, (str, list)):
+                return len(obj)
+            if isinstance(obj, dict):
+                return len(obj)
+        if isinstance(obj, dict):
+            if prop in obj:
+                return obj[prop]
+            method = self._object_method(obj, prop)
+            if method is not None:
+                return method
+            return None
+        if isinstance(obj, str):
+            method = self._string_method(obj, prop)
+            if method is not None:
+                return method
+            return None
+        if isinstance(obj, list):
+            method = self._array_method(obj, prop)
+            if method is not None:
+                return method
+            return None
+        if isinstance(obj, (int, float)):
+            if prop == "toFixed":
+                return lambda digits=0: f"{float(obj):.{int(digits)}f}"
+            if prop == "toString":
+                return lambda: _js_string(obj)
+            return None
+        if obj is None:
+            raise JavaScriptError(f"cannot read property {prop!r} of null/undefined")
+        # Fall back to Python attribute access for host objects.
+        if hasattr(obj, prop):
+            return getattr(obj, prop)
+        return None
+
+    def _index(self, obj: Any, index: Any) -> Any:
+        if isinstance(obj, dict):
+            return obj.get(index)
+        if isinstance(obj, (list, str)):
+            if not isinstance(index, (int, float)):
+                raise JavaScriptError(f"array index must be a number, got {index!r}")
+            i = int(index)
+            if 0 <= i < len(obj):
+                return obj[i]
+            return None
+        if obj is None:
+            raise JavaScriptError("cannot index null/undefined")
+        raise JavaScriptError(f"cannot index value of type {type(obj).__name__}")
+
+    def _call(self, node: ast.Call, env: Environment) -> Any:
+        args = [self.evaluate_node(arg, env) for arg in node.args]
+        callee = self.evaluate_node(node.callee, env)
+        if callee is None:
+            raise JavaScriptError("attempted to call null/undefined")
+        if not callable(callee):
+            raise JavaScriptError(f"value of type {type(callee).__name__} is not callable")
+        return callee(*args)
+
+    def _assignment(self, node: ast.Assignment, env: Environment) -> Any:
+        value = self.evaluate_node(node.value, env)
+        if node.operator != "=":
+            current = self.evaluate_node(node.target, env)
+            operator = node.operator[0]
+            value = self._binary(ast.BinaryOp(operator, ast.Literal(current), ast.Literal(value)), env)
+        if isinstance(node.target, ast.Identifier):
+            env.assign(node.target.name, value)
+        elif isinstance(node.target, ast.Member):
+            container = self.evaluate_node(node.target.obj, env)
+            if not isinstance(container, dict):
+                raise JavaScriptError("can only assign properties on objects")
+            container[node.target.prop] = value
+        elif isinstance(node.target, ast.Index):
+            container = self.evaluate_node(node.target.obj, env)
+            key = self.evaluate_node(node.target.index, env)
+            if isinstance(container, list):
+                index = int(key)
+                while len(container) <= index:
+                    container.append(None)
+                container[index] = value
+            elif isinstance(container, dict):
+                container[key] = value
+            else:
+                raise JavaScriptError("invalid assignment target")
+        return value
+
+    def _update(self, node: ast.UpdateExpression, env: Environment) -> Any:
+        current = _to_number(env.lookup(node.target.name))
+        updated = current + 1 if node.operator == "++" else current - 1
+        env.assign(node.target.name, _maybe_int(updated))
+        return _maybe_int(updated if node.prefix else current)
+
+    # ---------------------------------------------------------- standard library
+
+    @staticmethod
+    def _string_method(value: str, prop: str) -> Optional[Callable]:
+        methods: Dict[str, Callable] = {
+            "toUpperCase": lambda: value.upper(),
+            "toLowerCase": lambda: value.lower(),
+            "trim": lambda: value.strip(),
+            "split": lambda sep=None, limit=None: (
+                list(value) if sep == "" else (value.split() if sep is None else value.split(sep))
+            )[: int(limit) if limit is not None else None],
+            "replace": lambda old, new: value.replace(old, new, 1),
+            "replaceAll": lambda old, new: value.replace(old, new),
+            "substring": lambda start, end=None: value[int(max(0, start)): int(end) if end is not None else None],
+            "slice": lambda start=0, end=None: value[int(start): int(end) if end is not None else None],
+            "charAt": lambda index=0: value[int(index)] if 0 <= int(index) < len(value) else "",
+            "charCodeAt": lambda index=0: ord(value[int(index)]) if 0 <= int(index) < len(value) else float("nan"),
+            "indexOf": lambda needle, start=0: value.find(needle, int(start)),
+            "lastIndexOf": lambda needle: value.rfind(needle),
+            "includes": lambda needle: needle in value,
+            "startsWith": lambda needle: value.startswith(needle),
+            "endsWith": lambda needle: value.endswith(needle),
+            "concat": lambda *others: value + "".join(_js_string(o) for o in others),
+            "repeat": lambda count: value * int(count),
+            "padStart": lambda width, fill=" ": value.rjust(int(width), str(fill)[:1] or " "),
+            "padEnd": lambda width, fill=" ": value.ljust(int(width), str(fill)[:1] or " "),
+            "toString": lambda: value,
+        }
+        return methods.get(prop)
+
+    def _array_method(self, value: list, prop: str) -> Optional[Callable]:
+        methods: Dict[str, Callable] = {
+            "join": lambda sep=",": sep.join(_js_string(v) for v in value),
+            "indexOf": lambda needle: value.index(needle) if needle in value else -1,
+            "includes": lambda needle: needle in value,
+            "slice": lambda start=0, end=None: value[int(start): int(end) if end is not None else None],
+            "concat": lambda *others: value + [item for other in others
+                                               for item in (other if isinstance(other, list) else [other])],
+            "push": lambda *items: (value.extend(items), len(value))[1],
+            "pop": lambda: value.pop() if value else None,
+            "reverse": lambda: (value.reverse(), value)[1],
+            "sort": lambda: (value.sort(key=_js_string), value)[1],
+            "map": lambda fn: [fn(item) for item in value],
+            "filter": lambda fn: [item for item in value if _js_truthy(fn(item))],
+            "forEach": lambda fn: [fn(item) for item in value] and None,
+            "reduce": lambda fn, initial=None: self._reduce(value, fn, initial),
+            "some": lambda fn: any(_js_truthy(fn(item)) for item in value),
+            "every": lambda fn: all(_js_truthy(fn(item)) for item in value),
+            "flat": lambda: [item for sub in value
+                             for item in (sub if isinstance(sub, list) else [sub])],
+            "toString": lambda: ",".join(_js_string(v) for v in value),
+        }
+        return methods.get(prop)
+
+    @staticmethod
+    def _object_method(value: dict, prop: str) -> Optional[Callable]:
+        methods: Dict[str, Callable] = {
+            "hasOwnProperty": lambda key: key in value,
+            "toString": lambda: json.dumps(value),
+        }
+        return methods.get(prop)
+
+    @staticmethod
+    def _reduce(items: list, fn: Callable, initial: Any = None) -> Any:
+        iterator = iter(items)
+        accumulator = initial
+        if accumulator is None:
+            try:
+                accumulator = next(iterator)
+            except StopIteration:
+                raise JavaScriptError("reduce of empty array with no initial value") from None
+        for item in iterator:
+            accumulator = fn(accumulator, item)
+        return accumulator
+
+    @staticmethod
+    def _standard_library() -> Dict[str, Any]:
+        def _parse_int(text: Any, base: Any = 10) -> Any:
+            try:
+                return int(str(text).strip(), int(base))
+            except ValueError:
+                return float("nan")
+
+        def _parse_float(text: Any) -> Any:
+            try:
+                return float(str(text).strip())
+            except ValueError:
+                return float("nan")
+
+        return {
+            "Math": {
+                "floor": lambda x: int(math.floor(_to_number(x))),
+                "ceil": lambda x: int(math.ceil(_to_number(x))),
+                "round": lambda x: int(math.floor(_to_number(x) + 0.5)),
+                "abs": lambda x: _maybe_int(abs(_to_number(x))),
+                "min": lambda *xs: _maybe_int(min(_to_number(x) for x in xs)),
+                "max": lambda *xs: _maybe_int(max(_to_number(x) for x in xs)),
+                "pow": lambda a, b: _maybe_int(_to_number(a) ** _to_number(b)),
+                "sqrt": lambda x: _maybe_int(math.sqrt(_to_number(x))),
+                "log": lambda x: math.log(_to_number(x)),
+                "PI": math.pi,
+                "E": math.e,
+            },
+            "JSON": {
+                "stringify": lambda value, *_: json.dumps(value),
+                "parse": lambda text: json.loads(text),
+            },
+            "Object": {
+                "keys": lambda obj: list(obj.keys()) if isinstance(obj, dict) else [],
+                "values": lambda obj: list(obj.values()) if isinstance(obj, dict) else [],
+                "entries": lambda obj: [[k, v] for k, v in obj.items()] if isinstance(obj, dict) else [],
+                "assign": lambda target, *sources: (
+                    [target.update(s) for s in sources if isinstance(s, dict)], target)[1],
+            },
+            "Array": {"isArray": lambda value: isinstance(value, list)},
+            "String": lambda value=None: _js_string(value) if value is not None else "",
+            "Number": lambda value=None: _maybe_int(_to_number(value)) if value is not None else 0,
+            "Boolean": lambda value=None: _js_truthy(value),
+            "parseInt": _parse_int,
+            "parseFloat": _parse_float,
+            "isNaN": lambda value: isinstance(_to_number(value), float) and math.isnan(_to_number(value)),
+            "Error": lambda message="": {"name": "Error", "message": _js_string(message)},
+            "NaN": float("nan"),
+            "Infinity": float("inf"),
+            "console": {"log": lambda *args: None},
+        }
+
+
+def evaluate_expression(source: str, context: Optional[Dict[str, Any]] = None,
+                        expression_lib: Optional[Sequence[str]] = None) -> Any:
+    """One-shot convenience wrapper: build an engine, evaluate, return the value."""
+    return JSEngine(context=context, expression_lib=expression_lib).evaluate(source)

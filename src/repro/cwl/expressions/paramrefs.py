@@ -1,0 +1,154 @@
+"""Scanning and resolution of CWL parameter references.
+
+Two syntaxes must be located inside strings:
+
+* ``$( ... )`` — a parameter reference or JavaScript expression,
+* ``${ ... }`` — a JavaScript function body.
+
+Scanning must respect nested parentheses/braces and quoted strings, because
+expressions like ``$(inputs.file.basename.split('.')[0])`` contain both.  A
+*simple* parameter reference (a dotted/indexed path rooted at ``inputs``,
+``self`` or ``runtime``) can be resolved without the JavaScript engine — the
+CWL specification deliberately allows these even when
+``InlineJavascriptRequirement`` is absent.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.cwl.errors import ExpressionError
+
+#: A simple parameter reference path: identifiers joined with '.', "[n]" or "['key']".
+_SIMPLE_SEGMENT = r"[a-zA-Z_][a-zA-Z0-9_]*"
+_SIMPLE_PATH_RE = re.compile(
+    rf"^\s*{_SIMPLE_SEGMENT}(\s*(\.{_SIMPLE_SEGMENT}|\[\d+\]|\[\'[^\']*\'\]|\[\"[^\"]*\"\]))*\s*$"
+)
+
+
+@dataclass(frozen=True)
+class FoundExpression:
+    """One expression located inside a string."""
+
+    start: int        # index of the '$'
+    end: int          # index one past the closing ')' or '}'
+    kind: str         # "paren" for $(...), "brace" for ${...}
+    body: str         # text between the delimiters
+
+
+def find_expressions(text: str) -> List[FoundExpression]:
+    """Locate every ``$(...)`` and ``${...}`` in ``text`` (non-overlapping, in order)."""
+    found: List[FoundExpression] = []
+    i = 0
+    length = len(text)
+    while i < length - 1:
+        if text[i] == "\\" and i + 1 < length and text[i + 1] == "$":
+            i += 2
+            continue
+        if text[i] == "$" and text[i + 1] in "({":
+            opener = text[i + 1]
+            closer = ")" if opener == "(" else "}"
+            end = _scan_balanced(text, i + 1, opener, closer)
+            if end is None:
+                raise ExpressionError(f"unterminated expression starting at index {i}: {text!r}")
+            found.append(FoundExpression(start=i, end=end + 1,
+                                         kind="paren" if opener == "(" else "brace",
+                                         body=text[i + 2:end]))
+            i = end + 1
+            continue
+        i += 1
+    return found
+
+
+def _scan_balanced(text: str, open_index: int, opener: str, closer: str) -> Optional[int]:
+    """Return the index of the matching ``closer`` for the ``opener`` at ``open_index``."""
+    depth = 0
+    i = open_index
+    in_string: Optional[str] = None
+    while i < len(text):
+        ch = text[i]
+        if in_string is not None:
+            if ch == "\\":
+                i += 2
+                continue
+            if ch == in_string:
+                in_string = None
+        elif ch in ("'", '"'):
+            in_string = ch
+        elif ch == opener:
+            depth += 1
+        elif ch == closer:
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return None
+
+
+def is_simple_parameter_reference(body: str) -> bool:
+    """Whether ``body`` is a plain dotted/indexed path (no JavaScript needed)."""
+    return bool(_SIMPLE_PATH_RE.match(body))
+
+
+def resolve_parameter_reference(body: str, context: Dict[str, Any]) -> Any:
+    """Resolve a simple parameter reference against ``context``.
+
+    ``context`` maps root names (``inputs``, ``self``, ``runtime``) to values.
+    Missing intermediate values resolve to ``None`` (matching JS member access
+    on missing properties) but a missing *root* is an error.
+    """
+    tokens = _tokenize_path(body)
+    if not tokens:
+        raise ExpressionError(f"empty parameter reference: {body!r}")
+    root = tokens[0]
+    if root not in context:
+        raise ExpressionError(
+            f"unknown parameter reference root {root!r} (expected one of {sorted(context)})"
+        )
+    value: Any = context[root]
+    for token in tokens[1:]:
+        if value is None:
+            return None
+        if isinstance(token, int):
+            if isinstance(value, (list, str)) and 0 <= token < len(value):
+                value = value[token]
+            else:
+                return None
+        else:
+            if isinstance(value, dict):
+                value = value.get(token)
+            elif token == "length" and isinstance(value, (list, str)):
+                value = len(value)
+            else:
+                value = getattr(value, token, None)
+    return value
+
+
+def _tokenize_path(body: str):
+    """Split ``inputs.file['basename'][0]`` into ['inputs', 'file', 'basename', 0]."""
+    tokens: List[Any] = []
+    i = 0
+    body = body.strip()
+    length = len(body)
+    while i < length:
+        ch = body[i]
+        if ch == ".":
+            i += 1
+            continue
+        if ch == "[":
+            end = body.index("]", i)
+            inner = body[i + 1:end].strip()
+            if inner.startswith(("'", '"')):
+                tokens.append(inner[1:-1])
+            else:
+                tokens.append(int(inner))
+            i = end + 1
+            continue
+        match = re.match(_SIMPLE_SEGMENT, body[i:])
+        if not match:
+            raise ExpressionError(f"malformed parameter reference {body!r}")
+        tokens.append(match.group(0))
+        i += len(match.group(0))
+    return tokens

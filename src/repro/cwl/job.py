@@ -1,0 +1,168 @@
+"""Single-tool job execution.
+
+A :class:`CommandLineJob` takes a tool, a job order and a runtime context and
+can either *build* the command (used by the Parsl bridge, which executes it
+through a Parsl bash app) or *execute* it directly as a subprocess (used by the
+cwltool-like and Toil-like runners).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.cwl.command_line import CommandLineParts, build_command_line, fill_in_defaults
+from repro.cwl.errors import InputValidationError, JobFailure
+from repro.cwl.expressions.evaluator import ExpressionEvaluator
+from repro.cwl.outputs import collect_outputs
+from repro.cwl.runtime import RuntimeContext
+from repro.cwl.schema import CommandLineTool
+from repro.cwl.types import coerce_file_inputs, matches
+from repro.utils.logging_config import get_logger
+
+logger = get_logger("cwl.job")
+
+
+@dataclass
+class JobResult:
+    """Everything produced by one tool invocation."""
+
+    outputs: Dict[str, Any]
+    exit_code: int
+    command: List[str]
+    outdir: str
+    stdout_path: Optional[str] = None
+    stderr_path: Optional[str] = None
+
+
+@dataclass
+class CommandLineJob:
+    """One concrete invocation of a CommandLineTool."""
+
+    tool: CommandLineTool
+    job_order: Dict[str, Any]
+    runtime_context: RuntimeContext = field(default_factory=RuntimeContext)
+
+    def __post_init__(self) -> None:
+        self.job_order = {k: coerce_file_inputs(v) for k, v in self.job_order.items()}
+        self.job_order = fill_in_defaults(self.tool.inputs, self.job_order)
+        self.job_order = {k: coerce_file_inputs(v) for k, v in self.job_order.items()}
+
+    # ------------------------------------------------------------- validation
+
+    def validate_inputs(self) -> List[str]:
+        """Return a list of problems with the job order (empty = valid)."""
+        problems: List[str] = []
+        declared = {p.id for p in self.tool.inputs}
+        for param in self.tool.inputs:
+            value = self.job_order.get(param.id)
+            if value is None:
+                if param.type.is_optional or param.has_default:
+                    continue
+                problems.append(f"missing required input {param.id!r}")
+                continue
+            if not matches(value, param.type):
+                problems.append(
+                    f"input {param.id!r} value {value!r} does not match declared type {param.type}"
+                )
+        for key in self.job_order:
+            if key not in declared and not key.startswith("__"):
+                problems.append(f"unknown input {key!r} (tool declares {sorted(declared)})")
+        return problems
+
+    # -------------------------------------------------------------- building
+
+    def make_evaluator(self) -> ExpressionEvaluator:
+        """Build the expression evaluator configured by the tool's requirements."""
+        js_req = self.tool.get_requirement("InlineJavascriptRequirement")
+        expression_lib = list(js_req.get("expressionLib", [])) if js_req else []
+        return ExpressionEvaluator(
+            expression_lib=expression_lib,
+            js_enabled=True,
+            cache_engine=self.runtime_context.cache_js_engine,
+        )
+
+    def build(self, outdir: Optional[str] = None) -> CommandLineParts:
+        """Construct the command line (without running it)."""
+        problems = self.validate_inputs()
+        if problems:
+            raise InputValidationError(
+                f"job order for tool {self.tool.id!r} is invalid: " + "; ".join(problems)
+            )
+        outdir = outdir or self.runtime_context.ensure_outdir()
+        tmpdir = self.runtime_context.make_tmpdir()
+        runtime = self.runtime_context.runtime_object(outdir, tmpdir)
+        return build_command_line(self.tool, self.job_order, runtime, self.make_evaluator())
+
+    # -------------------------------------------------------------- execution
+
+    def execute(self, outdir: Optional[str] = None) -> JobResult:
+        """Run the tool as a subprocess and collect its outputs."""
+        outdir = outdir or self.runtime_context.make_job_dir(
+            name=(self.tool.id or "tool").replace("/", "_") or "tool"
+        )
+        os.makedirs(outdir, exist_ok=True)
+        tmpdir = self.runtime_context.make_tmpdir()
+        runtime = self.runtime_context.runtime_object(outdir, tmpdir)
+
+        problems = self.validate_inputs()
+        if problems:
+            raise InputValidationError(
+                f"job order for tool {self.tool.id!r} is invalid: " + "; ".join(problems)
+            )
+
+        evaluator = self.make_evaluator()
+        parts = build_command_line(self.tool, self.job_order, runtime, evaluator)
+
+        stdout_path = os.path.join(outdir, parts.stdout) if parts.stdout else None
+        stderr_path = os.path.join(outdir, parts.stderr) if parts.stderr else None
+        stdin_handle = open(parts.stdin, "rb") if parts.stdin else subprocess.DEVNULL
+        stdout_handle = open(stdout_path, "wb") if stdout_path else subprocess.DEVNULL
+        stderr_handle = open(stderr_path, "wb") if stderr_path else subprocess.DEVNULL
+
+        env = dict(os.environ)
+        env.update(self.runtime_context.env)
+        env.update(parts.environment)
+        env.setdefault("HOME", outdir)
+        env.setdefault("TMPDIR", tmpdir)
+
+        logger.debug("executing %s in %s", parts.argv, outdir)
+        try:
+            proc = subprocess.Popen(
+                parts.argv,
+                cwd=outdir,
+                env=env,
+                stdin=stdin_handle,
+                stdout=stdout_handle,
+                stderr=stderr_handle,
+            )
+            exit_code = proc.wait()
+        finally:
+            for handle in (stdin_handle, stdout_handle, stderr_handle):
+                if handle is not subprocess.DEVNULL and hasattr(handle, "close"):
+                    handle.close()
+
+        if exit_code not in self.tool.success_codes:
+            raise JobFailure(self.tool.id or "<tool>", exit_code, " ".join(parts.argv))
+
+        outputs = collect_outputs(
+            self.tool,
+            outdir=outdir,
+            stdout_path=stdout_path,
+            stderr_path=stderr_path,
+            job_order=self.job_order,
+            runtime=runtime,
+            evaluator=evaluator,
+            compute_checksum=self.runtime_context.compute_checksum,
+        )
+        self.runtime_context.cleanup_dir(tmpdir)
+        return JobResult(
+            outputs=outputs,
+            exit_code=exit_code,
+            command=parts.argv,
+            outdir=outdir,
+            stdout_path=stdout_path,
+            stderr_path=stderr_path,
+        )

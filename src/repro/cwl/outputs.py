@@ -1,0 +1,133 @@
+"""Output collection.
+
+After a tool's command exits, its declared outputs are collected from the
+working/output directory:
+
+* ``type: stdout`` / ``type: stderr`` outputs resolve to the redirected files,
+* outputs with an ``outputBinding.glob`` resolve to the matching file(s); the
+  glob pattern may itself be an expression,
+* ``outputEval`` post-processes the matched value (with ``self`` bound to the
+  glob result),
+* ``loadContents`` attaches the first 64 KiB of each matched file,
+* non-File outputs (e.g. an int parsed from stdout by ``outputEval``) are passed
+  through unchanged.
+"""
+
+from __future__ import annotations
+
+import glob as globlib
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.cwl.errors import OutputCollectionError
+from repro.cwl.expressions.evaluator import ExpressionEvaluator
+from repro.cwl.schema import CommandLineTool, CommandOutputParameter
+from repro.cwl.types import build_file_value
+
+
+def _glob_in(outdir: str, pattern: str) -> List[str]:
+    """Glob relative to the output directory, returning sorted absolute paths."""
+    if os.path.isabs(pattern):
+        matches = globlib.glob(pattern)
+    else:
+        matches = globlib.glob(os.path.join(outdir, pattern))
+    return sorted(os.path.abspath(m) for m in matches)
+
+
+def _load_contents(file_value: Dict[str, Any]) -> Dict[str, Any]:
+    path = file_value.get("path")
+    if path and os.path.exists(path):
+        with open(path, "rb") as handle:
+            file_value["contents"] = handle.read(64 * 1024).decode("utf-8", errors="replace")
+    return file_value
+
+
+def collect_output(
+    param: CommandOutputParameter,
+    outdir: str,
+    stdout_path: Optional[str],
+    stderr_path: Optional[str],
+    job_order: Dict[str, Any],
+    runtime: Dict[str, Any],
+    evaluator: Optional[ExpressionEvaluator] = None,
+    compute_checksum: bool = False,
+) -> Any:
+    """Collect one declared output parameter."""
+    evaluator = evaluator or ExpressionEvaluator(js_enabled=True)
+    context = {"inputs": job_order, "runtime": runtime, "self": None}
+
+    raw_type = param.raw_type
+    if raw_type == "stdout":
+        if not stdout_path:
+            raise OutputCollectionError(f"output {param.id!r} has type stdout but no stdout file was produced")
+        return build_file_value(stdout_path, compute_checksum=compute_checksum)
+    if raw_type == "stderr":
+        if not stderr_path:
+            raise OutputCollectionError(f"output {param.id!r} has type stderr but no stderr file was produced")
+        return build_file_value(stderr_path, compute_checksum=compute_checksum)
+
+    binding = param.output_binding
+    if binding is None:
+        # No binding: the output may be satisfied by cwl.output.json (not supported)
+        # or simply be absent; optional outputs collect to None.
+        if param.type.is_optional:
+            return None
+        raise OutputCollectionError(f"output {param.id!r} has no outputBinding and is not optional")
+
+    matched_value: Any = None
+    glob_matches: List[Dict[str, Any]] = []
+    if binding.glob is not None:
+        patterns = binding.glob if isinstance(binding.glob, list) else [binding.glob]
+        matches: List[str] = []
+        for pattern in patterns:
+            evaluated = evaluator.evaluate(pattern, context)
+            if evaluated is None:
+                continue
+            for single in (evaluated if isinstance(evaluated, list) else [evaluated]):
+                matches.extend(_glob_in(outdir, str(single)))
+        glob_matches = [build_file_value(path, compute_checksum=compute_checksum) for path in matches]
+        if binding.load_contents:
+            glob_matches = [_load_contents(fv) for fv in glob_matches]
+        if param.type.is_array:
+            matched_value = glob_matches
+        else:
+            matched_value = glob_matches[0] if glob_matches else None
+
+    if binding.output_eval is not None:
+        # Per the CWL spec, `self` in outputEval is the array of files matched by glob
+        # (possibly empty), regardless of the declared output type.
+        eval_context = dict(context)
+        eval_context["self"] = glob_matches
+        matched_value = evaluator.evaluate(binding.output_eval, eval_context)
+
+    if matched_value is None and not param.type.is_optional and binding.output_eval is None:
+        raise OutputCollectionError(
+            f"required output {param.id!r} matched no files (glob={binding.glob!r}) in {outdir}"
+        )
+    return matched_value
+
+
+def collect_outputs(
+    tool: CommandLineTool,
+    outdir: str,
+    stdout_path: Optional[str],
+    stderr_path: Optional[str],
+    job_order: Dict[str, Any],
+    runtime: Dict[str, Any],
+    evaluator: Optional[ExpressionEvaluator] = None,
+    compute_checksum: bool = False,
+) -> Dict[str, Any]:
+    """Collect every declared output of ``tool`` into an output object."""
+    outputs: Dict[str, Any] = {}
+    for param in tool.outputs:
+        outputs[param.id] = collect_output(
+            param,
+            outdir=outdir,
+            stdout_path=stdout_path,
+            stderr_path=stderr_path,
+            job_order=job_order,
+            runtime=runtime,
+            evaluator=evaluator,
+            compute_checksum=compute_checksum,
+        )
+    return outputs

@@ -1,0 +1,7 @@
+"""CWL runners: the cwltool-like reference runner and the Toil-like runner."""
+
+from repro.cwl.runners.base import BaseRunner, RunnerResult
+from repro.cwl.runners.reference import ReferenceRunner
+from repro.cwl.runners.toil.runner import ToilStyleRunner
+
+__all__ = ["BaseRunner", "ReferenceRunner", "RunnerResult", "ToilStyleRunner"]

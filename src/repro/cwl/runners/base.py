@@ -1,0 +1,114 @@
+"""Common machinery shared by the CWL runners.
+
+A *runner* takes a loaded process plus a job order and produces an output
+object, the same contract as ``cwltool workflow.cwl job.yml``.  The two
+concrete runners in this package differ in how they execute individual jobs:
+
+* :class:`~repro.cwl.runners.reference.ReferenceRunner` executes each job as a
+  local subprocess (optionally using a thread pool for independent jobs),
+  mirroring ``cwltool`` / ``cwltool --parallel``.
+* :class:`~repro.cwl.runners.toil.runner.ToilStyleRunner` records each job in a
+  file-based job store and dispatches it through a batch system (single machine
+  or the simulated Slurm cluster), mirroring ``toil-cwl-runner``.
+
+The Parsl bridge (:mod:`repro.core`) is effectively a third runner and is the
+paper's contribution.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.cwl.errors import ValidationException
+from repro.cwl.expressions.evaluator import ExpressionEvaluator
+from repro.cwl.runtime import RuntimeContext
+from repro.cwl.schema import CommandLineTool, ExpressionTool, Process, Workflow
+from repro.cwl.types import coerce_file_inputs
+from repro.cwl.validate import ensure_valid
+
+
+@dataclass
+class RunnerResult:
+    """Output object plus bookkeeping from one runner invocation."""
+
+    outputs: Dict[str, Any]
+    status: str = "success"
+    #: Number of individual tool jobs that were executed.
+    jobs_run: int = 0
+    #: Wall-clock seconds, filled in by the runner.
+    wall_time_s: float = 0.0
+    details: Dict[str, Any] = field(default_factory=dict)
+
+
+class BaseRunner(ABC):
+    """Shared runner behaviour: validation, expression-tool handling, dispatch."""
+
+    name = "base"
+
+    def __init__(self, runtime_context: Optional[RuntimeContext] = None,
+                 validate: bool = True) -> None:
+        self.runtime_context = runtime_context or RuntimeContext()
+        self.validate = validate
+        self.jobs_run = 0
+
+    # ------------------------------------------------------------------ public
+
+    def run(self, process: Process, job_order: Dict[str, Any]) -> RunnerResult:
+        """Run any process (tool, expression tool or workflow)."""
+        import time
+
+        start = time.perf_counter()
+        self.jobs_run = 0
+        if self.validate:
+            ensure_valid(process)
+        job_order = {k: coerce_file_inputs(v) for k, v in job_order.items()}
+        outputs = self._run_process(process, job_order, self.runtime_context)
+        elapsed = time.perf_counter() - start
+        return RunnerResult(outputs=outputs, status="success", jobs_run=self.jobs_run,
+                            wall_time_s=elapsed)
+
+    # ----------------------------------------------------------------- dispatch
+
+    def _run_process(self, process: Process, job_order: Dict[str, Any],
+                     runtime_context: RuntimeContext) -> Dict[str, Any]:
+        if isinstance(process, CommandLineTool):
+            self.jobs_run += 1
+            return self.run_tool(process, job_order, runtime_context)
+        if isinstance(process, ExpressionTool):
+            self.jobs_run += 1
+            return self.run_expression_tool(process, job_order, runtime_context)
+        if isinstance(process, Workflow):
+            return self.run_workflow(process, job_order, runtime_context)
+        raise ValidationException(f"cannot run process of type {type(process).__name__}")
+
+    # ------------------------------------------------------------- per-process
+
+    @abstractmethod
+    def run_tool(self, tool: CommandLineTool, job_order: Dict[str, Any],
+                 runtime_context: RuntimeContext) -> Dict[str, Any]:
+        """Execute one CommandLineTool invocation."""
+
+    @abstractmethod
+    def run_workflow(self, workflow: Workflow, job_order: Dict[str, Any],
+                     runtime_context: RuntimeContext) -> Dict[str, Any]:
+        """Execute a Workflow."""
+
+    def run_expression_tool(self, tool: ExpressionTool, job_order: Dict[str, Any],
+                            runtime_context: RuntimeContext) -> Dict[str, Any]:
+        """Execute an ExpressionTool by evaluating its expression."""
+        js_req = tool.get_requirement("InlineJavascriptRequirement")
+        evaluator = ExpressionEvaluator(
+            expression_lib=list(js_req.get("expressionLib", [])) if js_req else [],
+            js_enabled=True,
+            cache_engine=runtime_context.cache_js_engine,
+        )
+        context = {"inputs": job_order, "self": None,
+                   "runtime": runtime_context.runtime_object("", "")}
+        result = evaluator.evaluate(tool.expression, context)
+        if not isinstance(result, dict):
+            raise ValidationException(
+                f"ExpressionTool {tool.id!r} expression must evaluate to an object, got {type(result).__name__}"
+            )
+        return {param.id: result.get(param.id) for param in tool.outputs}

@@ -1,0 +1,17 @@
+"""A Toil-like CWL runner: file-based job store + batch-system dispatch."""
+
+from repro.cwl.runners.toil.jobstore import FileJobStore
+from repro.cwl.runners.toil.batch import (
+    BatchSystem,
+    SingleMachineBatchSystem,
+    SlurmBatchSystem,
+)
+from repro.cwl.runners.toil.runner import ToilStyleRunner
+
+__all__ = [
+    "BatchSystem",
+    "FileJobStore",
+    "SingleMachineBatchSystem",
+    "SlurmBatchSystem",
+    "ToilStyleRunner",
+]

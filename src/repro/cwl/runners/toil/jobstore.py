@@ -1,0 +1,151 @@
+"""A file-based job store.
+
+Toil persists every job description, its state transitions and all intermediate
+files into a *job store* so that interrupted workflows can be resumed.  This
+class reproduces the parts that matter for behaviour and for the performance
+comparison:
+
+* each job is a JSON document on disk, written when the job is created and
+  rewritten on every state change,
+* intermediate files are imported into the store as content-addressed copies
+  and exported back out when a downstream job (or the final output) needs them,
+* the store can be reopened and enumerated, which is what makes the Toil-like
+  runner restartable.
+
+These per-job filesystem writes are exactly the overhead that makes a job-store
+based runner slower per task than Parsl's in-memory dataflow, which is the
+effect visible in the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.utils.hashing import hash_file
+from repro.utils.ids import RunIdGenerator
+
+
+@dataclass
+class StoredJob:
+    """One job description persisted in the job store."""
+
+    job_id: str
+    name: str
+    state: str = "new"                      # new | issued | running | done | failed
+    requirements: Dict[str, Any] = field(default_factory=dict)
+    payload: Dict[str, Any] = field(default_factory=dict)
+    created_at: float = field(default_factory=time.time)
+    updated_at: float = field(default_factory=time.time)
+    error: Optional[str] = None
+
+    def to_json(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+class FileJobStore:
+    """Persist jobs and files under a single directory."""
+
+    def __init__(self, store_dir: str) -> None:
+        self.store_dir = os.path.abspath(store_dir)
+        self.jobs_dir = os.path.join(self.store_dir, "jobs")
+        self.files_dir = os.path.join(self.store_dir, "files")
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        os.makedirs(self.files_dir, exist_ok=True)
+        self._ids = RunIdGenerator(start=1)
+        self._lock = threading.Lock()
+
+    # ----------------------------------------------------------------- jobs
+
+    def _job_path(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, f"{job_id}.json")
+
+    def create_job(self, name: str, requirements: Optional[Dict[str, Any]] = None,
+                   payload: Optional[Dict[str, Any]] = None) -> StoredJob:
+        """Create and persist a new job description."""
+        with self._lock:
+            job_id = f"job-{self._ids.next():06d}"
+        job = StoredJob(job_id=job_id, name=name,
+                        requirements=requirements or {}, payload=payload or {})
+        self._write(job)
+        return job
+
+    def update_job(self, job: StoredJob, state: Optional[str] = None,
+                   error: Optional[str] = None) -> StoredJob:
+        """Persist a state change."""
+        if state is not None:
+            job.state = state
+        if error is not None:
+            job.error = error
+        job.updated_at = time.time()
+        self._write(job)
+        return job
+
+    def load_job(self, job_id: str) -> StoredJob:
+        with open(self._job_path(job_id), "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        return StoredJob(**data)
+
+    def list_jobs(self) -> List[StoredJob]:
+        jobs = []
+        for entry in sorted(os.listdir(self.jobs_dir)):
+            if entry.endswith(".json"):
+                jobs.append(self.load_job(entry[:-5]))
+        return jobs
+
+    def delete_job(self, job_id: str) -> None:
+        try:
+            os.unlink(self._job_path(job_id))
+        except FileNotFoundError:
+            pass
+
+    def _write(self, job: StoredJob) -> None:
+        path = self._job_path(job.job_id)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(job.to_json(), handle, indent=2, sort_keys=True)
+        os.replace(tmp, path)
+
+    # ---------------------------------------------------------------- files
+
+    def import_file(self, path: str) -> str:
+        """Copy ``path`` into the store; returns the store file id."""
+        checksum = hash_file(path).split("$", 1)[1]
+        basename = os.path.basename(path)
+        file_id = f"{checksum[:16]}-{basename}"
+        destination = os.path.join(self.files_dir, file_id)
+        if not os.path.exists(destination):
+            shutil.copy2(path, destination)
+        return file_id
+
+    def export_file(self, file_id: str, destination: str) -> str:
+        """Copy a stored file out of the store to ``destination``."""
+        source = os.path.join(self.files_dir, file_id)
+        os.makedirs(os.path.dirname(os.path.abspath(destination)) or ".", exist_ok=True)
+        shutil.copy2(source, destination)
+        return destination
+
+    def file_path(self, file_id: str) -> str:
+        return os.path.join(self.files_dir, file_id)
+
+    def has_file(self, file_id: str) -> bool:
+        return os.path.exists(os.path.join(self.files_dir, file_id))
+
+    # ------------------------------------------------------------- lifecycle
+
+    def stats(self) -> Dict[str, int]:
+        """Counts of jobs per state plus stored file count (used in tests)."""
+        counts: Dict[str, int] = {}
+        for job in self.list_jobs():
+            counts[job.state] = counts.get(job.state, 0) + 1
+        counts["files"] = len(os.listdir(self.files_dir))
+        return counts
+
+    def destroy(self) -> None:
+        """Remove the job store from disk entirely."""
+        shutil.rmtree(self.store_dir, ignore_errors=True)

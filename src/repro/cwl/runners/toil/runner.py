@@ -1,0 +1,157 @@
+"""The Toil-like CWL runner.
+
+Execution model (mirroring ``toil-cwl-runner``):
+
+1. every tool invocation becomes a job *description* written to the file-based
+   job store,
+2. the job is issued to a batch system (local thread pool or the simulated
+   Slurm cluster) and its state transitions (issued → running → done/failed)
+   are persisted back to the store,
+3. output files are imported into the job store (content-addressed copies) so
+   a resumed workflow could reuse them,
+4. workflow-level dataflow (step ordering, scatter, ``when``) reuses the shared
+   :class:`~repro.cwl.workflow.WorkflowEngine`, with jobs running concurrently
+   when the batch system allows it.
+
+The per-job store writes and (for the Slurm batch system) the per-task
+scheduler round trips are what differentiate this runner's scaling behaviour
+from the Parsl bridge in Figure 1.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+from repro.cwl.job import CommandLineJob
+from repro.cwl.runners.base import BaseRunner
+from repro.cwl.runners.toil.batch import BatchSystem, SingleMachineBatchSystem
+from repro.cwl.runners.toil.jobstore import FileJobStore
+from repro.cwl.runtime import RuntimeContext
+from repro.cwl.schema import CommandLineTool, Process, Workflow
+from repro.cwl.types import is_file_value
+from repro.cwl.workflow import WorkflowEngine
+from repro.utils.logging_config import get_logger
+
+logger = get_logger("cwl.runners.toil")
+
+
+class ToilStyleRunner(BaseRunner):
+    """Job-store based CWL runner with pluggable batch systems."""
+
+    name = "toil-like"
+
+    def __init__(
+        self,
+        job_store_dir: Optional[str] = None,
+        batch_system: Optional[BatchSystem] = None,
+        runtime_context: Optional[RuntimeContext] = None,
+        parallel: bool = True,
+        max_workers: int = 8,
+        import_outputs: bool = True,
+        validate: bool = True,
+    ) -> None:
+        if runtime_context is None:
+            runtime_context = RuntimeContext(cache_js_engine=False)
+        super().__init__(runtime_context=runtime_context, validate=validate)
+        self.job_store = FileJobStore(job_store_dir or tempfile.mkdtemp(prefix="toil-jobstore-"))
+        self.batch_system = batch_system or SingleMachineBatchSystem(max_cores=max_workers)
+        self.parallel = parallel
+        self.max_workers = max_workers
+        self.import_outputs = import_outputs
+
+    # ------------------------------------------------------------------ tools
+
+    def run_tool(self, tool: CommandLineTool, job_order: Dict[str, Any],
+                 runtime_context: RuntimeContext) -> Dict[str, Any]:
+        stored = self.job_store.create_job(
+            name=tool.id or "tool",
+            requirements=self._job_requirements(tool),
+            payload={"inputs": _summarise_job_order(job_order)},
+        )
+
+        def payload() -> Dict[str, Any]:
+            self.job_store.update_job(stored, state="running")
+            job = CommandLineJob(
+                tool=tool,
+                job_order=copy.deepcopy(job_order),
+                runtime_context=runtime_context,
+            )
+            result = job.execute()
+            if self.import_outputs:
+                self._import_output_files(result.outputs)
+            return result.outputs
+
+        self.job_store.update_job(stored, state="issued")
+        cores = int(self._job_requirements(tool).get("coresMin", 1))
+        future = self.batch_system.issue(stored.name, payload, cores=cores)
+        try:
+            outputs = future.result()
+        except Exception as exc:
+            self.job_store.update_job(stored, state="failed", error=str(exc))
+            raise
+        self.job_store.update_job(stored, state="done")
+        return outputs
+
+    def run_workflow(self, workflow: Workflow, job_order: Dict[str, Any],
+                     runtime_context: RuntimeContext) -> Dict[str, Any]:
+        engine = WorkflowEngine(
+            workflow,
+            process_runner=self._process_runner,
+            runtime_context=runtime_context,
+            parallel=self.parallel,
+            max_workers=self.max_workers,
+        )
+        return engine.run(job_order)
+
+    # --------------------------------------------------------------- plumbing
+
+    def _process_runner(self, process: Process, job_order: Dict[str, Any],
+                        runtime_context: RuntimeContext) -> Dict[str, Any]:
+        return self._run_process(process, job_order, runtime_context)
+
+    @staticmethod
+    def _job_requirements(tool: CommandLineTool) -> Dict[str, Any]:
+        resource_req = tool.get_requirement("ResourceRequirement") or {}
+        return {
+            "coresMin": resource_req.get("coresMin", 1),
+            "ramMin": resource_req.get("ramMin", 256),
+        }
+
+    def _import_output_files(self, outputs: Dict[str, Any]) -> None:
+        """Copy every produced File into the job store (Toil's behaviour)."""
+
+        def visit(value: Any) -> None:
+            if is_file_value(value):
+                path = value.get("path")
+                if path and os.path.exists(path):
+                    value["jobStoreFileID"] = self.job_store.import_file(path)
+            elif isinstance(value, list):
+                for item in value:
+                    visit(item)
+            elif isinstance(value, dict):
+                for item in value.values():
+                    visit(item)
+
+        visit(outputs)
+
+    def close(self, destroy_job_store: bool = False) -> None:
+        """Shut down the batch system and optionally remove the job store."""
+        self.batch_system.shutdown()
+        if destroy_job_store:
+            self.job_store.destroy()
+
+
+def _summarise_job_order(job_order: Dict[str, Any]) -> Dict[str, Any]:
+    """A JSON-safe summary of the job order for the stored job description."""
+    summary: Dict[str, Any] = {}
+    for key, value in job_order.items():
+        if is_file_value(value):
+            summary[key] = {"class": "File", "basename": value.get("basename")}
+        elif isinstance(value, (str, int, float, bool)) or value is None:
+            summary[key] = value
+        else:
+            summary[key] = repr(value)[:200]
+    return summary

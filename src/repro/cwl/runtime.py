@@ -1,0 +1,77 @@
+"""Runtime context for job execution.
+
+The CWL ``runtime`` object exposed to expressions describes where a job runs
+(output and temporary directories) and what resources it was granted (cores,
+RAM).  :class:`RuntimeContext` carries the same information plus runner-level
+policy (whether to compute checksums, whether to relocate outputs, base
+directories for new working directories).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+
+@dataclass
+class RuntimeContext:
+    """Execution-time settings shared by all runners."""
+
+    #: Directory into which final outputs are collected.
+    outdir: Optional[str] = None
+    #: Base directory for per-job working directories.
+    basedir: Optional[str] = None
+    #: Temporary directory prefix.
+    tmpdir_prefix: Optional[str] = None
+    #: Cores granted to each job (exposed as ``runtime.cores``).
+    cores: int = 1
+    #: RAM granted to each job in MiB (exposed as ``runtime.ram``).
+    ram_mb: int = 1024
+    #: Compute sha1 checksums for collected output Files.
+    compute_checksum: bool = False
+    #: Move outputs from the working directory into ``outdir`` after the run.
+    move_outputs: bool = True
+    #: Extra environment variables for every job.
+    env: Dict[str, str] = field(default_factory=dict)
+    #: Evaluate JavaScript with a cached engine (Parsl/InlinePython-style) or
+    #: rebuild the engine per evaluation (cwltool-style).
+    cache_js_engine: bool = False
+
+    def ensure_outdir(self) -> str:
+        """Create (if needed) and return the output directory."""
+        if self.outdir is None:
+            self.outdir = tempfile.mkdtemp(prefix="cwl-out-", dir=self.basedir)
+        os.makedirs(self.outdir, exist_ok=True)
+        return self.outdir
+
+    def make_job_dir(self, name: str = "job") -> str:
+        """Create a fresh working directory for one job."""
+        base = self.basedir or tempfile.gettempdir()
+        os.makedirs(base, exist_ok=True)
+        return tempfile.mkdtemp(prefix=f"cwl-{name}-", dir=base)
+
+    def make_tmpdir(self) -> str:
+        """Create a fresh scratch directory for one job."""
+        return tempfile.mkdtemp(prefix=self.tmpdir_prefix or "cwl-tmp-")
+
+    def runtime_object(self, outdir: str, tmpdir: str) -> Dict[str, Any]:
+        """The ``runtime`` dictionary exposed to expressions for one job."""
+        return {
+            "outdir": outdir,
+            "tmpdir": tmpdir,
+            "cores": self.cores,
+            "ram": self.ram_mb,
+            "outdirSize": 1024,
+            "tmpdirSize": 1024,
+        }
+
+    def child(self, **overrides: Any) -> "RuntimeContext":
+        """A copy of this context with selected fields replaced."""
+        return replace(self, **overrides)
+
+    def cleanup_dir(self, path: str) -> None:
+        """Best-effort removal of a scratch directory."""
+        shutil.rmtree(path, ignore_errors=True)

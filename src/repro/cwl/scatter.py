@@ -1,0 +1,118 @@
+"""Scatter support.
+
+The ``ScatterFeatureRequirement`` lets a workflow step run once per element of
+one or more array inputs.  Three methods are defined by CWL:
+
+* ``dotproduct`` — all scattered arrays must have equal length; job *i* takes the
+  *i*-th element of each,
+* ``flat_crossproduct`` — the cartesian product of all scattered arrays, flattened
+  into a single list of jobs,
+* ``nested_crossproduct`` — the cartesian product with nested output arrays (one
+  nesting level per scattered input).
+
+:func:`build_scatter_jobs` expands a gathered step-input dictionary into the
+list of per-job input dictionaries plus the shape information needed to
+re-nest outputs for ``nested_crossproduct``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
+
+from repro.cwl.errors import ValidationException
+
+SCATTER_METHODS = ("dotproduct", "flat_crossproduct", "nested_crossproduct")
+
+
+@dataclass
+class ScatterPlan:
+    """The expansion of one scattered step invocation."""
+
+    jobs: List[Dict[str, Any]]
+    #: Lengths of each scattered input, in scatter-key order (used for re-nesting).
+    shape: List[int]
+    method: str
+    scatter_keys: List[str]
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self.jobs) == 0
+
+
+def build_scatter_jobs(
+    step_inputs: Dict[str, Any],
+    scatter_keys: Sequence[str],
+    method: str = "dotproduct",
+) -> ScatterPlan:
+    """Expand ``step_inputs`` into one job per scatter combination."""
+    if method not in SCATTER_METHODS:
+        raise ValidationException(
+            f"unknown scatterMethod {method!r}; expected one of {SCATTER_METHODS}"
+        )
+    if not scatter_keys:
+        raise ValidationException("scatter requested but no scatter keys given")
+
+    arrays: Dict[str, List[Any]] = {}
+    for key in scatter_keys:
+        value = step_inputs.get(key)
+        if value is None:
+            value = []
+        if not isinstance(value, list):
+            raise ValidationException(
+                f"scattered input {key!r} must be an array, got {type(value).__name__}"
+            )
+        arrays[key] = value
+
+    base = {k: v for k, v in step_inputs.items() if k not in scatter_keys}
+    shape = [len(arrays[key]) for key in scatter_keys]
+
+    if method == "dotproduct":
+        lengths = set(shape)
+        if len(lengths) > 1:
+            raise ValidationException(
+                f"dotproduct scatter requires equal-length arrays, got lengths {shape}"
+            )
+        count = shape[0] if shape else 0
+        jobs = []
+        for index in range(count):
+            job = dict(base)
+            for key in scatter_keys:
+                job[key] = arrays[key][index]
+            jobs.append(job)
+        return ScatterPlan(jobs=jobs, shape=shape, method=method, scatter_keys=list(scatter_keys))
+
+    # Cross products: iterate in row-major order over the scatter keys.
+    index_ranges = [range(len(arrays[key])) for key in scatter_keys]
+    jobs = []
+    for combination in itertools.product(*index_ranges):
+        job = dict(base)
+        for key, idx in zip(scatter_keys, combination):
+            job[key] = arrays[key][idx]
+        jobs.append(job)
+    return ScatterPlan(jobs=jobs, shape=shape, method=method, scatter_keys=list(scatter_keys))
+
+
+def nest_outputs(flat: List[Any], shape: List[int]) -> Any:
+    """Re-nest a flat row-major list of results according to ``shape``.
+
+    Used for ``nested_crossproduct``; for one scattered input this is the
+    identity, for two it produces a list of lists, and so on.
+    """
+    if not shape:
+        return flat
+    if len(shape) == 1:
+        return list(flat)
+
+    def build(level: int, offset: int) -> tuple:
+        if level == len(shape) - 1:
+            return list(flat[offset:offset + shape[level]]), offset + shape[level]
+        out = []
+        for _ in range(shape[level]):
+            nested, offset = build(level + 1, offset)
+            out.append(nested)
+        return out, offset
+
+    nested, _ = build(0, 0)
+    return nested

@@ -1,0 +1,200 @@
+"""Structural validation of CWL documents.
+
+``validate_process`` walks a loaded document and returns a list of problems
+(empty when the document is valid).  The checks mirror the useful subset of
+``cwltool --validate``:
+
+* every tool input/output has a resolvable type,
+* workflow step inputs reference existing workflow inputs or step outputs,
+* workflow outputs reference existing step outputs,
+* scattered inputs are declared on the step,
+* the step graph is acyclic,
+* requirements that the implementation cannot honour are flagged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.cwl.errors import ValidationException
+from repro.cwl.schema import CommandLineTool, ExpressionTool, Process, Workflow
+
+#: Requirement classes the execution engine understands.
+SUPPORTED_REQUIREMENTS = {
+    "InlineJavascriptRequirement",
+    "InlinePythonRequirement",          # paper extension (§V)
+    "StepInputExpressionRequirement",
+    "SubworkflowFeatureRequirement",
+    "ScatterFeatureRequirement",
+    "MultipleInputFeatureRequirement",
+    "EnvVarRequirement",
+    "ResourceRequirement",
+    "InitialWorkDirRequirement",
+    "ShellCommandRequirement",
+    "DockerRequirement",                # parsed; executed without containers
+    "SoftwareRequirement",
+    "WorkReuse",
+    "NetworkAccess",
+    "InplaceUpdateRequirement",
+    "LoadListingRequirement",
+    "SchemaDefRequirement",
+    "ToolTimeLimit",
+}
+
+
+def validate_process(process: Process, strict: bool = False) -> List[str]:
+    """Validate any loaded process; returns a list of problem strings."""
+    problems: List[str] = []
+    problems.extend(_validate_requirements(process, strict))
+    if isinstance(process, Workflow):
+        problems.extend(_validate_workflow(process))
+    elif isinstance(process, CommandLineTool):
+        problems.extend(_validate_tool(process))
+    elif isinstance(process, ExpressionTool):
+        if not process.expression:
+            problems.append("ExpressionTool has an empty expression")
+    return problems
+
+
+def ensure_valid(process: Process, strict: bool = False) -> None:
+    """Raise :class:`ValidationException` if the process has problems."""
+    problems = validate_process(process, strict=strict)
+    if problems:
+        raise ValidationException(
+            f"document {process.id or '<anonymous>'} failed validation", issues=problems
+        )
+
+
+def _validate_requirements(process: Process, strict: bool) -> List[str]:
+    problems: List[str] = []
+    for requirement in process.requirements:
+        class_name = requirement.get("class", "")
+        if class_name not in SUPPORTED_REQUIREMENTS:
+            level = "unsupported requirement" if strict else "unrecognised requirement (ignored)"
+            message = f"{level}: {class_name}"
+            if strict:
+                problems.append(message)
+    return problems
+
+
+def _validate_tool(tool: CommandLineTool) -> List[str]:
+    problems: List[str] = []
+    if not tool.base_command and not tool.arguments:
+        problems.append("CommandLineTool has neither baseCommand nor arguments")
+    seen: Set[str] = set()
+    for param in tool.inputs:
+        if param.id in seen:
+            problems.append(f"duplicate input id {param.id!r}")
+        seen.add(param.id)
+    seen_outputs: Set[str] = set()
+    for out in tool.outputs:
+        if out.id in seen_outputs:
+            problems.append(f"duplicate output id {out.id!r}")
+        seen_outputs.add(out.id)
+        if out.raw_type not in ("stdout", "stderr") and out.output_binding is None \
+                and not out.type.is_optional:
+            problems.append(
+                f"output {out.id!r} needs an outputBinding (or must be optional / stdout / stderr)"
+            )
+    if any(o.raw_type == "stdout" for o in tool.outputs) and tool.stdout is None:
+        # Allowed by the spec (a random name is generated) but worth surfacing.
+        pass
+    return problems
+
+
+def _validate_workflow(workflow: Workflow) -> List[str]:
+    problems: List[str] = []
+    input_ids = {p.id for p in workflow.inputs}
+    step_ids = {s.id for s in workflow.steps}
+
+    if not workflow.steps:
+        problems.append("workflow has no steps")
+
+    # Known sources: workflow inputs and step outputs.
+    step_output_refs: Set[str] = set()
+    for step in workflow.steps:
+        for out_id in step.out:
+            step_output_refs.add(f"{step.id}/{out_id}")
+
+    dependency_graph: Dict[str, Set[str]] = {step.id: set() for step in workflow.steps}
+
+    for step in workflow.steps:
+        declared_step_inputs = {si.id for si in step.in_}
+        for scatter_key in step.scatter:
+            if scatter_key not in declared_step_inputs:
+                problems.append(
+                    f"step {step.id!r} scatters over {scatter_key!r} which is not one of its inputs"
+                )
+        if step.scatter and step.scatter_method not in ("dotproduct", "flat_crossproduct",
+                                                        "nested_crossproduct"):
+            problems.append(f"step {step.id!r} uses unknown scatterMethod {step.scatter_method!r}")
+        for step_input in step.in_:
+            for source in step_input.source:
+                if "/" in source:
+                    if source not in step_output_refs:
+                        problems.append(
+                            f"step {step.id!r} input {step_input.id!r} references unknown "
+                            f"step output {source!r}"
+                        )
+                    else:
+                        dependency_graph[step.id].add(source.split("/", 1)[0])
+                elif source not in input_ids:
+                    problems.append(
+                        f"step {step.id!r} input {step_input.id!r} references unknown "
+                        f"workflow input {source!r}"
+                    )
+        # The step's process must declare the inputs it is given (when resolvable).
+        if step.embedded_process is not None:
+            process_inputs = set(step.embedded_process.input_ids())
+            for step_input in step.in_:
+                if step_input.id not in process_inputs:
+                    problems.append(
+                        f"step {step.id!r} passes input {step_input.id!r} which its process "
+                        f"does not declare (declares {sorted(process_inputs)})"
+                    )
+            process_outputs = set(step.embedded_process.output_ids())
+            for out_id in step.out:
+                if out_id not in process_outputs:
+                    problems.append(
+                        f"step {step.id!r} exposes output {out_id!r} which its process does not "
+                        f"declare (declares {sorted(process_outputs)})"
+                    )
+
+    for output in workflow.workflow_outputs:
+        for source in output.output_source:
+            if "/" in source:
+                if source not in step_output_refs:
+                    problems.append(
+                        f"workflow output {output.id!r} references unknown step output {source!r}"
+                    )
+            elif source not in input_ids:
+                problems.append(
+                    f"workflow output {output.id!r} references unknown workflow input {source!r}"
+                )
+
+    problems.extend(_detect_cycles(dependency_graph))
+    return problems
+
+
+def _detect_cycles(graph: Dict[str, Set[str]]) -> List[str]:
+    """Report any dependency cycles among workflow steps (DFS three-colour)."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {node: WHITE for node in graph}
+    problems: List[str] = []
+
+    def visit(node: str, stack: List[str]) -> None:
+        colour[node] = GREY
+        for neighbour in graph.get(node, ()):  # neighbour = dependency
+            if neighbour not in colour:
+                continue
+            if colour[neighbour] == GREY:
+                cycle = stack[stack.index(neighbour):] + [neighbour] if neighbour in stack else [node, neighbour]
+                problems.append("dependency cycle between steps: " + " -> ".join(cycle))
+            elif colour[neighbour] == WHITE:
+                visit(neighbour, stack + [neighbour])
+        colour[node] = BLACK
+
+    for node in graph:
+        if colour[node] == WHITE:
+            visit(node, [node])
+    return problems

@@ -1,0 +1,314 @@
+"""The workflow execution engine.
+
+:class:`WorkflowEngine` executes a loaded :class:`~repro.cwl.schema.Workflow`
+against a job order.  Execution is dataflow-driven: a step runs as soon as all
+of its sources are available, regardless of the order steps appear in the
+document (CWL semantics, and the property the paper leans on when comparing
+with Parsl's implicit DAG).
+
+The engine is runner-agnostic: the actual execution of a step's process is
+delegated to a ``process_runner`` callable supplied by the runner
+(cwltool-like, Toil-like, or the Parsl bridge), which receives the resolved
+process, the step's job order and the runtime context and returns the output
+object.  The engine handles:
+
+* gathering step inputs from workflow inputs and upstream step outputs
+  (including ``MultipleInputFeatureRequirement`` merging and defaults),
+* ``valueFrom`` on step inputs (``StepInputExpressionRequirement``),
+* conditional execution via ``when``,
+* ``scatter`` with all three scatter methods,
+* subworkflows (recursing into nested Workflow processes),
+* optional parallel execution of independent steps and scatter jobs.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set
+
+from repro.cwl.errors import ValidationException, WorkflowException
+from repro.cwl.expressions.evaluator import ExpressionEvaluator
+from repro.cwl.loader import load_document
+from repro.cwl.runtime import RuntimeContext
+from repro.cwl.scatter import build_scatter_jobs, nest_outputs
+from repro.cwl.schema import Process, Workflow, WorkflowStep
+from repro.cwl.types import coerce_file_inputs
+from repro.utils.logging_config import get_logger
+
+logger = get_logger("cwl.workflow")
+
+#: Signature of the callable that actually runs one process invocation.
+ProcessRunner = Callable[[Process, Dict[str, Any], RuntimeContext], Dict[str, Any]]
+
+
+@dataclass
+class StepExecutionRecord:
+    """Bookkeeping for one step execution (exposed for tests and monitoring)."""
+
+    step_id: str
+    scattered: bool = False
+    job_count: int = 1
+    skipped: bool = False
+    outputs: Dict[str, Any] = field(default_factory=dict)
+
+
+class WorkflowEngine:
+    """Dataflow scheduler for one workflow instance."""
+
+    def __init__(
+        self,
+        workflow: Workflow,
+        process_runner: ProcessRunner,
+        runtime_context: Optional[RuntimeContext] = None,
+        parallel: bool = False,
+        max_workers: int = 8,
+    ) -> None:
+        self.workflow = workflow
+        self.process_runner = process_runner
+        self.runtime_context = runtime_context or RuntimeContext()
+        self.parallel = parallel
+        self.max_workers = max_workers
+        self.records: Dict[str, StepExecutionRecord] = {}
+        self._values: Dict[str, Any] = {}
+        self._values_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ public
+
+    def run(self, job_order: Dict[str, Any]) -> Dict[str, Any]:
+        """Execute the workflow and return its output object."""
+        job_order = {k: coerce_file_inputs(v) for k, v in job_order.items()}
+        self._seed_inputs(job_order)
+
+        pending: Set[str] = {step.id for step in self.workflow.steps}
+        completed: Set[str] = set()
+
+        if self.parallel:
+            self._run_parallel(pending, completed)
+        else:
+            self._run_serial(pending, completed)
+
+        return self._collect_workflow_outputs()
+
+    # ------------------------------------------------------------- scheduling
+
+    def _run_serial(self, pending: Set[str], completed: Set[str]) -> None:
+        while pending:
+            ready = [step_id for step_id in pending if self._step_ready(step_id)]
+            if not ready:
+                unresolved = {s: self._missing_sources(s) for s in pending}
+                raise WorkflowException(
+                    f"workflow deadlock: no step can run; unresolved sources: {unresolved}"
+                )
+            for step_id in ready:
+                self._execute_step(self.workflow.get_step(step_id))
+                pending.discard(step_id)
+                completed.add(step_id)
+
+    def _run_parallel(self, pending: Set[str], completed: Set[str]) -> None:
+        with cf.ThreadPoolExecutor(max_workers=self.max_workers,
+                                   thread_name_prefix="cwl-workflow") as pool:
+            running: Dict[cf.Future, str] = {}
+            while pending or running:
+                ready = [step_id for step_id in list(pending) if self._step_ready(step_id)]
+                for step_id in ready:
+                    pending.discard(step_id)
+                    future = pool.submit(self._execute_step, self.workflow.get_step(step_id))
+                    running[future] = step_id
+                if not running:
+                    if pending:
+                        unresolved = {s: self._missing_sources(s) for s in pending}
+                        raise WorkflowException(
+                            f"workflow deadlock: no step can run; unresolved sources: {unresolved}"
+                        )
+                    break
+                done, _ = cf.wait(list(running), return_when=cf.FIRST_COMPLETED)
+                for future in done:
+                    step_id = running.pop(future)
+                    future.result()  # re-raise failures
+                    completed.add(step_id)
+
+    # ------------------------------------------------------------- data store
+
+    def _seed_inputs(self, job_order: Dict[str, Any]) -> None:
+        with self._values_lock:
+            for param in self.workflow.inputs:
+                if param.id in job_order:
+                    self._values[param.id] = job_order[param.id]
+                elif param.has_default:
+                    self._values[param.id] = param.default
+                elif param.type.is_optional:
+                    self._values[param.id] = None
+                else:
+                    raise ValidationException(
+                        f"workflow input {param.id!r} is required but was not provided"
+                    )
+
+    def _store(self, key: str, value: Any) -> None:
+        with self._values_lock:
+            self._values[key] = value
+
+    def _available(self, key: str) -> bool:
+        with self._values_lock:
+            return key in self._values
+
+    def _get(self, key: str) -> Any:
+        with self._values_lock:
+            return self._values[key]
+
+    def _step_ready(self, step_id: str) -> bool:
+        step = self.workflow.get_step(step_id)
+        if step is None:
+            return False
+        for step_input in step.in_:
+            for source in step_input.source:
+                if not self._available(source):
+                    return False
+        return True
+
+    def _missing_sources(self, step_id: str) -> List[str]:
+        step = self.workflow.get_step(step_id)
+        missing: List[str] = []
+        if step is None:
+            return missing
+        for step_input in step.in_:
+            for source in step_input.source:
+                if not self._available(source):
+                    missing.append(source)
+        return missing
+
+    # --------------------------------------------------------------- execution
+
+    def _execute_step(self, step: Optional[WorkflowStep]) -> None:
+        if step is None:
+            raise WorkflowException("attempted to execute an unknown step")
+        logger.debug("executing step %s", step.id)
+        record = StepExecutionRecord(step_id=step.id)
+        self.records[step.id] = record
+
+        process = self._resolve_process(step)
+        step_inputs = self._gather_step_inputs(step)
+
+        # Conditional execution (`when`).
+        if step.when is not None:
+            evaluator = ExpressionEvaluator(js_enabled=True,
+                                            cache_engine=self.runtime_context.cache_js_engine)
+            condition = evaluator.evaluate(step.when, {"inputs": step_inputs, "self": None,
+                                                       "runtime": {}})
+            if not condition:
+                record.skipped = True
+                for out_id in step.out:
+                    self._store(f"{step.id}/{out_id}", None)
+                return
+
+        if step.scatter:
+            plan = build_scatter_jobs(step_inputs, step.scatter, step.scatter_method)
+            record.scattered = True
+            record.job_count = len(plan.jobs)
+            results = self._run_scatter_jobs(process, plan.jobs)
+            for out_id in step.out:
+                flat = [result.get(out_id) for result in results]
+                if step.scatter_method == "nested_crossproduct":
+                    value = nest_outputs(flat, plan.shape)
+                else:
+                    value = flat
+                self._store(f"{step.id}/{out_id}", value)
+            record.outputs = {out_id: self._get(f"{step.id}/{out_id}") for out_id in step.out}
+            return
+
+        outputs = self.process_runner(process, step_inputs, self.runtime_context)
+        for out_id in step.out:
+            if out_id not in outputs:
+                raise WorkflowException(
+                    f"step {step.id!r} did not produce declared output {out_id!r} "
+                    f"(produced {sorted(outputs)})"
+                )
+            self._store(f"{step.id}/{out_id}", outputs[out_id])
+        record.outputs = {out_id: outputs[out_id] for out_id in step.out}
+
+    def _run_scatter_jobs(self, process: Process, jobs: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        if not jobs:
+            return []
+        if not self.parallel or len(jobs) == 1:
+            return [self.process_runner(process, job, self.runtime_context) for job in jobs]
+        with cf.ThreadPoolExecutor(max_workers=self.max_workers,
+                                   thread_name_prefix="cwl-scatter") as pool:
+            futures = [pool.submit(self.process_runner, process, job, self.runtime_context)
+                       for job in jobs]
+            return [future.result() for future in futures]
+
+    def _resolve_process(self, step: WorkflowStep) -> Process:
+        if step.embedded_process is not None:
+            return step.embedded_process
+        if isinstance(step.run, str):
+            base_dir = None
+            if self.workflow.source_path:
+                import os
+
+                base_dir = os.path.dirname(self.workflow.source_path)
+            process = load_document(step.run if base_dir is None else
+                                    step.run if step.run.startswith("/") else
+                                    f"{base_dir}/{step.run}")
+            step.embedded_process = process
+            return process
+        raise WorkflowException(f"step {step.id!r} has an unresolvable run reference {step.run!r}")
+
+    # ------------------------------------------------------------- step inputs
+
+    def _gather_step_inputs(self, step: WorkflowStep) -> Dict[str, Any]:
+        gathered: Dict[str, Any] = {}
+        for step_input in step.in_:
+            if step_input.source:
+                values = [self._get(source) for source in step_input.source]
+                if len(values) == 1:
+                    value = values[0]
+                elif step_input.link_merge == "merge_flattened":
+                    value = [item for sub in values
+                             for item in (sub if isinstance(sub, list) else [sub])]
+                else:  # merge_nested
+                    value = values
+            else:
+                value = None
+            if value is None and step_input.has_default:
+                value = step_input.default
+            gathered[step_input.id] = value
+
+        # valueFrom runs after all sources/defaults are resolved, with `self` bound
+        # to the pre-valueFrom value of that input (CWL v1.2 semantics).
+        needs_expression = any(si.value_from is not None for si in step.in_)
+        if needs_expression:
+            evaluator = ExpressionEvaluator(js_enabled=True,
+                                            cache_engine=self.runtime_context.cache_js_engine)
+            base_context = dict(gathered)
+            for step_input in step.in_:
+                if step_input.value_from is None:
+                    continue
+                context = {"inputs": base_context, "self": base_context.get(step_input.id),
+                           "runtime": {}}
+                gathered[step_input.id] = evaluator.evaluate(step_input.value_from, context)
+        return gathered
+
+    # --------------------------------------------------------- workflow outputs
+
+    def _collect_workflow_outputs(self) -> Dict[str, Any]:
+        outputs: Dict[str, Any] = {}
+        for output in self.workflow.workflow_outputs:
+            if not output.output_source:
+                outputs[output.id] = None
+                continue
+            values = []
+            for source in output.output_source:
+                if not self._available(source):
+                    raise WorkflowException(
+                        f"workflow output {output.id!r} source {source!r} was never produced"
+                    )
+                values.append(self._get(source))
+            if len(values) == 1:
+                outputs[output.id] = values[0]
+            elif output.link_merge == "merge_flattened":
+                outputs[output.id] = [item for sub in values
+                                      for item in (sub if isinstance(sub, list) else [sub])]
+            else:
+                outputs[output.id] = values
+        return outputs

@@ -1,0 +1,31 @@
+"""Image-processing substrate for the paper's evaluation workflow.
+
+The paper's evaluation (Fig. 1) runs a three-stage image-processing pipeline —
+resize, sepia filter, blur — described as CWL ``CommandLineTool`` definitions.
+The original tools rely on Pillow/ImageMagick-style utilities and a photo
+dataset; neither is available offline, so this subpackage provides:
+
+* :mod:`repro.imaging.png` — a pure-numpy PNG encoder/decoder built directly on
+  :mod:`zlib` (truecolour, truecolour+alpha and greyscale, 8-bit).
+* :mod:`repro.imaging.ops` — the three image operations (resize, sepia, blur)
+  implemented with vectorised numpy.
+* :mod:`repro.imaging.synthetic` — a deterministic synthetic image generator used
+  as the experiment workload.
+* :mod:`repro.imaging.cli` — the ``repro-image-*`` command-line tools that the CWL
+  ``CommandLineTool`` definitions invoke, plus ``repro-wordtool`` used by the
+  expression benchmark (Fig. 2).
+"""
+
+from repro.imaging.png import read_png, write_png
+from repro.imaging.ops import blur_image, resize_image, sepia_filter
+from repro.imaging.synthetic import generate_image, generate_image_files
+
+__all__ = [
+    "blur_image",
+    "generate_image",
+    "generate_image_files",
+    "read_png",
+    "resize_image",
+    "sepia_filter",
+    "write_png",
+]

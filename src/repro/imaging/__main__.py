@@ -1,0 +1,6 @@
+"""Allow ``python -m repro.imaging <subcommand>`` as a shorthand for the CLI dispatcher."""
+
+from repro.imaging.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,152 @@
+"""Command-line image tools invoked by the CWL ``CommandLineTool`` definitions.
+
+The paper's evaluation workflow (Listing 3) wires together three command-line
+tools — resize, filter, blur.  These are the concrete executables behind the
+CWL documents shipped in ``examples/cwl/``:
+
+* ``repro-image-resize  --size N --output OUT IN``
+* ``repro-image-filter  [--sepia] --output OUT IN``
+* ``repro-image-blur    --radius R --output OUT IN``
+* ``repro-image-generate --count N --size S --outdir DIR`` (workload generator)
+* ``repro-wordtool      --mode capitalize|count WORDS...`` (Fig. 2 workload)
+
+Each tool is also reachable without an installed console script as
+``python -m repro.imaging.cli <subcommand> ...`` so that CWL documents work even
+when the package is imported from a source tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.imaging.ops import blur_image, resize_image, sepia_filter
+from repro.imaging.png import read_png, write_png
+from repro.imaging.synthetic import generate_image_files
+
+
+def _build_resize_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro-image-resize", description="Resize a PNG image")
+    parser.add_argument("input_image", help="input PNG path")
+    parser.add_argument("--size", type=int, required=True, help="target size (square)")
+    parser.add_argument("--output", required=True, help="output PNG path")
+    parser.add_argument("--method", default="bilinear", choices=("bilinear", "nearest"))
+    return parser
+
+
+def resize_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-image-resize``."""
+    args = _build_resize_parser().parse_args(argv)
+    image = read_png(args.input_image)
+    write_png(args.output, resize_image(image, args.size, method=args.method))
+    print(f"resized {args.input_image} -> {args.output} ({args.size}x{args.size})")
+    return 0
+
+
+def _build_filter_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro-image-filter", description="Apply a sepia filter")
+    parser.add_argument("input_image", help="input PNG path")
+    parser.add_argument("--sepia", action="store_true", help="apply the sepia tone")
+    parser.add_argument("--output", required=True, help="output PNG path")
+    return parser
+
+
+def filter_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-image-filter``."""
+    args = _build_filter_parser().parse_args(argv)
+    image = read_png(args.input_image)
+    write_png(args.output, sepia_filter(image, apply=args.sepia))
+    print(f"filtered {args.input_image} -> {args.output} (sepia={args.sepia})")
+    return 0
+
+
+def _build_blur_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro-image-blur", description="Blur a PNG image")
+    parser.add_argument("input_image", help="input PNG path")
+    parser.add_argument("--radius", type=int, default=1, help="blur radius in pixels")
+    parser.add_argument("--output", required=True, help="output PNG path")
+    return parser
+
+
+def blur_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-image-blur``."""
+    args = _build_blur_parser().parse_args(argv)
+    image = read_png(args.input_image)
+    write_png(args.output, blur_image(image, radius=args.radius))
+    print(f"blurred {args.input_image} -> {args.output} (radius={args.radius})")
+    return 0
+
+
+def _build_generate_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-image-generate", description="Generate synthetic PNG workload images"
+    )
+    parser.add_argument("--count", type=int, required=True, help="number of images")
+    parser.add_argument("--size", type=int, default=256, help="width/height of each image")
+    parser.add_argument("--outdir", required=True, help="destination directory")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--prefix", default="img")
+    return parser
+
+
+def generate_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-image-generate``."""
+    args = _build_generate_parser().parse_args(argv)
+    paths = generate_image_files(
+        args.outdir, args.count, width=args.size, height=args.size, prefix=args.prefix, seed=args.seed
+    )
+    for path in paths:
+        print(path)
+    return 0
+
+
+def _build_wordtool_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-wordtool",
+        description="Word-processing tool used by the expression benchmark (Fig. 2)",
+    )
+    parser.add_argument("--mode", default="echo", choices=("echo", "capitalize", "count", "upper"))
+    parser.add_argument("words", nargs="*", help="words to process")
+    return parser
+
+
+def wordtool_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``repro-wordtool``."""
+    args = _build_wordtool_parser().parse_args(argv)
+    text = " ".join(args.words)
+    if args.mode == "capitalize":
+        print(text.title())
+    elif args.mode == "upper":
+        print(text.upper())
+    elif args.mode == "count":
+        print(len(args.words))
+    else:
+        print(text)
+    return 0
+
+
+_SUBCOMMANDS = {
+    "resize": resize_main,
+    "filter": filter_main,
+    "blur": blur_main,
+    "generate": generate_main,
+    "wordtool": wordtool_main,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Dispatcher so the tools are usable as ``python -m repro.imaging.cli <cmd> ...``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print("usage: python -m repro.imaging.cli {resize,filter,blur,generate,wordtool} ...")
+        return 0 if argv else 2
+    command, rest = argv[0], argv[1:]
+    if command not in _SUBCOMMANDS:
+        print(f"unknown subcommand {command!r}; expected one of {sorted(_SUBCOMMANDS)}", file=sys.stderr)
+        return 2
+    return _SUBCOMMANDS[command](rest)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    raise SystemExit(main())

@@ -1,0 +1,195 @@
+"""A minimal pure-numpy PNG encoder/decoder.
+
+Only the subset of the PNG specification needed by the evaluation workflow is
+implemented:
+
+* 8-bit sample depth,
+* colour types 0 (greyscale), 2 (truecolour RGB) and 6 (truecolour + alpha),
+* no interlacing,
+* all five scanline filter types on decode; filter type 0 (None) on encode.
+
+The codec exists because Pillow is not available offline; it is deliberately
+simple but fully standard-compliant for the images it produces, so the files it
+writes can be read by any external viewer.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Union
+
+import numpy as np
+
+PathLike = Union[str, os.PathLike]
+
+_PNG_SIGNATURE = b"\x89PNG\r\n\x1a\n"
+
+# Mapping from PNG colour type to number of samples per pixel.
+_CHANNELS = {0: 1, 2: 3, 4: 2, 6: 4}
+
+
+class PNGError(ValueError):
+    """Raised when a PNG stream is malformed or uses an unsupported feature."""
+
+
+def _chunk(tag: bytes, data: bytes) -> bytes:
+    """Serialise one PNG chunk (length, tag, data, CRC)."""
+    return (
+        struct.pack(">I", len(data))
+        + tag
+        + data
+        + struct.pack(">I", zlib.crc32(tag + data) & 0xFFFFFFFF)
+    )
+
+
+def write_png(path: PathLike, image: np.ndarray) -> None:
+    """Write ``image`` to ``path`` as an 8-bit PNG.
+
+    ``image`` must be a uint8 array of shape ``(H, W)`` (greyscale), ``(H, W, 3)``
+    (RGB) or ``(H, W, 4)`` (RGBA).  Values of other dtypes are clipped to
+    ``[0, 255]`` and cast.
+    """
+    arr = np.asarray(image)
+    if arr.ndim == 2:
+        colour_type = 0
+        arr = arr[:, :, np.newaxis]
+    elif arr.ndim == 3 and arr.shape[2] == 3:
+        colour_type = 2
+    elif arr.ndim == 3 and arr.shape[2] == 4:
+        colour_type = 6
+    else:
+        raise PNGError(f"unsupported image shape {arr.shape!r}")
+
+    if arr.dtype != np.uint8:
+        arr = np.clip(np.round(arr), 0, 255).astype(np.uint8)
+
+    height, width, _channels = arr.shape
+    header = struct.pack(">IIBBBBB", width, height, 8, colour_type, 0, 0, 0)
+
+    # Prepend the per-scanline filter byte (0 = None) and compress.
+    raw = np.empty((height, 1 + width * arr.shape[2]), dtype=np.uint8)
+    raw[:, 0] = 0
+    raw[:, 1:] = arr.reshape(height, -1)
+    compressed = zlib.compress(raw.tobytes(), level=6)
+
+    with open(os.fspath(path), "wb") as handle:
+        handle.write(_PNG_SIGNATURE)
+        handle.write(_chunk(b"IHDR", header))
+        handle.write(_chunk(b"IDAT", compressed))
+        handle.write(_chunk(b"IEND", b""))
+
+
+def _paeth(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """The Paeth predictor from the PNG specification, vectorised over a scanline."""
+    a = a.astype(np.int16)
+    b = b.astype(np.int16)
+    c = c.astype(np.int16)
+    p = a + b - c
+    pa = np.abs(p - a)
+    pb = np.abs(p - b)
+    pc = np.abs(p - c)
+    out = np.where((pa <= pb) & (pa <= pc), a, np.where(pb <= pc, b, c))
+    return out.astype(np.uint8)
+
+
+def _unfilter(raw: bytes, height: int, width: int, channels: int) -> np.ndarray:
+    """Reverse PNG scanline filtering, returning an ``(H, W*channels)`` uint8 array."""
+    stride = width * channels
+    expected = height * (stride + 1)
+    if len(raw) < expected:
+        raise PNGError(
+            f"decompressed data too short: got {len(raw)} bytes, expected {expected}"
+        )
+    data = np.frombuffer(raw[:expected], dtype=np.uint8).reshape(height, stride + 1)
+    filters = data[:, 0]
+    scanlines = data[:, 1:]
+
+    out = np.zeros((height, stride), dtype=np.uint8)
+    bpp = channels  # bytes per pixel at 8-bit depth
+    for row in range(height):
+        ftype = int(filters[row])
+        line = scanlines[row].astype(np.int16)
+        prev = out[row - 1].astype(np.int16) if row > 0 else np.zeros(stride, np.int16)
+        if ftype == 0:  # None
+            recon = line
+        elif ftype == 1:  # Sub
+            recon = line.copy()
+            for i in range(bpp, stride):
+                recon[i] = (recon[i] + recon[i - bpp]) & 0xFF
+        elif ftype == 2:  # Up
+            recon = (line + prev) & 0xFF
+        elif ftype == 3:  # Average
+            recon = line.copy()
+            for i in range(stride):
+                left = recon[i - bpp] if i >= bpp else 0
+                recon[i] = (recon[i] + ((left + prev[i]) >> 1)) & 0xFF
+        elif ftype == 4:  # Paeth
+            recon = line.copy()
+            for i in range(stride):
+                left = recon[i - bpp] if i >= bpp else 0
+                up = prev[i]
+                upleft = prev[i - bpp] if i >= bpp else 0
+                recon[i] = (
+                    recon[i]
+                    + _paeth(
+                        np.array([left], np.uint8),
+                        np.array([up], np.uint8),
+                        np.array([upleft], np.uint8),
+                    )[0]
+                ) & 0xFF
+        else:
+            raise PNGError(f"unsupported PNG filter type {ftype}")
+        out[row] = recon.astype(np.uint8)
+    return out
+
+
+def read_png(path: PathLike) -> np.ndarray:
+    """Read the PNG at ``path`` into a uint8 numpy array.
+
+    Returns shape ``(H, W)`` for greyscale images and ``(H, W, C)`` otherwise.
+    """
+    with open(os.fspath(path), "rb") as handle:
+        blob = handle.read()
+    if blob[:8] != _PNG_SIGNATURE:
+        raise PNGError(f"{path}: not a PNG file (bad signature)")
+
+    offset = 8
+    width = height = None
+    bit_depth = colour_type = None
+    idat_parts = []
+    while offset < len(blob):
+        if offset + 8 > len(blob):
+            raise PNGError(f"{path}: truncated chunk header")
+        (length,) = struct.unpack(">I", blob[offset : offset + 4])
+        tag = blob[offset + 4 : offset + 8]
+        data = blob[offset + 8 : offset + 8 + length]
+        offset += 12 + length  # length + tag + data + crc
+        if tag == b"IHDR":
+            width, height, bit_depth, colour_type, _comp, _filt, interlace = struct.unpack(
+                ">IIBBBBB", data
+            )
+            if bit_depth != 8:
+                raise PNGError(f"{path}: only 8-bit PNGs are supported (got {bit_depth})")
+            if colour_type not in _CHANNELS:
+                raise PNGError(f"{path}: unsupported colour type {colour_type}")
+            if interlace != 0:
+                raise PNGError(f"{path}: interlaced PNGs are not supported")
+        elif tag == b"IDAT":
+            idat_parts.append(data)
+        elif tag == b"IEND":
+            break
+
+    if width is None or height is None or colour_type is None:
+        raise PNGError(f"{path}: missing IHDR chunk")
+    if not idat_parts:
+        raise PNGError(f"{path}: missing IDAT data")
+
+    channels = _CHANNELS[colour_type]
+    raw = zlib.decompress(b"".join(idat_parts))
+    flat = _unfilter(raw, height, width, channels)
+    image = flat.reshape(height, width, channels)
+    if channels == 1:
+        return image[:, :, 0].copy()
+    return image.copy()

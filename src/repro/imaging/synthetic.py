@@ -1,0 +1,85 @@
+"""Deterministic synthetic image generation.
+
+The paper processes a directory of photographs.  Offline we generate synthetic
+PNG images instead: smooth colour gradients with superimposed geometric shapes,
+seeded per-image so that workloads are reproducible and images differ from one
+another (which matters for output checksums in tests).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.imaging.png import write_png
+
+PathLike = Union[str, os.PathLike]
+
+
+def generate_image(width: int = 256, height: int = 256, seed: int = 0) -> np.ndarray:
+    """Return a deterministic synthetic RGB image of the requested size.
+
+    The image is a smooth two-axis gradient with a seeded set of filled circles,
+    giving enough structure for resize/sepia/blur outputs to differ visibly.
+    """
+    rng = np.random.default_rng(seed)
+    ys = np.linspace(0.0, 1.0, height)[:, np.newaxis]
+    xs = np.linspace(0.0, 1.0, width)[np.newaxis, :]
+
+    red = 255.0 * (0.5 + 0.5 * np.sin(2 * np.pi * (xs + 0.1 * seed)))
+    green = 255.0 * ys
+    blue = 255.0 * (0.5 + 0.5 * np.cos(2 * np.pi * (ys * xs + 0.05 * seed)))
+    image = np.stack(
+        [np.broadcast_to(red, (height, width)),
+         np.broadcast_to(green, (height, width)),
+         np.broadcast_to(blue, (height, width))],
+        axis=2,
+    ).copy()
+
+    # Add a few filled circles with seeded centres and colours.
+    yy, xx = np.mgrid[0:height, 0:width]
+    for _ in range(4):
+        cy = rng.integers(0, height)
+        cx = rng.integers(0, width)
+        radius = rng.integers(max(4, min(width, height) // 16), max(8, min(width, height) // 4))
+        colour = rng.integers(0, 256, size=3)
+        mask = (yy - cy) ** 2 + (xx - cx) ** 2 <= radius**2
+        image[mask] = colour
+
+    return np.clip(np.round(image), 0, 255).astype(np.uint8)
+
+
+def generate_image_files(
+    directory: PathLike,
+    count: int,
+    width: int = 256,
+    height: int = 256,
+    prefix: str = "img",
+    seed: int = 0,
+) -> List[str]:
+    """Write ``count`` synthetic PNGs into ``directory`` and return their paths.
+
+    File names are zero-padded (``img_0000.png`` …) so glob ordering is stable.
+    """
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    paths: List[str] = []
+    for index in range(count):
+        image = generate_image(width=width, height=height, seed=seed + index)
+        path = os.path.join(directory, f"{prefix}_{index:04d}.png")
+        write_png(path, image)
+        paths.append(path)
+    return paths
+
+
+def word_corpus(count: int, seed: int = 0) -> Sequence[str]:
+    """Return ``count`` deterministic pseudo-words for the expression benchmark (Fig. 2)."""
+    rng = np.random.default_rng(seed)
+    syllables = ["par", "sl", "cwl", "flow", "data", "task", "node", "exec", "py", "tool"]
+    words = []
+    for _ in range(count):
+        k = int(rng.integers(1, 4))
+        words.append("".join(str(syllables[int(rng.integers(0, len(syllables)))]) for _ in range(k)))
+    return words

@@ -1,0 +1,13 @@
+"""App decorators: ``python_app``, ``bash_app`` and ``join_app``."""
+
+from repro.parsl.apps.app import AppBase, BashApp, JoinApp, PythonApp, bash_app, join_app, python_app
+
+__all__ = [
+    "AppBase",
+    "BashApp",
+    "JoinApp",
+    "PythonApp",
+    "bash_app",
+    "join_app",
+    "python_app",
+]

@@ -1,0 +1,110 @@
+"""Execution-side wrapper for bash apps.
+
+A bash app's Python body returns a command-line string; the wrapper below runs
+that command in a subshell on the executor side, wiring ``stdout`` / ``stderr``
+kwargs to files and translating non-zero exit codes into
+:class:`~repro.parsl.errors.BashExitFailure`.  It is a module-level function so
+that it can be serialized by reference and shipped to worker processes.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from repro.parsl.errors import AppBadFormatting, BashAppNoReturn, BashExitFailure, MissingOutputs
+
+StdSpec = Union[None, str, Tuple[str, str]]
+
+
+def _open_std_stream(spec: StdSpec):
+    """Open a stdout/stderr specification: a path, or a ``(path, mode)`` tuple."""
+    if spec is None:
+        return None, None
+    if isinstance(spec, tuple):
+        path, mode = spec
+    else:
+        path, mode = spec, "w"
+    path = os.fspath(path)
+    parent = os.path.dirname(os.path.abspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    return open(path, mode), path
+
+
+def remote_side_bash_executor(func: Callable, *args: Any, **kwargs: Any) -> int:
+    """Run a bash app: evaluate its body to a command string and execute it.
+
+    Returns 0 on success (mirroring Parsl, where the AppFuture of a bash app
+    resolves to the unix exit code of the command, which must be zero).
+    """
+    app_name = getattr(func, "__name__", "bash_app")
+
+    stdout_spec: StdSpec = kwargs.pop("stdout", None)
+    stderr_spec: StdSpec = kwargs.pop("stderr", None)
+    # inputs/outputs stay visible to the app body (they are part of Parsl's API),
+    # but we keep a copy to verify declared outputs afterwards.
+    declared_outputs = kwargs.get("outputs") or []
+
+    try:
+        command = func(*args, **kwargs)
+    except TypeError as exc:
+        # Signature mismatches are formatting errors; anything else the body
+        # raises (e.g. CWL input validation failures) propagates unchanged so
+        # callers can handle the original exception type.
+        raise AppBadFormatting(
+            f"bash app '{app_name}' raised while building its command: {exc}"
+        ) from exc
+
+    if not isinstance(command, str):
+        raise BashAppNoReturn(app_name, command)
+
+    stdout_handle, _stdout_path = _open_std_stream(stdout_spec)
+    stderr_handle, _stderr_path = _open_std_stream(stderr_spec)
+    try:
+        proc = subprocess.Popen(
+            command,
+            shell=True,
+            executable="/bin/bash" if os.path.exists("/bin/bash") else None,
+            stdout=stdout_handle if stdout_handle is not None else subprocess.DEVNULL,
+            stderr=stderr_handle if stderr_handle is not None else subprocess.DEVNULL,
+        )
+        exit_code = proc.wait()
+    finally:
+        for handle in (stdout_handle, stderr_handle):
+            if handle is not None:
+                handle.close()
+
+    if exit_code != 0:
+        raise BashExitFailure(app_name, exit_code, command)
+
+    missing = [f.filepath if hasattr(f, "filepath") else str(f)
+               for f in declared_outputs
+               if not os.path.exists(f.filepath if hasattr(f, "filepath") else str(f))]
+    if missing:
+        raise MissingOutputs(app_name, missing)
+
+    return exit_code
+
+
+def execute_wait(command: str, env: Optional[Dict[str, str]] = None,
+                 cwd: Optional[str] = None, timeout: Optional[float] = None) -> Tuple[int, str, str]:
+    """Run ``command`` synchronously and capture its output.
+
+    A convenience used by channels, providers and the CWL runners; not part of
+    the app execution path itself.
+    """
+    merged_env = dict(os.environ)
+    if env:
+        merged_env.update(env)
+    proc = subprocess.run(
+        command,
+        shell=True,
+        env=merged_env,
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    return proc.returncode, proc.stdout, proc.stderr

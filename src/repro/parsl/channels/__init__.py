@@ -1,0 +1,65 @@
+"""Channels: where provider commands execute.
+
+Parsl's channel abstraction lets providers run their ``sbatch``/``qsub``
+commands either locally or over SSH.  Only a local channel is meaningful in
+this environment, but the interface is kept so that provider code reads like
+Parsl's and so that tests can exercise command execution and error handling.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+from abc import ABC, abstractmethod
+from typing import Dict, Optional, Tuple
+
+
+class Channel(ABC):
+    """Interface for executing commands and transferring scripts."""
+
+    @abstractmethod
+    def execute_wait(self, command: str, timeout: Optional[float] = None,
+                     env: Optional[Dict[str, str]] = None) -> Tuple[int, str, str]:
+        """Run ``command`` and return ``(exit_code, stdout, stderr)``."""
+
+    @abstractmethod
+    def push_file(self, source: str, destination_dir: str) -> str:
+        """Make ``source`` available on the channel's target; return the remote path."""
+
+    @property
+    @abstractmethod
+    def script_dir(self) -> str:
+        """Directory in which provider scripts should be written."""
+
+
+class LocalChannel(Channel):
+    """Execute provider commands on the local host."""
+
+    def __init__(self, script_dir: str = ".parsl_scripts") -> None:
+        self._script_dir = script_dir
+
+    @property
+    def script_dir(self) -> str:
+        return self._script_dir
+
+    def execute_wait(self, command: str, timeout: Optional[float] = None,
+                     env: Optional[Dict[str, str]] = None) -> Tuple[int, str, str]:
+        merged = dict(os.environ)
+        if env:
+            merged.update(env)
+        proc = subprocess.run(
+            command, shell=True, capture_output=True, text=True, timeout=timeout, env=merged
+        )
+        return proc.returncode, proc.stdout, proc.stderr
+
+    def push_file(self, source: str, destination_dir: str) -> str:
+        os.makedirs(destination_dir, exist_ok=True)
+        destination = os.path.join(destination_dir, os.path.basename(source))
+        if os.path.abspath(source) != os.path.abspath(destination):
+            import shutil
+
+            shutil.copy2(source, destination)
+        return destination
+
+
+__all__ = ["Channel", "LocalChannel"]

@@ -1,0 +1,77 @@
+"""Ready-made configurations.
+
+Parsl ships example configurations (``parsl.configs.local_threads`` etc.) and
+the paper's listings load them directly.  These factories provide the same
+convenience for this re-implementation and are also the building blocks used by
+:mod:`repro.core.yaml_config` when translating TaPS-style YAML configuration
+files into live :class:`~repro.parsl.config.Config` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.scheduler import SimulatedSlurmCluster
+from repro.parsl.config import Config
+from repro.parsl.executors.high_throughput.executor import HighThroughputExecutor
+from repro.parsl.executors.processes import ProcessPoolExecutor
+from repro.parsl.executors.threads import ThreadPoolExecutor
+from repro.parsl.executors.workqueue import WorkQueueStyleExecutor
+from repro.parsl.providers.local import LocalProvider
+from repro.parsl.providers.slurm import SlurmProvider
+
+
+def thread_config(max_threads: int = 8, label: str = "threads", **config_kwargs) -> Config:
+    """Single-node thread-pool configuration (``parsl.configs.local_threads`` analogue)."""
+    return Config(executors=[ThreadPoolExecutor(label=label, max_threads=max_threads)],
+                  **config_kwargs)
+
+
+def local_process_config(max_workers: int = 4, label: str = "processes", **config_kwargs) -> Config:
+    """Single-node process-pool configuration."""
+    return Config(executors=[ProcessPoolExecutor(label=label, max_workers=max_workers)],
+                  **config_kwargs)
+
+
+def workqueue_config(total_cores: int = 8, label: str = "workqueue", **config_kwargs) -> Config:
+    """Resource-aware WorkQueue-style configuration."""
+    return Config(executors=[WorkQueueStyleExecutor(label=label, total_cores=total_cores)],
+                  **config_kwargs)
+
+
+def htex_local_config(workers: int = 4, label: str = "htex_local", **config_kwargs) -> Config:
+    """HighThroughputExecutor on the local machine (one block, N workers)."""
+    provider = LocalProvider(nodes_per_block=1, cores_per_node=workers,
+                             init_blocks=1, max_blocks=1)
+    executor = HighThroughputExecutor(label=label, provider=provider,
+                                      max_workers_per_node=workers)
+    return Config(executors=[executor], **config_kwargs)
+
+
+def htex_config(
+    nodes: int = 3,
+    workers_per_node: int = 8,
+    cores_per_node: int = 48,
+    label: str = "htex",
+    cluster: Optional[SimulatedSlurmCluster] = None,
+    **config_kwargs,
+) -> Config:
+    """HighThroughputExecutor over a (simulated) Slurm allocation.
+
+    This is the configuration used to reproduce the paper's three-node
+    experiment (Fig. 1a): one pilot block spanning ``nodes`` nodes, with
+    ``workers_per_node`` worker processes per node.
+    """
+    provider = SlurmProvider(
+        nodes_per_block=nodes,
+        cores_per_node=cores_per_node,
+        init_blocks=1,
+        max_blocks=1,
+        cluster=cluster,
+    )
+    executor = HighThroughputExecutor(
+        label=label,
+        provider=provider,
+        max_workers_per_node=workers_per_node,
+    )
+    return Config(executors=[executor], **config_kwargs)

@@ -1,0 +1,6 @@
+"""Data management for the Parsl-like library: the ``File`` abstraction and staging."""
+
+from repro.parsl.data_provider.files import File
+from repro.parsl.data_provider.staging import DataManager, NoOpStaging, Staging
+
+__all__ = ["DataManager", "File", "NoOpStaging", "Staging"]

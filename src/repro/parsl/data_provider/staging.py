@@ -1,0 +1,130 @@
+"""Data staging framework.
+
+Staging providers translate :class:`~repro.parsl.data_provider.files.File`
+objects into locally accessible paths before an app runs, and push outputs back
+afterwards.  Only local files matter for the paper's experiments, so the
+default chain contains :class:`NoOpStaging` (local ``file://`` URLs) and
+:class:`HTTPSDownloadStaging` is included as an example of a real provider with
+the same interface (it is only exercised in tests with ``file://`` fallbacks,
+since the environment is offline).
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+from repro.parsl.data_provider.files import File
+from repro.utils.logging_config import get_logger
+
+logger = get_logger("parsl.staging")
+
+
+class Staging(ABC):
+    """Interface for staging providers."""
+
+    @abstractmethod
+    def can_stage_in(self, file: File) -> bool:
+        """Whether this provider understands ``file``'s scheme for input staging."""
+
+    def can_stage_out(self, file: File) -> bool:
+        """Whether this provider understands ``file``'s scheme for output staging."""
+        return self.can_stage_in(file)
+
+    @abstractmethod
+    def stage_in(self, file: File, working_dir: Optional[str]) -> File:
+        """Make ``file`` locally available; returns the (possibly updated) File."""
+
+    def stage_out(self, file: File, working_dir: Optional[str]) -> File:
+        """Publish a locally produced output file; default is a no-op."""
+        return file
+
+
+class NoOpStaging(Staging):
+    """Staging for local ``file://`` URLs: the path is already accessible."""
+
+    def can_stage_in(self, file: File) -> bool:
+        return file.scheme in ("file", "")
+
+    def stage_in(self, file: File, working_dir: Optional[str]) -> File:
+        file.local_path = file.path
+        return file
+
+
+class CopyStaging(Staging):
+    """Copy local files into the task working directory.
+
+    This mirrors what remote executors do with shared filesystems and gives the
+    CWL runners an isolated working directory per task.
+    """
+
+    def can_stage_in(self, file: File) -> bool:
+        return file.scheme in ("file", "")
+
+    def stage_in(self, file: File, working_dir: Optional[str]) -> File:
+        if working_dir is None:
+            file.local_path = file.path
+            return file
+        os.makedirs(working_dir, exist_ok=True)
+        destination = os.path.join(working_dir, file.filename)
+        if os.path.abspath(file.path) != os.path.abspath(destination):
+            shutil.copy2(file.path, destination)
+        file.local_path = destination
+        return file
+
+    def stage_out(self, file: File, working_dir: Optional[str]) -> File:
+        if working_dir is None:
+            return file
+        produced = os.path.join(working_dir, file.filename)
+        if os.path.exists(produced) and os.path.abspath(produced) != os.path.abspath(file.path):
+            os.makedirs(os.path.dirname(os.path.abspath(file.path)) or ".", exist_ok=True)
+            shutil.copy2(produced, file.path)
+        file.local_path = file.path
+        return file
+
+
+class HTTPSDownloadStaging(Staging):
+    """Download ``http(s)://`` URLs into the working directory (requires network)."""
+
+    def can_stage_in(self, file: File) -> bool:
+        return file.scheme in ("http", "https")
+
+    def can_stage_out(self, file: File) -> bool:
+        return False
+
+    def stage_in(self, file: File, working_dir: Optional[str]) -> File:  # pragma: no cover - offline
+        import urllib.request
+
+        destination_dir = working_dir or "."
+        os.makedirs(destination_dir, exist_ok=True)
+        destination = os.path.join(destination_dir, file.filename)
+        urllib.request.urlretrieve(file.url, destination)
+        file.local_path = destination
+        return file
+
+
+class DataManager:
+    """Applies the first staging provider that accepts each file.
+
+    The DataFlowKernel owns one DataManager and calls :meth:`stage_in` for every
+    File argument of every task before submission.
+    """
+
+    def __init__(self, staging_providers: Optional[List[Staging]] = None) -> None:
+        self.staging_providers = staging_providers or [NoOpStaging()]
+
+    def stage_in(self, file: File, working_dir: Optional[str] = None) -> File:
+        for provider in self.staging_providers:
+            if provider.can_stage_in(file):
+                return provider.stage_in(file, working_dir)
+        logger.warning("no staging provider for %r; passing through", file)
+        file.local_path = file.path
+        return file
+
+    def stage_out(self, file: File, working_dir: Optional[str] = None) -> File:
+        for provider in self.staging_providers:
+            if provider.can_stage_out(file):
+                return provider.stage_out(file, working_dir)
+        return file

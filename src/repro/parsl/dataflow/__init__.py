@@ -1,0 +1,15 @@
+"""The dataflow kernel: futures, task records, memoization and the DFK itself."""
+
+from repro.parsl.dataflow.futures import AppFuture, DataFuture
+from repro.parsl.dataflow.states import States
+from repro.parsl.dataflow.taskrecord import TaskRecord
+from repro.parsl.dataflow.dflow import DataFlowKernel, DataFlowKernelLoader
+
+__all__ = [
+    "AppFuture",
+    "DataFlowKernel",
+    "DataFlowKernelLoader",
+    "DataFuture",
+    "States",
+    "TaskRecord",
+]

@@ -1,0 +1,123 @@
+"""Futures returned by app invocations.
+
+* :class:`AppFuture` — returned when an app is invoked; resolves to the app's
+  return value (for bash apps, the exit code 0) once execution completes.
+* :class:`DataFuture` — returned via ``AppFuture.outputs`` for every declared
+  output file; resolves to the corresponding
+  :class:`~repro.parsl.data_provider.files.File` when the producing task
+  completes.  DataFutures are what make it possible to chain CWLApps without
+  waiting (paper §III-A, §IV-B).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.parsl.data_provider.files import File
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.parsl.dataflow.taskrecord import TaskRecord
+
+
+class AppFuture(Future):
+    """A future tracking the asynchronous execution of one app invocation."""
+
+    def __init__(self, task_record: "TaskRecord") -> None:
+        super().__init__()
+        self._task_record = task_record
+        self._outputs: List["DataFuture"] = []
+
+    @property
+    def task_record(self) -> "TaskRecord":
+        return self._task_record
+
+    @property
+    def tid(self) -> int:
+        """The task id assigned by the DataFlowKernel."""
+        return self._task_record.id
+
+    @property
+    def outputs(self) -> List["DataFuture"]:
+        """DataFutures for each file listed in the app's ``outputs`` kwarg."""
+        return self._outputs
+
+    @property
+    def stdout(self) -> Optional[str]:
+        """Path to the task's stdout file, when one was requested."""
+        return self._task_record.kwargs.get("stdout")
+
+    @property
+    def stderr(self) -> Optional[str]:
+        """Path to the task's stderr file, when one was requested."""
+        return self._task_record.kwargs.get("stderr")
+
+    def add_output(self, data_future: "DataFuture") -> None:
+        self._outputs.append(data_future)
+
+    def task_status(self) -> str:
+        """Human-readable name of the task's current state."""
+        return self._task_record.status.name
+
+    def __repr__(self) -> str:
+        return (
+            f"<AppFuture task={self.tid} app={self._task_record.func_name!r} "
+            f"state={self._task_record.status.name}>"
+        )
+
+
+class DataFuture(Future):
+    """A future for a file produced by a task.
+
+    The DataFuture resolves (to its :class:`File`) when the producing task
+    succeeds.  If the producing task fails, the exception is propagated so that
+    downstream consumers observe a dependency failure.
+    """
+
+    def __init__(self, app_future: AppFuture, file_obj: File) -> None:
+        super().__init__()
+        if not isinstance(file_obj, File):
+            file_obj = File(file_obj)
+        self._app_future = app_future
+        self._file_obj = file_obj
+        app_future.add_done_callback(self._parent_done)
+
+    def _parent_done(self, parent: Future) -> None:
+        exc = parent.exception()
+        if exc is not None:
+            if not self.done():
+                self.set_exception(exc)
+            return
+        if not self.done():
+            self.set_result(self._file_obj)
+
+    @property
+    def parent(self) -> AppFuture:
+        """The AppFuture of the task producing this file."""
+        return self._app_future
+
+    @property
+    def file_obj(self) -> File:
+        return self._file_obj
+
+    @property
+    def filepath(self) -> str:
+        """Filesystem path of the (eventual) file."""
+        return self._file_obj.filepath
+
+    @property
+    def filename(self) -> str:
+        return self._file_obj.filename
+
+    @property
+    def tid(self) -> int:
+        return self._app_future.tid
+
+    def cancel(self) -> bool:  # pragma: no cover - mirrors Parsl behaviour
+        raise NotImplementedError("DataFutures cannot be cancelled directly")
+
+    def __fspath__(self) -> str:
+        return self.filepath
+
+    def __repr__(self) -> str:
+        return f"<DataFuture {self._file_obj.url!r} from task {self.tid}>"

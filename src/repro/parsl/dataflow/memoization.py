@@ -1,0 +1,126 @@
+"""App result memoization and checkpointing.
+
+Parsl can cache app results keyed on a hash of the app and its arguments so
+that re-running a workflow skips completed work.  The memoizer here supports:
+
+* per-app opt-in via ``@python_app(cache=True)`` / per-call ``ignore_for_cache``,
+* a process-wide in-memory table,
+* optional checkpointing of the table to a pickle file in the run directory and
+  reloading it through ``Config(checkpoint_files=[...])``.
+
+File and DataFuture arguments are hashed by URL (not content) matching Parsl's
+behaviour; this is a documented sharp edge, and tests cover it.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+from concurrent.futures import Future
+from typing import Any, Dict, Iterable, Optional
+
+from repro.parsl.dataflow.taskrecord import TaskRecord
+from repro.utils.hashing import hash_obj
+from repro.utils.logging_config import get_logger
+
+logger = get_logger("parsl.memoization")
+
+
+def _normalise_argument(value: Any) -> Any:
+    """Convert an argument into a hashable, stable representation."""
+    # Imported lazily to avoid a cycle at module import time.
+    from repro.parsl.data_provider.files import File
+    from repro.parsl.dataflow.futures import DataFuture
+
+    if isinstance(value, DataFuture):
+        return ("datafuture", value.file_obj.url)
+    if isinstance(value, File):
+        return ("file", value.url)
+    if isinstance(value, Future):
+        # A generic future: use its result if already resolved, else identity.
+        if value.done() and value.exception() is None:
+            return ("future-result", _normalise_argument(value.result()))
+        return ("future", id(value))
+    if isinstance(value, dict):
+        return tuple(sorted((k, _normalise_argument(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_normalise_argument(v) for v in value)
+    return value
+
+
+def make_hash(task: TaskRecord) -> str:
+    """Compute the memoization key for a task record."""
+    ignore = set(task.ignore_for_cache) | {"cache", "ignore_for_cache"}
+    kwargs = {k: _normalise_argument(v) for k, v in sorted(task.kwargs.items()) if k not in ignore}
+    args = tuple(_normalise_argument(a) for a in task.args)
+    payload = {
+        "func_name": task.func_name,
+        "app_type": task.app_type,
+        "args": args,
+        "kwargs": kwargs,
+    }
+    return hash_obj(payload)
+
+
+class Memoizer:
+    """In-memory memoization table with optional checkpoint persistence."""
+
+    def __init__(self, enabled: bool = True,
+                 checkpoint_files: Optional[Iterable[str]] = None) -> None:
+        self.enabled = enabled
+        self._table: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+        for path in checkpoint_files or []:
+            self.load_checkpoint(path)
+
+    def check(self, task: TaskRecord) -> Optional[Any]:
+        """Return the cached result for ``task`` or ``None`` when absent.
+
+        A cached *exception* is never replayed: failed results are not stored.
+        """
+        if not (self.enabled and task.memoize):
+            return None
+        task.hashsum = make_hash(task)
+        with self._lock:
+            if task.hashsum in self._table:
+                logger.debug("memo hit for task %s (%s)", task.id, task.func_name)
+                return self._table[task.hashsum]
+        return None
+
+    def update(self, task: TaskRecord, result: Any) -> None:
+        """Record a successful result for ``task``."""
+        if not (self.enabled and task.memoize):
+            return
+        if task.hashsum is None:
+            task.hashsum = make_hash(task)
+        with self._lock:
+            self._table[task.hashsum] = result
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    # -------------------------------------------------------- checkpointing
+
+    def checkpoint(self, path: str) -> str:
+        """Write the memo table to ``path`` (pickle).  Returns the path written."""
+        os.makedirs(os.path.dirname(os.path.abspath(path)) or ".", exist_ok=True)
+        with self._lock:
+            snapshot = dict(self._table)
+        with open(path, "wb") as handle:
+            pickle.dump(snapshot, handle, protocol=4)
+        logger.info("checkpointed %d memo entries to %s", len(snapshot), path)
+        return path
+
+    def load_checkpoint(self, path: str) -> int:
+        """Merge a previously written checkpoint; returns the number of entries loaded."""
+        if not os.path.exists(path):
+            logger.warning("checkpoint file %s does not exist; ignoring", path)
+            return 0
+        with open(path, "rb") as handle:
+            snapshot = pickle.load(handle)
+        if not isinstance(snapshot, dict):
+            raise ValueError(f"checkpoint file {path} does not contain a memo table")
+        with self._lock:
+            self._table.update(snapshot)
+        return len(snapshot)

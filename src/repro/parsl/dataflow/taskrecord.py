@@ -1,0 +1,82 @@
+"""The per-task bookkeeping record used by the DataFlowKernel."""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.parsl.dataflow.states import States
+
+
+@dataclass
+class TaskRecord:
+    """Mutable record describing one submitted task.
+
+    The DataFlowKernel creates one record per app invocation and mutates it as
+    the task moves through its lifecycle; the record also feeds the monitoring
+    subsystem and the memoizer.
+    """
+
+    id: int
+    func: Callable
+    func_name: str
+    args: Tuple = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    app_type: str = "python"           # "python" | "bash" | "join"
+    executor: str = "all"              # requested executor label
+    status: States = States.unsched
+    depends: List[Future] = field(default_factory=list)
+    app_future: Optional[Any] = None   # AppFuture (typed loosely to avoid cycles)
+    executor_future: Optional[Future] = None
+    join_future: Optional[Future] = None
+    retries_left: int = 0
+    fail_count: int = 0
+    fail_history: List[str] = field(default_factory=list)
+    memoize: bool = True
+    hashsum: Optional[str] = None
+    from_memo: bool = False
+    ignore_for_cache: Tuple[str, ...] = ()
+    resource_spec: Dict[str, Any] = field(default_factory=dict)
+    time_invoked: float = field(default_factory=time.time)
+    time_launched: Optional[float] = None
+    time_returned: Optional[float] = None
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def transition(self, new_state: States) -> None:
+        """Move to ``new_state`` and timestamp launch/return transitions."""
+        self.status = new_state
+        if new_state == States.launched and self.time_launched is None:
+            self.time_launched = time.time()
+        if new_state.is_final:
+            self.time_returned = time.time()
+
+    @property
+    def pending_duration(self) -> float:
+        """Seconds spent between invocation and launch (dependency + queue wait)."""
+        if self.time_launched is None:
+            return 0.0
+        return self.time_launched - self.time_invoked
+
+    @property
+    def total_duration(self) -> Optional[float]:
+        if self.time_returned is None:
+            return None
+        return self.time_returned - self.time_invoked
+
+    def describe(self) -> Dict[str, Any]:
+        """A JSON-friendly snapshot used by monitoring."""
+        return {
+            "task_id": self.id,
+            "func_name": self.func_name,
+            "app_type": self.app_type,
+            "executor": self.executor,
+            "status": self.status.name,
+            "fail_count": self.fail_count,
+            "from_memo": self.from_memo,
+            "time_invoked": self.time_invoked,
+            "time_launched": self.time_launched,
+            "time_returned": self.time_returned,
+        }

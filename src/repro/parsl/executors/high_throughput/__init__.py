@@ -1,0 +1,5 @@
+"""The HighThroughputExecutor: a pilot-job executor with interchange, managers and workers."""
+
+from repro.parsl.executors.high_throughput.executor import HighThroughputExecutor
+
+__all__ = ["HighThroughputExecutor"]

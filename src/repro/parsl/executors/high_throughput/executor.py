@@ -1,0 +1,208 @@
+"""The HighThroughputExecutor (HTEX).
+
+HTEX implements the pilot-job model described in §II-B of the paper: the
+executor asks its provider for *blocks* of resources (each block is one batch
+job), starts a pool of worker processes for each block, and then streams tasks
+to those workers through an interchange without ever touching the batch
+scheduler on the per-task path.  This decoupling is what gives Parsl its task
+throughput on HPC systems and is the executor used for the three-node
+experiment (Fig. 1a).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+from concurrent.futures import Future
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.parsl.errors import ScalingFailed
+from repro.parsl.executors.base import ParslExecutor
+from repro.parsl.executors.high_throughput.interchange import Interchange
+from repro.parsl.executors.high_throughput.manager import BlockManager
+from repro.parsl.providers.base import ExecutionProvider
+from repro.parsl.providers.local import LocalProvider
+from repro.parsl.serialization import pack_apply_message
+from repro.utils.ids import RunIdGenerator
+from repro.utils.logging_config import get_logger
+
+logger = get_logger("parsl.executors.htex")
+
+
+class HighThroughputExecutor(ParslExecutor):
+    """Pilot-job executor: provider blocks + per-block worker processes.
+
+    Parameters
+    ----------
+    label:
+        Executor label used by apps to select this executor.
+    provider:
+        The :class:`~repro.parsl.providers.base.ExecutionProvider` supplying
+        blocks; defaults to a single-block :class:`LocalProvider`.
+    max_workers_per_node:
+        Worker processes per node; defaults to ``cores_per_node // cores_per_worker``.
+    cores_per_worker:
+        Cores notionally assigned to each worker (used only to derive the
+        default worker count, as in Parsl).
+    mp_start_method:
+        ``"fork"`` (default, fastest on Linux) or ``"spawn"``.
+    enable_elastic_scaling:
+        When true, additional blocks (up to ``provider.max_blocks``) are
+        requested whenever the backlog exceeds the current worker count.
+    """
+
+    def __init__(
+        self,
+        label: str = "htex",
+        provider: Optional[ExecutionProvider] = None,
+        max_workers_per_node: Optional[int] = None,
+        cores_per_worker: int = 1,
+        mp_start_method: str = "fork",
+        enable_elastic_scaling: bool = True,
+    ) -> None:
+        super().__init__(label=label)
+        self.provider = provider or LocalProvider(init_blocks=1, max_blocks=1)
+        if cores_per_worker < 1:
+            raise ValueError("cores_per_worker must be >= 1")
+        self.cores_per_worker = cores_per_worker
+        self.max_workers_per_node = max_workers_per_node or max(
+            1, self.provider.cores_per_node // cores_per_worker
+        )
+        self.enable_elastic_scaling = enable_elastic_scaling
+        self._mp_context = mp.get_context(mp_start_method)
+        self._interchange: Optional[Interchange] = None
+        self._managers: List[BlockManager] = []
+        self._managers_lock = threading.Lock()
+        self._task_ids = RunIdGenerator()
+        self._outstanding = 0
+        self._outstanding_lock = threading.Lock()
+
+    # ---------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._interchange = Interchange(self._mp_context)
+        self._interchange.start()
+        added = self.scale_out(self.provider.init_blocks)
+        if added < self.provider.init_blocks:
+            logger.warning("requested %d initial blocks but only %d started",
+                           self.provider.init_blocks, added)
+        self._started = True
+
+    def shutdown(self) -> None:
+        if not self._started:
+            return
+        with self._managers_lock:
+            managers = list(self._managers)
+        if self._interchange is not None:
+            self._interchange.send_worker_stop(sum(m.worker_count for m in managers))
+        for manager in managers:
+            manager.join(timeout=5)
+            manager.terminate()
+            self.provider.cancel(manager.block)
+        if self._interchange is not None:
+            self._interchange.stop()
+            self._interchange = None
+        with self._managers_lock:
+            self._managers.clear()
+        self._started = False
+
+    # ------------------------------------------------------------------ scaling
+
+    def scale_out(self, blocks: int = 1) -> int:
+        """Request ``blocks`` more blocks from the provider and start their workers."""
+        if self._interchange is None:
+            raise RuntimeError("executor not started")
+        added = 0
+        for _ in range(blocks):
+            with self._managers_lock:
+                if len(self._managers) >= self.provider.max_blocks:
+                    break
+            try:
+                block = self.provider.submit_block(job_name=f"{self.label}-block")
+            except Exception as exc:
+                logger.warning("scale_out failed: %s", exc)
+                raise ScalingFailed(self.label, str(exc)) from exc
+            manager = BlockManager(
+                block=block,
+                workers_per_node=self.max_workers_per_node,
+                mp_context=self._mp_context,
+                task_queue=self._interchange.task_queue,
+                result_queue=self._interchange.result_queue,
+            )
+            manager.start()
+            with self._managers_lock:
+                self._managers.append(manager)
+            added += 1
+        return added
+
+    def scale_in(self, blocks: int = 1) -> int:
+        """Retire up to ``blocks`` blocks (most recently added first).
+
+        The retired block's workers are terminated directly rather than via
+        stop sentinels: sentinels travel through the shared task queue and
+        could be consumed by workers belonging to blocks that are staying.
+        """
+        removed = 0
+        for _ in range(blocks):
+            with self._managers_lock:
+                if len(self._managers) <= self.provider.min_blocks or not self._managers:
+                    break
+                manager = self._managers.pop()
+            manager.terminate()
+            self.provider.cancel(manager.block)
+            removed += 1
+        return removed
+
+    @property
+    def connected_workers(self) -> int:
+        with self._managers_lock:
+            return sum(m.alive_workers() for m in self._managers)
+
+    @property
+    def total_workers(self) -> int:
+        with self._managers_lock:
+            return sum(m.worker_count for m in self._managers)
+
+    @property
+    def connected_blocks(self) -> int:
+        with self._managers_lock:
+            return len(self._managers)
+
+    # --------------------------------------------------------------- submission
+
+    def submit(self, func: Callable, resource_spec: Dict[str, Any], *args: Any, **kwargs: Any) -> Future:
+        if self._interchange is None:
+            raise RuntimeError(f"executor {self.label!r} has not been started")
+        task_id = self._task_ids.next()
+        buffer = pack_apply_message(func, args, kwargs)
+        with self._outstanding_lock:
+            self._outstanding += 1
+        future = self._interchange.submit(task_id, buffer)
+        future.add_done_callback(self._task_done)
+        self._maybe_scale_out()
+        return future
+
+    def _task_done(self, _future: Future) -> None:
+        with self._outstanding_lock:
+            self._outstanding -= 1
+
+    def _maybe_scale_out(self) -> None:
+        if not self.enable_elastic_scaling:
+            return
+        with self._managers_lock:
+            current_blocks = len(self._managers)
+        if current_blocks >= self.provider.max_blocks:
+            return
+        if self.outstanding() > self.total_workers:
+            try:
+                self.scale_out(1)
+            except ScalingFailed:
+                # The provider could not satisfy the request right now (e.g. the
+                # simulated cluster is full); keep running on existing blocks.
+                logger.debug("elastic scale-out deferred for %s", self.label)
+
+    def outstanding(self) -> int:
+        with self._outstanding_lock:
+            return self._outstanding

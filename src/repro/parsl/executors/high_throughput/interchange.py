@@ -1,0 +1,112 @@
+"""The interchange.
+
+The interchange decouples task submission from worker execution: the submitting
+process puts serialized tasks on a queue and registers a future; worker
+processes (owned by block managers) consume tasks and push results back; a
+collector thread inside the interchange resolves the futures.  This mirrors the
+role Parsl's interchange process plays between the DFK and remote managers,
+collapsed into threads + multiprocessing queues for a single-machine setting.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+from concurrent.futures import Future
+from typing import Any, Dict, Optional
+
+from repro.parsl.executors.high_throughput.messages import ResultMessage, TaskMessage, WORKER_STOP
+from repro.parsl.serialization import deserialize
+from repro.utils.logging_config import get_logger
+
+logger = get_logger("parsl.executors.htex.interchange")
+
+
+class Interchange:
+    """Task/result broker between the submit side and worker processes."""
+
+    def __init__(self, mp_context: Any) -> None:
+        self.task_queue = mp_context.Queue()
+        self.result_queue = mp_context.Queue()
+        self._futures: Dict[int, Future] = {}
+        self._futures_lock = threading.Lock()
+        self._collector: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self.tasks_submitted = 0
+        self.results_received = 0
+
+    # --------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        self._stop.clear()
+        self._collector = threading.Thread(
+            target=self._collect_results, name="htex-interchange", daemon=True
+        )
+        self._collector.start()
+
+    def stop(self) -> None:
+        """Stop the collector thread and fail any still-pending futures."""
+        self._stop.set()
+        # Unblock the collector if it is waiting on an empty queue.
+        self.result_queue.put(None)
+        if self._collector is not None:
+            self._collector.join(timeout=5)
+        with self._futures_lock:
+            pending = list(self._futures.items())
+            self._futures.clear()
+        for task_id, future in pending:
+            if not future.done():
+                future.set_exception(
+                    RuntimeError(f"interchange stopped before task {task_id} completed")
+                )
+
+    # -------------------------------------------------------------- submission
+
+    def submit(self, task_id: int, buffer: bytes) -> Future:
+        """Queue one task and return the future that will carry its result."""
+        future: Future = Future()
+        with self._futures_lock:
+            self._futures[task_id] = future
+        self.task_queue.put(TaskMessage(task_id=task_id, buffer=buffer))
+        self.tasks_submitted += 1
+        return future
+
+    def outstanding(self) -> int:
+        with self._futures_lock:
+            return len(self._futures)
+
+    def send_worker_stop(self, count: int) -> None:
+        """Queue ``count`` stop sentinels (one per worker that should exit)."""
+        for _ in range(count):
+            self.task_queue.put(WORKER_STOP)
+
+    # --------------------------------------------------------------- collector
+
+    def _collect_results(self) -> None:
+        while not self._stop.is_set():
+            try:
+                message = self.result_queue.get(timeout=0.1)
+            except _queue.Empty:
+                continue
+            except (EOFError, OSError):  # queues torn down during shutdown
+                break
+            if message is None:
+                continue
+            if not isinstance(message, ResultMessage):
+                logger.warning("interchange received unexpected message %r", message)
+                continue
+            self.results_received += 1
+            with self._futures_lock:
+                future = self._futures.pop(message.task_id, None)
+            if future is None:
+                logger.warning("result for unknown task %s", message.task_id)
+                continue
+            try:
+                payload = deserialize(message.buffer)
+            except Exception as exc:  # noqa: BLE001
+                future.set_exception(exc)
+                continue
+            if message.success:
+                future.set_result(payload)
+            else:
+                future.set_exception(payload)

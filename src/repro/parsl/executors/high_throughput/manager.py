@@ -1,0 +1,68 @@
+"""Block managers.
+
+A :class:`BlockManager` corresponds to one provider block (one pilot job): it
+owns the worker processes running "on" that block's nodes.  On a real cluster
+the manager process runs inside the batch job; here the workers are local
+child processes tagged with the block's node names, which preserves the
+structure (and the per-block scaling behaviour) while remaining laptop-runnable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Any, List
+
+from repro.parsl.executors.high_throughput.worker import worker_loop
+from repro.parsl.providers.base import Block
+from repro.utils.logging_config import get_logger
+
+logger = get_logger("parsl.executors.htex.manager")
+
+
+class BlockManager:
+    """Start and stop the worker processes for one block."""
+
+    def __init__(self, block: Block, workers_per_node: int,
+                 mp_context: Any, task_queue: Any, result_queue: Any) -> None:
+        self.block = block
+        self.workers_per_node = workers_per_node
+        self._mp_context = mp_context
+        self._task_queue = task_queue
+        self._result_queue = result_queue
+        self.processes: List[Any] = []
+
+    @property
+    def worker_count(self) -> int:
+        return len(self.block.node_names) * self.workers_per_node
+
+    def start(self) -> None:
+        """Spawn one worker process per (node, worker slot) pair."""
+        for node in self.block.node_names:
+            for slot in range(self.workers_per_node):
+                worker_id = f"{self.block.block_id}/{node}/{slot}"
+                proc = self._mp_context.Process(
+                    target=worker_loop,
+                    args=(worker_id, self.block.block_id, self._task_queue, self._result_queue),
+                    name=f"htex-worker-{worker_id}",
+                    daemon=True,
+                )
+                proc.start()
+                self.processes.append(proc)
+        logger.info("block %s started %d workers across %d node(s)",
+                    self.block.block_id, len(self.processes), len(self.block.node_names))
+
+    def join(self, timeout: float = 5.0) -> None:
+        """Wait for workers to exit (after stop sentinels have been queued)."""
+        for proc in self.processes:
+            proc.join(timeout=timeout)
+
+    def terminate(self) -> None:
+        """Forcefully stop any workers that are still alive."""
+        for proc in self.processes:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self.processes:
+            proc.join(timeout=2.0)
+
+    def alive_workers(self) -> int:
+        return sum(1 for proc in self.processes if proc.is_alive())

@@ -1,0 +1,34 @@
+"""Wire messages exchanged between the interchange and worker processes.
+
+Messages are plain tuples/dataclasses of bytes because they cross process
+boundaries through :class:`multiprocessing.Queue`; task payloads are serialized
+once on the submit side (with cloudpickle) and deserialized only inside the
+worker, so the interchange never needs to understand them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TaskMessage:
+    """A task shipped from the interchange to a worker."""
+
+    task_id: int
+    buffer: bytes
+
+
+@dataclass(frozen=True)
+class ResultMessage:
+    """A result (or failure) shipped from a worker back to the interchange."""
+
+    task_id: int
+    success: bool
+    buffer: bytes          # serialized result when success, serialized exception otherwise
+    worker_id: str = ""
+    block_id: str = ""
+
+
+#: Sentinel placed on the task queue to tell one worker to exit.
+WORKER_STOP = None

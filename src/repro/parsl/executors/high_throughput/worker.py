@@ -1,0 +1,72 @@
+"""The worker process loop.
+
+Each worker is a separate operating-system process started by a
+:class:`~repro.parsl.executors.high_throughput.manager.BlockManager`.  Workers
+pull :class:`~repro.parsl.executors.high_throughput.messages.TaskMessage`
+objects from the shared task queue, execute them and push
+:class:`~repro.parsl.executors.high_throughput.messages.ResultMessage` objects
+back.  The loop is a module-level function so that it can be used as a
+``multiprocessing.Process`` target under both fork and spawn start methods.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from typing import Any
+
+from repro.parsl.executors.high_throughput.messages import ResultMessage, TaskMessage, WORKER_STOP
+from repro.parsl.serialization import serialize, unpack_apply_message
+
+
+def execute_task_buffer(buffer: bytes) -> Any:
+    """Deserialize and run one task payload; returns the raw result (may raise)."""
+    func, args, kwargs = unpack_apply_message(buffer)
+    return func(*args, **kwargs)
+
+
+def worker_loop(worker_id: str, block_id: str, task_queue: Any, result_queue: Any) -> None:
+    """Process tasks until a stop sentinel is received.
+
+    ``task_queue`` and ``result_queue`` are multiprocessing queues shared with
+    the interchange.  Exceptions raised by tasks are serialized and returned as
+    failed results; they never crash the worker.
+    """
+    # Workers should not react to the parent's Ctrl-C directly; the executor
+    # coordinates shutdown through sentinels (and terminate() as a last resort).
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except ValueError:  # pragma: no cover - non-main thread in exotic setups
+        pass
+
+    os.environ.setdefault("PARSL_WORKER_ID", worker_id)
+    os.environ.setdefault("PARSL_BLOCK_ID", block_id)
+
+    while True:
+        message = task_queue.get()
+        if message is WORKER_STOP:
+            break
+        if not isinstance(message, TaskMessage):  # defensive: ignore malformed entries
+            continue
+        try:
+            result = execute_task_buffer(message.buffer)
+            payload = ResultMessage(
+                task_id=message.task_id,
+                success=True,
+                buffer=serialize(result),
+                worker_id=worker_id,
+                block_id=block_id,
+            )
+        except BaseException as exc:  # noqa: BLE001 - task errors become failed results
+            try:
+                buffer = serialize(exc)
+            except Exception:
+                buffer = serialize(RuntimeError(f"{type(exc).__name__}: {exc}"))
+            payload = ResultMessage(
+                task_id=message.task_id,
+                success=False,
+                buffer=buffer,
+                worker_id=worker_id,
+                block_id=block_id,
+            )
+        result_queue.put(payload)

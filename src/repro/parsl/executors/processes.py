@@ -1,0 +1,85 @@
+"""Process-pool executor.
+
+Backed by :class:`concurrent.futures.ProcessPoolExecutor`.  Task payloads are
+serialized with cloudpickle (via :mod:`repro.parsl.serialization`) so that
+closures and interactively defined functions — which the standard library's
+pickler rejects — still work, mirroring Parsl's behaviour of shipping payloads
+with a richer serializer.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import threading
+from typing import Any, Callable, Dict
+
+from repro.parsl.executors.base import ParslExecutor
+from repro.parsl.serialization import deserialize, pack_apply_message, serialize, unpack_apply_message
+
+
+def _run_packed_task(blob: bytes) -> bytes:
+    """Worker-side trampoline: unpack, run, and re-pack the outcome.
+
+    The outcome is ``(True, result)`` or ``(False, exception)`` serialized to
+    bytes, so that exceptions defined in __main__ or test modules survive the
+    trip back to the submitting process.
+    """
+    func, args, kwargs = unpack_apply_message(blob)
+    try:
+        return serialize((True, func(*args, **kwargs)))
+    except BaseException as exc:  # noqa: BLE001 - deliberately capture everything
+        return serialize((False, exc))
+
+
+class ProcessPoolExecutor(ParslExecutor):
+    """Run tasks on a pool of local processes (one Python interpreter each)."""
+
+    def __init__(self, label: str = "processes", max_workers: int = 4) -> None:
+        super().__init__(label=label)
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self._pool: cf.ProcessPoolExecutor | None = None
+        self._outstanding = 0
+        self._lock = threading.Lock()
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._pool = cf.ProcessPoolExecutor(max_workers=self.max_workers)
+        self._started = True
+
+    def submit(self, func: Callable, resource_spec: Dict[str, Any], *args: Any, **kwargs: Any):
+        if self._pool is None:
+            raise RuntimeError(f"executor {self.label!r} has not been started")
+        blob = pack_apply_message(func, args, kwargs)
+        with self._lock:
+            self._outstanding += 1
+        inner = self._pool.submit(_run_packed_task, blob)
+        outer: cf.Future = cf.Future()
+
+        def _relay(fut: cf.Future) -> None:
+            with self._lock:
+                self._outstanding -= 1
+            exc = fut.exception()
+            if exc is not None:
+                outer.set_exception(exc)
+                return
+            ok, payload = deserialize(fut.result())
+            if ok:
+                outer.set_result(payload)
+            else:
+                outer.set_exception(payload)
+
+        inner.add_done_callback(_relay)
+        return outer
+
+    def outstanding(self) -> int:
+        with self._lock:
+            return self._outstanding
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=False)
+            self._pool = None
+        self._started = False

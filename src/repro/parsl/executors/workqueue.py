@@ -1,0 +1,165 @@
+"""A WorkQueue/TaskVine-style resource-aware executor.
+
+Parsl interoperates with community executors such as the TaskVineExecutor whose
+distinguishing feature is *per-task resource accounting*: each task declares how
+many cores (and how much memory) it needs and is only dispatched when those
+resources are free.  This executor reproduces that model on a single machine:
+
+* tasks carry a ``resource_spec`` (``{"cores": n, "memory_mb": m}``),
+* a dispatcher thread admits tasks in FIFO order whenever the declared
+  resources fit within the executor's budget,
+* admitted tasks run on an internal thread pool.
+
+It is used by the executor-comparison ablation benchmark (A2 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.parsl.executors.base import ParslExecutor
+from repro.utils.logging_config import get_logger
+
+logger = get_logger("parsl.executors.workqueue")
+
+
+@dataclass
+class _QueuedTask:
+    func: Callable
+    args: tuple
+    kwargs: dict
+    cores: int
+    memory_mb: int
+    future: cf.Future
+
+
+class WorkQueueStyleExecutor(ParslExecutor):
+    """Resource-aware FIFO executor."""
+
+    def __init__(self, label: str = "workqueue", total_cores: int = 8,
+                 total_memory_mb: int = 32 * 1024,
+                 default_task_cores: int = 1, default_task_memory_mb: int = 512) -> None:
+        super().__init__(label=label)
+        if total_cores < 1:
+            raise ValueError("total_cores must be >= 1")
+        self.total_cores = total_cores
+        self.total_memory_mb = total_memory_mb
+        self.default_task_cores = default_task_cores
+        self.default_task_memory_mb = default_task_memory_mb
+
+        self._free_cores = total_cores
+        self._free_memory = total_memory_mb
+        self._resource_lock = threading.Lock()
+        self._resource_freed = threading.Event()
+
+        self._queue: "queue.Queue[Optional[_QueuedTask]]" = queue.Queue()
+        self._pool: Optional[cf.ThreadPoolExecutor] = None
+        self._dispatcher: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._outstanding = 0
+        self._outstanding_lock = threading.Lock()
+
+    # --------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._pool = cf.ThreadPoolExecutor(max_workers=self.total_cores,
+                                           thread_name_prefix=f"{self.label}-worker")
+        self._stop.clear()
+        self._dispatcher = threading.Thread(target=self._dispatch_loop,
+                                            name=f"{self.label}-dispatcher", daemon=True)
+        self._dispatcher.start()
+        self._started = True
+
+    def shutdown(self) -> None:
+        if not self._started:
+            return
+        self._stop.set()
+        self._queue.put(None)
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=5)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=False)
+            self._pool = None
+        self._started = False
+
+    # -------------------------------------------------------------- submission
+
+    def submit(self, func: Callable, resource_spec: Dict[str, Any], *args: Any, **kwargs: Any) -> cf.Future:
+        if not self._started or self._pool is None:
+            raise RuntimeError(f"executor {self.label!r} has not been started")
+        spec = resource_spec or {}
+        cores = int(spec.get("cores", self.default_task_cores))
+        memory = int(spec.get("memory_mb", self.default_task_memory_mb))
+        if cores > self.total_cores or memory > self.total_memory_mb:
+            future: cf.Future = cf.Future()
+            future.set_exception(
+                ValueError(
+                    f"task requests cores={cores}, memory_mb={memory} which exceeds the executor "
+                    f"budget (cores={self.total_cores}, memory_mb={self.total_memory_mb})"
+                )
+            )
+            return future
+        future = cf.Future()
+        with self._outstanding_lock:
+            self._outstanding += 1
+        self._queue.put(_QueuedTask(func, args, kwargs, cores, memory, future))
+        return future
+
+    def outstanding(self) -> int:
+        with self._outstanding_lock:
+            return self._outstanding
+
+    # -------------------------------------------------------------- dispatcher
+
+    def _dispatch_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                item = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            if item is None:
+                break
+            self._wait_for_resources(item.cores, item.memory_mb)
+            if self._stop.is_set():
+                item.future.set_exception(RuntimeError("executor shut down before task ran"))
+                break
+            assert self._pool is not None
+            self._pool.submit(self._run_task, item)
+
+    def _wait_for_resources(self, cores: int, memory_mb: int) -> None:
+        while not self._stop.is_set():
+            with self._resource_lock:
+                if self._free_cores >= cores and self._free_memory >= memory_mb:
+                    self._free_cores -= cores
+                    self._free_memory -= memory_mb
+                    return
+            self._resource_freed.wait(timeout=0.05)
+            self._resource_freed.clear()
+
+    def _run_task(self, item: _QueuedTask) -> None:
+        try:
+            result = item.func(*item.args, **item.kwargs)
+        except BaseException as exc:  # noqa: BLE001
+            item.future.set_exception(exc)
+        else:
+            item.future.set_result(result)
+        finally:
+            with self._resource_lock:
+                self._free_cores += item.cores
+                self._free_memory += item.memory_mb
+            with self._outstanding_lock:
+                self._outstanding -= 1
+            self._resource_freed.set()
+
+    # ---------------------------------------------------------------- metrics
+
+    def utilisation(self) -> float:
+        """Fraction of the core budget currently allocated to running tasks."""
+        with self._resource_lock:
+            return 1.0 - self._free_cores / self.total_cores

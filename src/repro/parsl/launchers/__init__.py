@@ -1,0 +1,79 @@
+"""Launchers: wrap a worker command for execution across a block's nodes.
+
+When a provider's block spans several nodes, the worker-pool command must be
+started once per node (or once per rank).  Launchers encapsulate that wrapping:
+``SrunLauncher`` produces an ``srun`` invocation, ``MpiExecLauncher`` an
+``mpiexec`` one, and ``SingleNodeLauncher`` a plain invocation.  In this
+repository blocks execute locally, so the launcher output is recorded on the
+block (and asserted in tests) rather than handed to a real scheduler, but the
+interface and command formats mirror Parsl's.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class Launcher(ABC):
+    """Interface: wrap a single-node worker command for a multi-node block."""
+
+    @abstractmethod
+    def __call__(self, command: str, tasks_per_node: int, nodes_per_block: int) -> str:
+        """Return the wrapped command line."""
+
+
+class SimpleLauncher(Launcher):
+    """Run the command exactly once, unchanged (the provider handles placement)."""
+
+    def __call__(self, command: str, tasks_per_node: int, nodes_per_block: int) -> str:
+        return command
+
+
+class SingleNodeLauncher(Launcher):
+    """Run ``tasks_per_node`` copies of the command on one node, in the background."""
+
+    def __call__(self, command: str, tasks_per_node: int, nodes_per_block: int) -> str:
+        lines = ["set -e"]
+        for rank in range(tasks_per_node):
+            lines.append(f"PARSL_RANK={rank} {command} &")
+        lines.append("wait")
+        return "\n".join(lines)
+
+
+class SrunLauncher(Launcher):
+    """Wrap the command in ``srun`` so Slurm fans it out across the allocation."""
+
+    def __init__(self, overrides: str = "") -> None:
+        self.overrides = overrides
+
+    def __call__(self, command: str, tasks_per_node: int, nodes_per_block: int) -> str:
+        total = tasks_per_node * nodes_per_block
+        overrides = f" {self.overrides}" if self.overrides else ""
+        return (
+            f"srun --ntasks={total} --ntasks-per-node={tasks_per_node} "
+            f"--nodes={nodes_per_block}{overrides} {command}"
+        )
+
+
+class MpiExecLauncher(Launcher):
+    """Wrap the command in ``mpiexec`` (PBS-style clusters)."""
+
+    def __init__(self, bind_cmd: str = "--cpu-bind", overrides: str = "") -> None:
+        self.bind_cmd = bind_cmd
+        self.overrides = overrides
+
+    def __call__(self, command: str, tasks_per_node: int, nodes_per_block: int) -> str:
+        total = tasks_per_node * nodes_per_block
+        overrides = f" {self.overrides}" if self.overrides else ""
+        return (
+            f"mpiexec -n {total} --ppn {tasks_per_node} {self.bind_cmd}{overrides} {command}"
+        )
+
+
+__all__ = [
+    "Launcher",
+    "MpiExecLauncher",
+    "SimpleLauncher",
+    "SingleNodeLauncher",
+    "SrunLauncher",
+]

@@ -1,0 +1,5 @@
+"""Lightweight task monitoring (event log per run directory)."""
+
+from repro.parsl.monitoring.monitoring import MonitoringHub, TaskEvent
+
+__all__ = ["MonitoringHub", "TaskEvent"]

@@ -1,0 +1,102 @@
+"""Task event monitoring.
+
+Parsl's MonitoringHub records task state transitions to a database; here the
+hub appends JSON-lines events to ``monitoring.jsonl`` inside the run directory
+and keeps an in-memory copy for programmatic queries (used by tests and by the
+benchmark harness to report per-task overheads).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parsl.dataflow.taskrecord import TaskRecord
+
+
+@dataclass(frozen=True)
+class TaskEvent:
+    """One task state transition."""
+
+    timestamp: float
+    task_id: int
+    func_name: str
+    app_type: str
+    executor: str
+    status: str
+    fail_count: int
+    from_memo: bool
+
+
+class MonitoringHub:
+    """Collects :class:`TaskEvent` records and appends them to a JSONL file."""
+
+    def __init__(self, run_dir: str, filename: str = "monitoring.jsonl") -> None:
+        self.run_dir = run_dir
+        self.path = os.path.join(run_dir, filename)
+        self._events: List[TaskEvent] = []
+        self._lock = threading.Lock()
+        self._handle = None
+
+    def start(self) -> None:
+        os.makedirs(self.run_dir, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def send_task_event(self, record: "TaskRecord") -> None:
+        event = TaskEvent(
+            timestamp=time.time(),
+            task_id=record.id,
+            func_name=record.func_name,
+            app_type=record.app_type,
+            executor=record.executor,
+            status=record.status.name,
+            fail_count=record.fail_count,
+            from_memo=record.from_memo,
+        )
+        with self._lock:
+            self._events.append(event)
+            if self._handle is not None:
+                self._handle.write(json.dumps(asdict(event)) + "\n")
+                self._handle.flush()
+
+    # ---------------------------------------------------------------- queries
+
+    def events(self, task_id: Optional[int] = None) -> List[TaskEvent]:
+        with self._lock:
+            if task_id is None:
+                return list(self._events)
+            return [e for e in self._events if e.task_id == task_id]
+
+    def state_counts(self) -> Dict[str, int]:
+        """Latest state per task, aggregated into counts."""
+        latest: Dict[int, TaskEvent] = {}
+        with self._lock:
+            for event in self._events:
+                latest[event.task_id] = event
+        counts: Dict[str, int] = {}
+        for event in latest.values():
+            counts[event.status] = counts.get(event.status, 0) + 1
+        return counts
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    @staticmethod
+    def load_events(path: str) -> List[TaskEvent]:
+        """Read events back from a monitoring file (for offline analysis)."""
+        events: List[TaskEvent] = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                events.append(TaskEvent(**json.loads(line)))
+        return events

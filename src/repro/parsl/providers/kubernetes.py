@@ -1,0 +1,65 @@
+"""Kubernetes provider (simulated).
+
+Parsl's KubernetesProvider starts worker pods; here a "pod" is a synthetic node
+name with a CPU limit, granted immediately (clusters autoscale, so there is no
+queue to model).  The provider exists to exercise the provider interface with a
+non-batch resource manager and to show the configuration shape in examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.parsl.providers.base import Block, ExecutionProvider, ProviderJobState
+from repro.utils.ids import RunIdGenerator
+
+
+class KubernetesProvider(ExecutionProvider):
+    """Provide blocks as groups of simulated pods."""
+
+    label = "kubernetes"
+
+    def __init__(
+        self,
+        pods_per_block: int = 1,
+        cores_per_pod: int = 4,
+        init_blocks: int = 1,
+        min_blocks: int = 0,
+        max_blocks: int = 4,
+        namespace: str = "default",
+        image: str = "python:3.11",
+        walltime: str = "24:00:00",
+    ) -> None:
+        super().__init__(
+            nodes_per_block=pods_per_block,
+            cores_per_node=cores_per_pod,
+            init_blocks=init_blocks,
+            min_blocks=min_blocks,
+            max_blocks=max_blocks,
+            walltime=walltime,
+        )
+        self.namespace = namespace
+        self.image = image
+        self._ids = RunIdGenerator(start=1)
+        self._blocks: Dict[str, ProviderJobState] = {}
+
+    def submit_block(self, job_name: str = "block") -> Block:
+        block_id = f"k8s-{self._ids.next()}"
+        pods = [f"{self.namespace}/pod-{block_id}-{i}" for i in range(self.nodes_per_block)]
+        self._blocks[block_id] = ProviderJobState.RUNNING
+        return Block(
+            block_id=block_id,
+            job_id=block_id,
+            node_names=pods,
+            cores_per_node=self.cores_per_node,
+            metadata={"namespace": self.namespace, "image": self.image, "job_name": job_name},
+        )
+
+    def status(self, block: Block) -> ProviderJobState:
+        return self._blocks.get(block.block_id, ProviderJobState.COMPLETED)
+
+    def cancel(self, block: Block) -> bool:
+        if self._blocks.get(block.block_id) == ProviderJobState.RUNNING:
+            self._blocks[block.block_id] = ProviderJobState.CANCELLED
+            return True
+        return False

@@ -1,0 +1,61 @@
+"""Local provider: blocks are slices of the current machine."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+from repro.parsl.providers.base import Block, ExecutionProvider, ProviderJobState
+from repro.utils.ids import RunIdGenerator
+
+
+class LocalProvider(ExecutionProvider):
+    """Provide blocks on the local host.
+
+    No queueing or placement is involved: every requested block is immediately
+    granted, with ``nodes_per_block`` synthetic node names all mapping to the
+    local host.  ``cores_per_node`` defaults to the machine's CPU count.
+    """
+
+    label = "local"
+
+    def __init__(
+        self,
+        nodes_per_block: int = 1,
+        cores_per_node: int | None = None,
+        init_blocks: int = 1,
+        min_blocks: int = 0,
+        max_blocks: int = 1,
+        walltime: str = "00:30:00",
+    ) -> None:
+        super().__init__(
+            nodes_per_block=nodes_per_block,
+            cores_per_node=cores_per_node or (os.cpu_count() or 1),
+            init_blocks=init_blocks,
+            min_blocks=min_blocks,
+            max_blocks=max_blocks,
+            walltime=walltime,
+        )
+        self._ids = RunIdGenerator(start=1)
+        self._blocks: Dict[str, ProviderJobState] = {}
+
+    def submit_block(self, job_name: str = "block") -> Block:
+        block_id = f"local-{self._ids.next()}"
+        nodes = [f"localhost/{block_id}/{i}" for i in range(self.nodes_per_block)]
+        self._blocks[block_id] = ProviderJobState.RUNNING
+        return Block(
+            block_id=block_id,
+            job_id=block_id,
+            node_names=nodes,
+            cores_per_node=self.cores_per_node,
+            metadata={"job_name": job_name},
+        )
+
+    def status(self, block: Block) -> ProviderJobState:
+        return self._blocks.get(block.block_id, ProviderJobState.COMPLETED)
+
+    def cancel(self, block: Block) -> bool:
+        if self._blocks.get(block.block_id) == ProviderJobState.RUNNING:
+            self._blocks[block.block_id] = ProviderJobState.CANCELLED
+            return True
+        return False

@@ -1,0 +1,127 @@
+"""Slurm provider backed by the simulated cluster.
+
+The real Parsl ``SlurmProvider`` writes an sbatch script that launches the
+worker pool; here a block is represented as a *placeholder job* submitted to the
+:class:`~repro.cluster.scheduler.SimulatedSlurmCluster`.  The placeholder's
+payload simply holds the allocation (it waits on an event) until the block is
+cancelled, so the cluster's per-node core accounting reflects the pilot job
+exactly as a real batch system's would.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from repro.cluster.jobs import JobSpec, JobState
+from repro.cluster.scheduler import SimulatedSlurmCluster, default_cluster
+from repro.parsl.errors import SubmitException
+from repro.parsl.providers.base import Block, ExecutionProvider, ProviderJobState
+from repro.utils.ids import RunIdGenerator
+
+_STATE_MAP = {
+    JobState.PENDING: ProviderJobState.PENDING,
+    JobState.RUNNING: ProviderJobState.RUNNING,
+    JobState.COMPLETED: ProviderJobState.COMPLETED,
+    JobState.FAILED: ProviderJobState.FAILED,
+    JobState.CANCELLED: ProviderJobState.CANCELLED,
+    JobState.TIMEOUT: ProviderJobState.FAILED,
+}
+
+
+class SlurmProvider(ExecutionProvider):
+    """Acquire blocks from a (simulated) Slurm cluster."""
+
+    label = "slurm"
+
+    def __init__(
+        self,
+        nodes_per_block: int = 1,
+        cores_per_node: int = 48,
+        init_blocks: int = 1,
+        min_blocks: int = 0,
+        max_blocks: int = 1,
+        walltime: str = "00:30:00",
+        partition: str = "normal",
+        cluster: Optional[SimulatedSlurmCluster] = None,
+        allocation_timeout_s: float = 30.0,
+    ) -> None:
+        super().__init__(
+            nodes_per_block=nodes_per_block,
+            cores_per_node=cores_per_node,
+            init_blocks=init_blocks,
+            min_blocks=min_blocks,
+            max_blocks=max_blocks,
+            walltime=walltime,
+        )
+        self.partition = partition
+        self.cluster = cluster or default_cluster()
+        self.allocation_timeout_s = allocation_timeout_s
+        self._ids = RunIdGenerator(start=1)
+        self._release_events: Dict[str, threading.Event] = {}
+        self._job_ids: Dict[str, int] = {}
+
+    def submit_block(self, job_name: str = "block") -> Block:
+        release = threading.Event()
+
+        def hold_allocation() -> str:
+            # The placeholder pilot job: occupy the allocation until released.
+            release.wait()
+            return "released"
+
+        spec = JobSpec(
+            name=f"{job_name}-{self.partition}",
+            callable_payload=hold_allocation,
+            nodes=self.nodes_per_block,
+            cores_per_node=self.cores_per_node,
+            walltime_s=self.parse_walltime(self.walltime),
+        )
+        job_id = self.cluster.sbatch(spec)
+
+        # Wait for the scheduler to place the pilot job so we know its nodes.
+        deadline_event = threading.Event()
+        waited = 0.0
+        poll = 0.01
+        while waited < self.allocation_timeout_s:
+            job = self.cluster.sacct(job_id)
+            if job.state == JobState.RUNNING:
+                break
+            if job.state.is_terminal:
+                raise SubmitException(f"pilot job {job_id} ended before starting: {job.state}")
+            deadline_event.wait(poll)
+            waited += poll
+        else:
+            self.cluster.scancel(job_id)
+            raise SubmitException(
+                f"pilot job {job_id} was not scheduled within {self.allocation_timeout_s}s "
+                f"(cluster has {self.cluster.inventory.free_cores} free cores)"
+            )
+
+        block_id = f"slurm-{self._ids.next()}"
+        self._release_events[block_id] = release
+        self._job_ids[block_id] = job_id
+        job = self.cluster.sacct(job_id)
+        return Block(
+            block_id=block_id,
+            job_id=str(job_id),
+            node_names=list(job.assigned_nodes),
+            cores_per_node=self.cores_per_node,
+            metadata={"partition": self.partition, "job_name": job_name},
+        )
+
+    def status(self, block: Block) -> ProviderJobState:
+        job_id = self._job_ids.get(block.block_id)
+        if job_id is None:
+            return ProviderJobState.COMPLETED
+        return _STATE_MAP[self.cluster.sacct(job_id).state]
+
+    def cancel(self, block: Block) -> bool:
+        release = self._release_events.get(block.block_id)
+        job_id = self._job_ids.get(block.block_id)
+        if release is None or job_id is None:
+            return False
+        release.set()  # let the placeholder job finish and free the nodes
+        job = self.cluster.sacct(job_id)
+        if not job.state.is_terminal:
+            job.wait(timeout=5)
+        return True

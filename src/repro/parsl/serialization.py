@@ -1,0 +1,46 @@
+"""Task payload serialization.
+
+The HighThroughputExecutor and the process-based executors ship callables and
+their arguments to worker processes.  Plain :mod:`pickle` cannot serialize
+closures, lambdas or interactively defined functions, so ``cloudpickle`` is
+used when available (it is a hard dependency of many HPC Python stacks and is
+present in this environment); :mod:`pickle` remains the fallback.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+from repro.parsl.errors import SerializationError
+
+try:  # pragma: no cover - exercised implicitly by the executor tests
+    import cloudpickle as _pickler
+except ImportError:  # pragma: no cover
+    import pickle as _pickler  # type: ignore[no-redef]
+
+
+def serialize(obj: Any) -> bytes:
+    """Serialize an arbitrary Python object into bytes."""
+    try:
+        return _pickler.dumps(obj)
+    except Exception as exc:
+        raise SerializationError(repr(obj), exc) from exc
+
+
+def deserialize(blob: bytes) -> Any:
+    """Inverse of :func:`serialize`."""
+    try:
+        return _pickler.loads(blob)
+    except Exception as exc:
+        raise SerializationError("task payload bytes", exc) from exc
+
+
+def pack_apply_message(func: Callable, args: Tuple, kwargs: Dict) -> bytes:
+    """Pack a callable invocation into a single byte string."""
+    return serialize((func, args, kwargs))
+
+
+def unpack_apply_message(blob: bytes) -> Tuple[Callable, Tuple, Dict]:
+    """Unpack a byte string created by :func:`pack_apply_message`."""
+    func, args, kwargs = deserialize(blob)
+    return func, args, kwargs

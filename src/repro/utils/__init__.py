@@ -1,0 +1,19 @@
+"""Shared low-level helpers used across the repro substrates."""
+
+from repro.utils.ids import RunIdGenerator, make_id
+from repro.utils.timers import Stopwatch, wall_time
+from repro.utils.yamlio import dump_yaml, load_yaml, load_yaml_file
+from repro.utils.hashing import hash_bytes, hash_file, hash_obj
+
+__all__ = [
+    "RunIdGenerator",
+    "Stopwatch",
+    "dump_yaml",
+    "hash_bytes",
+    "hash_file",
+    "hash_obj",
+    "load_yaml",
+    "load_yaml_file",
+    "make_id",
+    "wall_time",
+]

@@ -1,0 +1,62 @@
+"""Content hashing helpers.
+
+Used by:
+
+* the Parsl-like memoizer (hash of app name + arguments),
+* CWL ``File`` objects (``checksum`` field, ``sha1$...`` per the CWL spec),
+* the Toil-like job store (content-addressed file copies).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from typing import Any, Union
+
+PathLike = Union[str, os.PathLike]
+
+_CHUNK = 1 << 20
+
+
+def hash_bytes(data: bytes, algorithm: str = "sha1") -> str:
+    """Return ``<algorithm>$<hexdigest>`` for ``data`` (CWL checksum format)."""
+    digest = hashlib.new(algorithm)
+    digest.update(data)
+    return f"{algorithm}${digest.hexdigest()}"
+
+
+def hash_file(path: PathLike, algorithm: str = "sha1") -> str:
+    """Return the CWL-style checksum of the file at ``path``."""
+    digest = hashlib.new(algorithm)
+    with open(os.fspath(path), "rb") as handle:
+        while True:
+            chunk = handle.read(_CHUNK)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return f"{algorithm}${digest.hexdigest()}"
+
+
+def hash_obj(obj: Any, algorithm: str = "md5") -> str:
+    """Return a stable hex digest of an arbitrary picklable Python object.
+
+    The object is first converted to a canonical representation: dictionaries
+    are replaced by sorted item tuples recursively so that key insertion order
+    does not affect the digest.  Unpicklable leaves fall back to ``repr``.
+    """
+
+    def canonical(value: Any) -> Any:
+        if isinstance(value, dict):
+            return tuple(sorted((k, canonical(v)) for k, v in value.items()))
+        if isinstance(value, (list, tuple)):
+            return tuple(canonical(v) for v in value)
+        if isinstance(value, set):
+            return tuple(sorted(canonical(v) for v in value))
+        return value
+
+    try:
+        payload = pickle.dumps(canonical(obj), protocol=4)
+    except Exception:
+        payload = repr(obj).encode("utf-8")
+    return hashlib.new(algorithm, payload).hexdigest()

@@ -1,0 +1,70 @@
+"""Logging configuration shared by the CLIs and the DataFlowKernel.
+
+Every long-running component (DataFlowKernel, executors, CWL runners, the
+simulated cluster) logs through the standard :mod:`logging` module under the
+``repro.*`` namespace.  ``configure_logging`` sets up a console handler and an
+optional per-run file handler inside the run directory, mirroring how Parsl
+writes ``parsl.log`` into its ``runinfo`` directory.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Optional
+
+_FORMAT = "%(asctime)s %(name)s:%(lineno)d [%(levelname)s] %(message)s"
+
+
+def configure_logging(
+    level: int = logging.INFO,
+    run_dir: Optional[str] = None,
+    filename: str = "repro.log",
+    stream: bool = True,
+) -> logging.Logger:
+    """Configure the ``repro`` root logger.
+
+    Parameters
+    ----------
+    level:
+        Logging level for both handlers.
+    run_dir:
+        If given, a ``FileHandler`` writing to ``<run_dir>/<filename>`` is added.
+    filename:
+        Name of the log file inside ``run_dir``.
+    stream:
+        Whether to also log to stderr.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    formatter = logging.Formatter(_FORMAT)
+
+    if stream and not any(
+        isinstance(h, logging.StreamHandler) and not isinstance(h, logging.FileHandler)
+        for h in logger.handlers
+    ):
+        handler = logging.StreamHandler()
+        handler.setFormatter(formatter)
+        handler.setLevel(level)
+        logger.addHandler(handler)
+
+    if run_dir is not None:
+        os.makedirs(run_dir, exist_ok=True)
+        logpath = os.path.join(run_dir, filename)
+        if not any(
+            isinstance(h, logging.FileHandler) and getattr(h, "baseFilename", None) == os.path.abspath(logpath)
+            for h in logger.handlers
+        ):
+            fhandler = logging.FileHandler(logpath)
+            fhandler.setFormatter(formatter)
+            fhandler.setLevel(level)
+            logger.addHandler(fhandler)
+
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a child logger under the ``repro`` namespace."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

@@ -1,0 +1,56 @@
+"""YAML input/output helpers.
+
+CWL documents, TaPS-style Parsl configurations and job orders are all YAML.
+These helpers centralise safe loading (never ``yaml.load`` with arbitrary
+constructors) and deterministic dumping so tests can compare round-tripped
+documents byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Union
+
+import yaml
+
+PathLike = Union[str, os.PathLike]
+
+
+def load_yaml(text: str) -> Any:
+    """Parse YAML (or JSON — JSON is a YAML subset) from a string."""
+    return yaml.safe_load(text)
+
+
+def load_yaml_file(path: PathLike) -> Any:
+    """Parse a YAML (or JSON) document from ``path``.
+
+    Raises ``FileNotFoundError`` with the offending path for a clearer error
+    than PyYAML's default stream error.
+    """
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"No such YAML document: {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        return yaml.safe_load(handle)
+
+
+def dump_yaml(obj: Any, path: PathLike | None = None) -> str:
+    """Serialise ``obj`` to YAML with stable key ordering.
+
+    If ``path`` is given the YAML text is also written to that file.
+    """
+    text = yaml.safe_dump(obj, sort_keys=True, default_flow_style=False)
+    if path is not None:
+        with open(os.fspath(path), "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return text
+
+
+def dump_json(obj: Any, path: PathLike | None = None, indent: int = 2) -> str:
+    """Serialise ``obj`` to JSON (used for CWL output objects, per the spec)."""
+    text = json.dumps(obj, indent=indent, sort_keys=True, default=str)
+    if path is not None:
+        with open(os.fspath(path), "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return text

@@ -1,0 +1,56 @@
+"""Tests for cluster job specifications and records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.jobs import ClusterJob, JobSpec, JobState
+
+
+def test_jobspec_requires_exactly_one_payload():
+    with pytest.raises(ValueError):
+        JobSpec(name="none").validate()
+    with pytest.raises(ValueError):
+        JobSpec(name="both", command="true", callable_payload=lambda: None).validate()
+    JobSpec(name="cmd", command="true").validate()
+    JobSpec(name="call", callable_payload=lambda: 1).validate()
+
+
+@pytest.mark.parametrize("field,value", [
+    ("nodes", 0),
+    ("cores_per_node", 0),
+    ("memory_mb_per_node", -1),
+    ("walltime_s", 0),
+])
+def test_jobspec_rejects_bad_resources(field, value):
+    spec = JobSpec(name="bad", command="true", **{field: value})
+    with pytest.raises(ValueError):
+        spec.validate()
+
+
+def test_job_state_terminality():
+    assert JobState.COMPLETED.is_terminal
+    assert JobState.FAILED.is_terminal
+    assert JobState.CANCELLED.is_terminal
+    assert JobState.TIMEOUT.is_terminal
+    assert not JobState.PENDING.is_terminal
+    assert not JobState.RUNNING.is_terminal
+
+
+def test_cluster_job_lifecycle_timing():
+    job = ClusterJob(job_id=1, spec=JobSpec(name="x", command="true"))
+    assert job.state == JobState.PENDING
+    job.mark_running(["node01"])
+    assert job.state == JobState.RUNNING
+    assert job.assigned_nodes == ["node01"]
+    job.mark_finished(JobState.COMPLETED, exit_code=0, result="done")
+    assert job.state == JobState.COMPLETED
+    assert job.result == "done"
+    assert job.wait(timeout=0.1) is True
+    assert job.pending_seconds >= 0
+    assert job.runtime_seconds >= 0
+
+
+def test_cluster_job_wait_times_out_when_not_finished():
+    job = ClusterJob(job_id=2, spec=JobSpec(name="x", command="true"))
+    assert job.wait(timeout=0.01) is False

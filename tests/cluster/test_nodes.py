@@ -1,0 +1,87 @@
+"""Tests for the simulated cluster node inventory."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.nodes import Node, NodeInventory
+
+
+def test_node_defaults_match_paper_cluster():
+    node = Node(name="node01")
+    assert node.cores == 48
+    assert node.memory_mb == 126 * 1024
+    assert node.free_cores == 48
+
+
+def test_node_can_fit():
+    node = Node(name="n", cores=4, memory_mb=100)
+    assert node.can_fit(4, 100)
+    assert not node.can_fit(5)
+    node.allocated_cores = 2
+    assert node.can_fit(2)
+    assert not node.can_fit(3)
+
+
+def test_homogeneous_inventory():
+    inventory = NodeInventory.homogeneous(3, cores=48)
+    assert len(inventory) == 3
+    assert inventory.total_cores == 144
+    assert [n.name for n in inventory.nodes()] == ["node01", "node02", "node03"]
+
+
+def test_duplicate_node_names_rejected():
+    inventory = NodeInventory([Node("a")])
+    with pytest.raises(ValueError):
+        inventory.add_node(Node("a"))
+
+
+def test_try_allocate_and_release():
+    inventory = NodeInventory.homogeneous(2, cores=4)
+    placement = inventory.try_allocate(nodes_required=2, cores_per_node=3)
+    assert placement is not None and len(placement) == 2
+    assert inventory.free_cores == 2
+    # A second 2-node x 3-core request cannot fit.
+    assert inventory.try_allocate(2, 3) is None
+    # But a 1-node x 1-core request can (backfill).
+    assert inventory.try_allocate(1, 1) is not None
+    inventory.release(placement, cores_per_node=3)
+    assert inventory.free_cores == 8 - 1
+
+
+def test_try_allocate_insufficient_nodes():
+    inventory = NodeInventory.homogeneous(1, cores=8)
+    assert inventory.try_allocate(nodes_required=2, cores_per_node=1) is None
+
+
+def test_release_unknown_node_is_ignored():
+    inventory = NodeInventory.homogeneous(1, cores=8)
+    inventory.release(["ghost"], cores_per_node=4)
+    assert inventory.free_cores == 8
+
+
+def test_release_never_goes_negative():
+    inventory = NodeInventory.homogeneous(1, cores=8)
+    inventory.release(["node01"], cores_per_node=100)
+    assert inventory["node01"].allocated_cores == 0
+
+
+@given(
+    nodes=st.integers(min_value=1, max_value=5),
+    cores=st.integers(min_value=1, max_value=16),
+    requests=st.lists(st.tuples(st.integers(1, 3), st.integers(1, 8)), max_size=10),
+)
+def test_allocation_invariant_never_oversubscribes(nodes, cores, requests):
+    """Property: allocations never exceed each node's core count."""
+    inventory = NodeInventory.homogeneous(nodes, cores=cores)
+    placements = []
+    for nodes_required, cores_per_node in requests:
+        result = inventory.try_allocate(nodes_required, cores_per_node)
+        if result is not None:
+            placements.append((result, cores_per_node))
+        for node in inventory.nodes():
+            assert 0 <= node.allocated_cores <= node.cores
+    for names, cores_per_node in placements:
+        inventory.release(names, cores_per_node)
+    assert inventory.free_cores == inventory.total_cores

@@ -1,0 +1,130 @@
+"""Tests for InlinePythonRequirement support (paper §V)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.inline_python import (
+    InlinePythonEvaluator,
+    InlinePythonRequirementError,
+    extract_inline_python,
+    is_python_expression,
+)
+from repro.cwl.errors import InputValidationError
+from repro.cwl.loader import load_document, load_tool
+
+
+CAPITALIZE_LIB = [
+    "def capitalize_words(message):\n    return message.title()\n",
+]
+
+CONTEXT = {"inputs": {"message": "hello brave new world", "n": 3,
+                      "data_file": {"class": "File", "path": "/data/table.csv",
+                                    "basename": "table.csv"}},
+           "runtime": {"cores": 2}, "self": None}
+
+
+def test_is_python_expression_detection():
+    assert is_python_expression('f"{capitalize_words($(inputs.message))}"')
+    assert is_python_expression("f'{1 + 1}'")
+    assert not is_python_expression("$(inputs.message)")
+    assert not is_python_expression("plain text")
+    assert not is_python_expression(42)
+
+
+def test_extract_inline_python_from_example(cwl_dir):
+    tool = load_tool(cwl_dir / "capitalize_python.cwl")
+    requirement = extract_inline_python(tool)
+    assert requirement is not None
+    assert "capitalize_words" in requirement["expressionLib"][0]
+
+
+def test_expression_lib_functions_defined():
+    evaluator = InlinePythonEvaluator(expression_lib=CAPITALIZE_LIB)
+    assert "capitalize_words" in evaluator.defined_names()
+
+
+def test_evaluate_fstring_with_parameter_reference():
+    evaluator = InlinePythonEvaluator(expression_lib=CAPITALIZE_LIB)
+    result = evaluator.evaluate('f"{capitalize_words($(inputs.message))}"', CONTEXT)
+    assert result == "Hello Brave New World"
+
+
+def test_evaluate_single_field_preserves_native_type():
+    evaluator = InlinePythonEvaluator()
+    assert evaluator.evaluate('f"{$(inputs.n) * 2}"', CONTEXT) == 6
+
+
+def test_evaluate_mixed_text_interpolates():
+    evaluator = InlinePythonEvaluator()
+    assert evaluator.evaluate('f"count={$(inputs.n) + 1} cores={$(runtime.cores)}"', CONTEXT) == \
+        "count=4 cores=2"
+
+
+def test_evaluate_bare_reference_and_plain_string():
+    evaluator = InlinePythonEvaluator()
+    assert evaluator.evaluate("$(inputs.n)", CONTEXT) == 3
+    assert evaluator.evaluate("no references", CONTEXT) == "no references"
+    assert evaluator.evaluate("n is $(inputs.n)", CONTEXT) == "n is 3"
+
+
+def test_inputs_namespace_accessible_directly():
+    evaluator = InlinePythonEvaluator()
+    assert evaluator.evaluate('f"{inputs[\'message\'].split()[0]}"', CONTEXT) == "hello"
+
+
+def test_expression_error_wrapped():
+    evaluator = InlinePythonEvaluator()
+    with pytest.raises(InlinePythonRequirementError):
+        evaluator.evaluate('f"{undefined_function(1)}"', CONTEXT)
+
+
+def test_expression_lib_syntax_error_reported():
+    with pytest.raises(InlinePythonRequirementError):
+        InlinePythonEvaluator(expression_lib=["def broken(:\n    pass"])
+
+
+def test_external_python_file_loaded(tmp_path):
+    module = tmp_path / "helpers.py"
+    module.write_text("def shout(text):\n    return text.upper() + '!'\n")
+    evaluator = InlinePythonEvaluator(external_files=[str(module)])
+    assert evaluator.evaluate('f"{shout($(inputs.message))}"', CONTEXT) == \
+        "HELLO BRAVE NEW WORLD!"
+
+
+def test_external_python_file_missing_reported(tmp_path):
+    with pytest.raises(InlinePythonRequirementError):
+        InlinePythonEvaluator(external_files=[str(tmp_path / "absent.py")])
+
+
+def test_brace_blocks_rejected_inside_python_expressions():
+    evaluator = InlinePythonEvaluator()
+    with pytest.raises(InlinePythonRequirementError):
+        evaluator.evaluate('f"{1 + ${ return 2; }}"', CONTEXT)
+
+
+def test_validate_inputs_pass_and_fail(cwl_dir):
+    tool = load_tool(cwl_dir / "validate_csv.cwl")
+    evaluator = InlinePythonEvaluator.from_process(tool)
+
+    good = {"data_file": {"class": "File", "path": "/data/values.csv", "basename": "values.csv"}}
+    evaluator.validate_inputs(tool, good)  # should not raise
+
+    bad = {"data_file": {"class": "File", "path": "/data/values.txt", "basename": "values.txt"}}
+    with pytest.raises((InputValidationError, InlinePythonRequirementError)):
+        evaluator.validate_inputs(tool, bad)
+
+
+def test_validate_skipped_when_no_validate_fields(cwl_dir):
+    tool = load_tool(cwl_dir / "echo.cwl")
+    InlinePythonEvaluator.from_process(tool).validate_inputs(tool, {"message": "x"})
+
+
+def test_conditional_default_use_case():
+    """The paper lists 'conditional defaults' as a use case: derive a value from other inputs."""
+    lib = ["def default_output(name, ext):\n    return name.rsplit('.', 1)[0] + ext\n"]
+    evaluator = InlinePythonEvaluator(expression_lib=lib)
+    context = {"inputs": {"data_file": {"basename": "run42.csv"}}, "runtime": {}, "self": None}
+    result = evaluator.evaluate(
+        'f"{default_output($(inputs.data_file.basename), \'.json\')}"', context)
+    assert result == "run42.json"

@@ -1,0 +1,105 @@
+"""Tests for run_tool_with_parsl and the parsl-cwl CLI (paper §III-B)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+import repro
+from repro.core.cli import main as parsl_cwl_main
+from repro.core.runner import run_tool_with_parsl
+from repro.parsl.dataflow.dflow import DataFlowKernelLoader
+from repro.parsl.errors import NoDataFlowKernelError
+from repro.utils.yamlio import dump_yaml
+
+
+def test_run_tool_with_explicit_config(cwl_dir, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    outputs = run_tool_with_parsl(
+        tool=str(cwl_dir / "echo.cwl"),
+        job_order={"message": "configured run"},
+        config=repro.thread_config(max_threads=2, run_dir=str(tmp_path / "runinfo")),
+    )
+    assert outputs["output"]["basename"] == "hello.txt"
+    with open(outputs["output"]["path"]) as handle:
+        assert handle.read().strip() == "configured run"
+    # The runner loaded the DFK itself, so it must also have cleaned it up.
+    with pytest.raises(NoDataFlowKernelError):
+        DataFlowKernelLoader.dfk()
+
+
+def test_run_tool_with_yaml_config_path(cwl_dir, config_dir, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    outputs = run_tool_with_parsl(
+        tool=str(cwl_dir / "echo.cwl"),
+        job_order={"message": "yaml config"},
+        config=str(config_dir / "local_threads.yml"),
+    )
+    with open(outputs["output"]["path"]) as handle:
+        assert handle.read().strip() == "yaml config"
+
+
+def test_run_tool_reuses_existing_dfk(cwl_dir, parsl_threads, tmp_path):
+    outputs = run_tool_with_parsl(
+        tool=str(cwl_dir / "echo.cwl"),
+        job_order={"message": "reuse"},
+    )
+    assert outputs["output"]["basename"] == "hello.txt"
+    # The pre-existing kernel must still be loaded afterwards.
+    assert DataFlowKernelLoader.dfk() is parsl_threads
+
+
+def test_run_tool_with_file_input(cwl_dir, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    data = tmp_path / "words.txt"
+    data.write_text("one two three\n")
+    outputs = run_tool_with_parsl(
+        tool=str(cwl_dir / "wordcount.cwl"),
+        job_order={"text_file": {"class": "File", "path": str(data)}},
+        config=repro.thread_config(max_threads=2, run_dir=str(tmp_path / "runinfo")),
+    )
+    with open(outputs["count"]["path"]) as handle:
+        assert handle.read().split()[0] == "3"
+
+
+def test_parsl_cwl_cli_with_flag_inputs(cwl_dir, config_dir, tmp_path, capsys):
+    exit_code = parsl_cwl_main([
+        "--outdir", str(tmp_path), "--quiet",
+        str(config_dir / "local_threads.yml"),
+        str(cwl_dir / "echo.cwl"),
+        "--message", "cli run",
+    ])
+    assert exit_code == 0
+    outputs = json.loads(capsys.readouterr().out)
+    assert outputs["output"]["basename"] == "hello.txt"
+    assert (tmp_path / "hello.txt").read_text().strip() == "cli run"
+
+
+def test_parsl_cwl_cli_with_job_order_file(cwl_dir, config_dir, tmp_path, capsys):
+    job_file = tmp_path / "inputs.yml"
+    job_file.write_text(dump_yaml({"message": "from inputs.yml"}))
+    exit_code = parsl_cwl_main([
+        "--outdir", str(tmp_path / "out"), "--quiet",
+        str(config_dir / "local_threads.yml"),
+        str(cwl_dir / "echo.cwl"),
+        str(job_file),
+    ])
+    assert exit_code == 0
+    assert (tmp_path / "out" / "hello.txt").read_text().strip() == "from inputs.yml"
+
+
+def test_parsl_cwl_cli_usage_error(capsys):
+    assert parsl_cwl_main([]) == 2
+    assert "usage" in capsys.readouterr().err
+
+
+def test_parsl_cwl_cli_reports_failures(cwl_dir, config_dir, tmp_path, capsys):
+    exit_code = parsl_cwl_main([
+        "--outdir", str(tmp_path), "--quiet",
+        str(config_dir / "local_threads.yml"),
+        str(cwl_dir / "resize_image.cwl"),          # missing required inputs
+    ])
+    assert exit_code == 1
+    assert "error" in capsys.readouterr().err

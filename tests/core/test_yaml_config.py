@@ -1,0 +1,127 @@
+"""Tests for the TaPS-style YAML configuration loader."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.nodes import NodeInventory
+from repro.cluster.scheduler import SimulatedSlurmCluster
+from repro.core.yaml_config import config_from_dict, load_yaml_config
+from repro.parsl.errors import ConfigurationError
+from repro.parsl.executors.high_throughput.executor import HighThroughputExecutor
+from repro.parsl.executors.processes import ProcessPoolExecutor
+from repro.parsl.executors.threads import ThreadPoolExecutor
+from repro.parsl.executors.workqueue import WorkQueueStyleExecutor
+from repro.parsl.providers.kubernetes import KubernetesProvider
+from repro.parsl.providers.local import LocalProvider
+from repro.parsl.providers.pbs import PBSProProvider
+from repro.parsl.providers.slurm import SlurmProvider
+from repro.utils.yamlio import dump_yaml
+
+
+def test_thread_pool_config():
+    config = config_from_dict({"executor": "thread-pool", "max_threads": 3, "retries": 2})
+    executor = config.executors[0]
+    assert isinstance(executor, ThreadPoolExecutor)
+    assert executor.max_threads == 3
+    assert config.retries == 2
+
+
+def test_process_pool_and_workqueue_configs():
+    procs = config_from_dict({"executor": "process-pool", "max_workers": 2})
+    assert isinstance(procs.executors[0], ProcessPoolExecutor)
+    wq = config_from_dict({"executor": "workqueue", "total_cores": 5})
+    assert isinstance(wq.executors[0], WorkQueueStyleExecutor)
+    assert wq.executors[0].total_cores == 5
+
+
+def test_htex_local_provider_config():
+    config = config_from_dict({"executor": "htex", "provider": "local",
+                               "nodes": 1, "cores_per_node": 4, "workers_per_node": 2})
+    executor = config.executors[0]
+    assert isinstance(executor, HighThroughputExecutor)
+    assert isinstance(executor.provider, LocalProvider)
+    assert executor.max_workers_per_node == 2
+
+
+def test_htex_slurm_provider_config_with_injected_cluster():
+    cluster = SimulatedSlurmCluster(NodeInventory.homogeneous(3, cores=8))
+    try:
+        config = config_from_dict({"executor": "htex", "provider": "slurm", "nodes": 3,
+                                   "cores_per_node": 8, "workers_per_node": 4,
+                                   "partition": "debug"},
+                                  cluster=cluster)
+        provider = config.executors[0].provider
+        assert isinstance(provider, SlurmProvider)
+        assert provider.cluster is cluster
+        assert provider.partition == "debug"
+        assert provider.nodes_per_block == 3
+    finally:
+        cluster.shutdown()
+
+
+def test_htex_pbs_and_kubernetes_providers():
+    cluster = SimulatedSlurmCluster(NodeInventory.homogeneous(2, cores=4))
+    try:
+        pbs = config_from_dict({"executor": "htex", "provider": "pbs", "queue": "workq",
+                                "nodes": 2, "cores_per_node": 4}, cluster=cluster)
+        assert isinstance(pbs.executors[0].provider, PBSProProvider)
+    finally:
+        cluster.shutdown()
+    k8s = config_from_dict({"executor": "htex", "provider": "kubernetes", "nodes": 2,
+                            "cores_per_node": 2, "namespace": "workflows"})
+    assert isinstance(k8s.executors[0].provider, KubernetesProvider)
+    assert k8s.executors[0].provider.namespace == "workflows"
+
+
+def test_executor_aliases_accepted():
+    for alias in ("threads", "threadpool", "high-throughput", "taskvine"):
+        config = config_from_dict({"executor": alias})
+        assert config.executors, alias
+
+
+def test_unknown_key_rejected():
+    with pytest.raises(ConfigurationError):
+        config_from_dict({"executor": "thread-pool", "workers_per_nod": 3})
+
+
+def test_unknown_executor_and_provider_rejected():
+    with pytest.raises(ConfigurationError):
+        config_from_dict({"executor": "quantum"})
+    with pytest.raises(ConfigurationError):
+        config_from_dict({"executor": "htex", "provider": "lsf"})
+
+
+def test_load_yaml_config_from_file(tmp_path):
+    path = tmp_path / "config.yml"
+    path.write_text(dump_yaml({"executor": "thread-pool", "max_threads": 6, "run_dir": "rd"}))
+    config = load_yaml_config(path)
+    assert config.executors[0].max_threads == 6
+    assert config.run_dir == "rd"
+
+
+def test_load_yaml_config_empty_file_gives_defaults(tmp_path):
+    path = tmp_path / "empty.yml"
+    path.write_text("")
+    config = load_yaml_config(path)
+    assert isinstance(config.executors[0], ThreadPoolExecutor)
+
+
+def test_load_yaml_config_non_mapping_rejected(tmp_path):
+    path = tmp_path / "bad.yml"
+    path.write_text("- a\n- b\n")
+    with pytest.raises(ConfigurationError):
+        load_yaml_config(path)
+
+
+def test_example_config_files_parse(config_dir):
+    threads = load_yaml_config(config_dir / "local_threads.yml")
+    assert isinstance(threads.executors[0], ThreadPoolExecutor)
+    htex_local = load_yaml_config(config_dir / "htex_local.yml")
+    assert isinstance(htex_local.executors[0], HighThroughputExecutor)
+    cluster = SimulatedSlurmCluster(NodeInventory.homogeneous(3, cores=48))
+    try:
+        htex_slurm = load_yaml_config(config_dir / "htex_slurm_3nodes.yml", cluster=cluster)
+        assert htex_slurm.executors[0].provider.nodes_per_block == 3
+    finally:
+        cluster.shutdown()

@@ -1,0 +1,249 @@
+"""Tests for the pure-Python mini-JavaScript engine."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cwl.errors import JavaScriptError
+from repro.cwl.expressions.jsengine import JSEngine, evaluate_expression
+from repro.cwl.expressions.jsengine.interpreter import JSThrownError
+from repro.cwl.expressions.jsengine.tokenizer import tokenize
+
+
+# --------------------------------------------------------------------- lexing
+
+
+def test_tokenizer_basic_stream():
+    kinds = [t.kind for t in tokenize("inputs.x + 1")]
+    assert kinds == ["identifier", "punct", "identifier", "punct", "number", "eof"]
+
+
+def test_tokenizer_strings_and_escapes():
+    tokens = tokenize("'it\\'s' + \"a\\n\"")
+    assert tokens[0].value == "it's"
+    assert tokens[2].value == "a\n"
+
+
+def test_tokenizer_comments_are_skipped():
+    tokens = tokenize("1 // line comment\n + /* block */ 2")
+    assert [t.value for t in tokens if t.kind == "number"] == ["1", "2"]
+
+
+def test_tokenizer_rejects_garbage():
+    with pytest.raises(JavaScriptError):
+        tokenize("a @ b")
+    with pytest.raises(JavaScriptError):
+        tokenize("'unterminated")
+
+
+# ---------------------------------------------------------------- expressions
+
+
+@pytest.mark.parametrize("source,expected", [
+    ("1 + 2 * 3", 7),
+    ("(1 + 2) * 3", 9),
+    ("10 / 4", 2.5),
+    ("7 % 3", 1),
+    ("2 + 'x'", "2x"),
+    ("'a' + 'b'", "ab"),
+    ("-5 + 1", -4),
+    ("!true", False),
+    ("1 < 2 && 2 < 3", True),
+    ("1 > 2 || 3 > 2", True),
+    ("1 == '1'", True),
+    ("1 === '1'", False),
+    ("2 != 3", True),
+    ("'abc' === 'abc'", True),
+    ("true ? 'yes' : 'no'", "yes"),
+    ("null", None),
+    ("undefined", None),
+    ("typeof 'x'", "string"),
+    ("typeof 5", "number"),
+    ("typeof missing_variable", "undefined"),
+    ("[1, 2, 3].length", 3),
+    ("'hello'.length", 5),
+    ("[1,2,3][1]", 2),
+    ("({a: {b: 3}}).a.b", 3),
+    ("Math.floor(3.9)", 3),
+    ("Math.max(1, 7, 3)", 7),
+    ("Math.min(4, 2)", 2),
+    ("parseInt('42')", 42),
+    ("parseFloat('2.5')", 2.5),
+    ("JSON.stringify([1, 2])", "[1, 2]"),
+    ("JSON.parse('{\"k\": 1}').k", 1),
+    ("'Hello World'.toUpperCase()", "HELLO WORLD"),
+    ("'Hello'.toLowerCase()", "hello"),
+    ("'a,b,c'.split(',').length", 3),
+    ("'  pad  '.trim()", "pad"),
+    ("'filename.png'.split('.')[0]", "filename"),
+    ("'abcdef'.slice(1, 3)", "bc"),
+    ("'abcdef'.substring(2)", "cdef"),
+    ("'abc'.charAt(1)", "b"),
+    ("'abc'.indexOf('c')", 2),
+    ("'abc'.indexOf('z')", -1),
+    ("'abc'.includes('b')", True),
+    ("'x'.repeat(3)", "xxx"),
+    ("['a','b'].join('-')", "a-b"),
+    ("[1,2,3].indexOf(2)", 1),
+    ("[1,2,3].slice(1).length", 2),
+    ("[[1,2],[3]].flat().length", 3),
+    ("[1,2,3,4].filter(function(x){ return x % 2 == 0; }).length", 2),
+    ("[1,2,3].map(x => x * 10)[2]", 30),
+    ("[1,2,3].reduce(function(a, b){ return a + b; }, 0)", 6),
+    ("[1,2,3].some(x => x > 2)", True),
+    ("[1,2,3].every(x => x > 2)", False),
+    ("Object.keys({a:1, b:2}).length", 2),
+    ("Array.isArray([1])", True),
+    ("Array.isArray('no')", False),
+    ("String(42)", "42"),
+    ("Number('3') + 1", 4),
+    ("Boolean('')", False),
+    ("isNaN(parseInt('zz'))", True),
+])
+def test_expression_results(source, expected):
+    assert evaluate_expression(source) == expected
+
+
+def test_context_variables_visible():
+    engine = JSEngine(context={"inputs": {"n": 6, "file": {"basename": "a.txt"}}, "runtime": {"cores": 8}})
+    assert engine.evaluate("inputs.n * runtime.cores") == 48
+    assert engine.evaluate("inputs.file.basename") == "a.txt"
+    assert engine.evaluate("inputs.missing") is None
+
+
+def test_division_by_zero_matches_js():
+    assert evaluate_expression("1 / 0") == float("inf")
+    assert math.isnan(evaluate_expression("0 / 0"))
+
+
+def test_member_on_null_raises():
+    with pytest.raises(JavaScriptError):
+        evaluate_expression("null.anything")
+
+
+def test_call_non_function_raises():
+    with pytest.raises(JavaScriptError):
+        evaluate_expression("(5)(1)")
+
+
+def test_undefined_variable_reference_raises():
+    with pytest.raises(JavaScriptError):
+        evaluate_expression("not_defined + 1")
+
+
+def test_parse_errors_are_javascript_errors():
+    for bad in ["1 +", "foo(", "{a: }", "a ? b", "function(){"]:
+        with pytest.raises(JavaScriptError):
+            evaluate_expression(bad)
+
+
+# ----------------------------------------------------------------- statements
+
+
+def test_function_body_with_loop():
+    engine = JSEngine(context={"inputs": {"n": 10}})
+    body = "var total = 0; for (var i = 1; i <= inputs.n; i++) { total += i; } return total;"
+    assert engine.run_function_body(body) == 55
+
+
+def test_function_body_with_if_else():
+    engine = JSEngine(context={"inputs": {"flag": False}})
+    assert engine.run_function_body(
+        "if (inputs.flag) { return 'on'; } else { return 'off'; }") == "off"
+
+
+def test_function_body_while_and_break():
+    body = """
+    var i = 0;
+    while (true) {
+      i++;
+      if (i >= 4) { break; }
+    }
+    return i;
+    """
+    assert JSEngine().run_function_body(body) == 4
+
+
+def test_for_of_and_for_in():
+    engine = JSEngine(context={"inputs": {"xs": [2, 3, 4], "obj": {"a": 1, "b": 2}}})
+    assert engine.run_function_body(
+        "var s = 0; for (var x of inputs.xs) { s += x; } return s;") == 9
+    assert engine.run_function_body(
+        "var keys = []; for (var k in inputs.obj) { keys.push(k); } return keys.join(',');") == "a,b"
+
+
+def test_expression_lib_functions_are_callable():
+    lib = ["function double(x) { return x * 2; }", "var FACTOR = 10;"]
+    engine = JSEngine(context={"inputs": {"v": 3}}, expression_lib=lib)
+    assert engine.evaluate("double(inputs.v) + FACTOR") == 16
+
+
+def test_throw_raises_python_exception():
+    with pytest.raises(JSThrownError):
+        JSEngine().run_function_body("throw 'bad input';")
+
+
+def test_function_body_without_return_yields_none():
+    assert JSEngine().run_function_body("var x = 1;") is None
+
+
+def test_runaway_loop_protection():
+    with pytest.raises(JavaScriptError):
+        JSEngine().run_function_body("while (true) { var x = 1; }")
+
+
+def test_nested_function_closure():
+    body = """
+    function makeAdder(n) {
+      return function(x) { return x + n; };
+    }
+    var add5 = makeAdder(5);
+    return add5(10);
+    """
+    assert JSEngine().run_function_body(body) == 15
+
+
+def test_assignment_operators_and_updates():
+    body = "var x = 1; x += 4; x *= 2; x -= 3; x /= 1; return x;"
+    assert JSEngine().run_function_body(body) == 7
+    assert JSEngine().run_function_body("var i = 0; i++; ++i; return i;") == 2
+
+
+def test_object_and_array_mutation():
+    body = """
+    var obj = {count: 0};
+    obj.count = obj.count + 1;
+    obj['label'] = 'x';
+    var arr = [];
+    arr[0] = 'first';
+    arr.push('second');
+    return obj.count + ':' + obj.label + ':' + arr.join('/');
+    """
+    assert JSEngine().run_function_body(body) == "1:x:first/second"
+
+
+# ------------------------------------------------------------------- property
+
+
+@given(a=st.integers(-1000, 1000), b=st.integers(-1000, 1000))
+def test_property_integer_arithmetic_matches_python(a, b):
+    assert evaluate_expression(f"{a} + {b}") == a + b
+    assert evaluate_expression(f"{a} * {b}") == a * b
+
+
+@given(s=st.text(alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), max_codepoint=127),
+                 max_size=20))
+def test_property_string_upper_matches_python(s):
+    engine = JSEngine(context={"inputs": {"s": s}})
+    assert engine.evaluate("inputs.s.toUpperCase()") == s.upper()
+    assert engine.evaluate("inputs.s.length") == len(s)
+
+
+@given(xs=st.lists(st.integers(-50, 50), max_size=15))
+def test_property_array_join_and_length(xs):
+    engine = JSEngine(context={"inputs": {"xs": xs}})
+    assert engine.evaluate("inputs.xs.length") == len(xs)
+    assert engine.evaluate("inputs.xs.join(',')") == ",".join(str(x) for x in xs)

@@ -1,0 +1,100 @@
+"""Tests for scatter expansion and output re-nesting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cwl.errors import ValidationException
+from repro.cwl.scatter import build_scatter_jobs, nest_outputs
+
+
+def test_dotproduct_single_key():
+    plan = build_scatter_jobs({"image": ["a", "b", "c"], "size": 10}, ["image"], "dotproduct")
+    assert plan.jobs == [
+        {"image": "a", "size": 10},
+        {"image": "b", "size": 10},
+        {"image": "c", "size": 10},
+    ]
+    assert plan.shape == [3]
+
+
+def test_dotproduct_multiple_keys():
+    plan = build_scatter_jobs({"x": [1, 2], "y": ["a", "b"], "k": 0}, ["x", "y"], "dotproduct")
+    assert plan.jobs == [{"x": 1, "y": "a", "k": 0}, {"x": 2, "y": "b", "k": 0}]
+
+
+def test_dotproduct_unequal_lengths_rejected():
+    with pytest.raises(ValidationException):
+        build_scatter_jobs({"x": [1, 2], "y": [1]}, ["x", "y"], "dotproduct")
+
+
+def test_flat_crossproduct():
+    plan = build_scatter_jobs({"x": [1, 2], "y": ["a", "b", "c"]}, ["x", "y"], "flat_crossproduct")
+    assert len(plan.jobs) == 6
+    assert plan.jobs[0] == {"x": 1, "y": "a"}
+    assert plan.jobs[-1] == {"x": 2, "y": "c"}
+    assert plan.shape == [2, 3]
+
+
+def test_nested_crossproduct_shape_and_nesting():
+    plan = build_scatter_jobs({"x": [1, 2], "y": ["a", "b", "c"]}, ["x", "y"], "nested_crossproduct")
+    flat_results = [f"{job['x']}{job['y']}" for job in plan.jobs]
+    nested = nest_outputs(flat_results, plan.shape)
+    assert nested == [["1a", "1b", "1c"], ["2a", "2b", "2c"]]
+
+
+def test_empty_scatter_source_produces_no_jobs():
+    plan = build_scatter_jobs({"x": [], "other": 1}, ["x"], "dotproduct")
+    assert plan.is_empty
+    assert plan.jobs == []
+
+
+def test_scatter_over_non_array_rejected():
+    with pytest.raises(ValidationException):
+        build_scatter_jobs({"x": 5}, ["x"], "dotproduct")
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(ValidationException):
+        build_scatter_jobs({"x": [1]}, ["x"], "zipproduct")
+
+
+def test_no_scatter_keys_rejected():
+    with pytest.raises(ValidationException):
+        build_scatter_jobs({"x": [1]}, [], "dotproduct")
+
+
+def test_nest_outputs_identity_for_single_dimension():
+    assert nest_outputs([1, 2, 3], [3]) == [1, 2, 3]
+    assert nest_outputs([], []) == []
+
+
+def test_nest_outputs_three_dimensions():
+    shape = [2, 2, 2]
+    flat = list(range(8))
+    nested = nest_outputs(flat, shape)
+    assert nested == [[[0, 1], [2, 3]], [[4, 5], [6, 7]]]
+
+
+@given(xs=st.lists(st.integers(), max_size=8), ys=st.lists(st.integers(), max_size=8))
+def test_property_flat_crossproduct_size(xs, ys):
+    plan = build_scatter_jobs({"x": xs, "y": ys}, ["x", "y"], "flat_crossproduct")
+    assert len(plan.jobs) == len(xs) * len(ys)
+
+
+@given(xs=st.lists(st.integers(), min_size=1, max_size=6),
+       ys=st.lists(st.integers(), min_size=1, max_size=6))
+def test_property_nested_crossproduct_round_trip(xs, ys):
+    """Property: flattening the nested structure recovers the flat job order."""
+    plan = build_scatter_jobs({"x": xs, "y": ys}, ["x", "y"], "nested_crossproduct")
+    flat = [(job["x"], job["y"]) for job in plan.jobs]
+    nested = nest_outputs(flat, plan.shape)
+    reflattened = [item for row in nested for item in row]
+    assert reflattened == flat
+
+
+@given(xs=st.lists(st.integers(), min_size=1, max_size=10))
+def test_property_dotproduct_preserves_element_order(xs):
+    plan = build_scatter_jobs({"x": xs}, ["x"], "dotproduct")
+    assert [job["x"] for job in plan.jobs] == xs

@@ -1,0 +1,122 @@
+"""Tests for document validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cwl.errors import ValidationException
+from repro.cwl.loader import load_document
+from repro.cwl.validate import ensure_valid, validate_process
+
+
+def test_example_documents_are_valid(cwl_dir):
+    for name in ("echo.cwl", "resize_image.cwl", "filter_image.cwl", "blur_image.cwl",
+                 "image_pipeline.cwl", "scatter_images.cwl", "capitalize_python.cwl",
+                 "capitalize_js.cwl", "validate_csv.cwl", "wordcount.cwl"):
+        process = load_document(cwl_dir / name)
+        assert validate_process(process) == [], f"{name} should validate cleanly"
+
+
+def test_tool_without_command_is_invalid():
+    tool = load_document({"cwlVersion": "v1.2", "class": "CommandLineTool",
+                          "inputs": {}, "outputs": {}})
+    problems = validate_process(tool)
+    assert any("baseCommand" in p for p in problems)
+
+
+def test_duplicate_input_ids_detected():
+    tool = load_document({"cwlVersion": "v1.2", "class": "CommandLineTool", "baseCommand": "x",
+                          "inputs": [{"id": "a", "type": "string"}, {"id": "a", "type": "int"}],
+                          "outputs": {}})
+    assert any("duplicate input" in p for p in validate_process(tool))
+
+
+def test_output_without_binding_detected():
+    tool = load_document({"cwlVersion": "v1.2", "class": "CommandLineTool", "baseCommand": "x",
+                          "inputs": {}, "outputs": {"result": "File"}})
+    assert any("outputBinding" in p for p in validate_process(tool))
+
+
+def test_workflow_unknown_source_detected():
+    workflow = load_document({
+        "cwlVersion": "v1.2", "class": "Workflow",
+        "inputs": {"a": "string"}, "outputs": {},
+        "steps": {"s": {"run": {"class": "CommandLineTool", "baseCommand": "x",
+                                "inputs": {"v": "string"}, "outputs": {}},
+                        "in": {"v": "does_not_exist"}, "out": []}},
+    })
+    assert any("unknown workflow input" in p for p in validate_process(workflow))
+
+
+def test_workflow_unknown_step_output_source_detected():
+    workflow = load_document({
+        "cwlVersion": "v1.2", "class": "Workflow",
+        "inputs": {"a": "string"},
+        "outputs": {"final": {"type": "File", "outputSource": "s/not_an_output"}},
+        "steps": {"s": {"run": {"class": "CommandLineTool", "baseCommand": "x",
+                                "inputs": {"v": "string"}, "outputs": {"o": "stdout"},
+                                "stdout": "o.txt"},
+                        "in": {"v": "a"}, "out": ["o"]}},
+    })
+    assert any("unknown step output" in p for p in validate_process(workflow))
+
+
+def test_workflow_step_passes_undeclared_input_detected():
+    workflow = load_document({
+        "cwlVersion": "v1.2", "class": "Workflow",
+        "inputs": {"a": "string"}, "outputs": {},
+        "steps": {"s": {"run": {"class": "CommandLineTool", "baseCommand": "x",
+                                "inputs": {"v": "string"}, "outputs": {}},
+                        "in": {"v": "a", "extra": "a"}, "out": []}},
+    })
+    assert any("does not declare" in p for p in validate_process(workflow))
+
+
+def test_workflow_scatter_over_undeclared_input_detected():
+    workflow = load_document({
+        "cwlVersion": "v1.2", "class": "Workflow",
+        "inputs": {"xs": "string[]"}, "outputs": {},
+        "steps": {"s": {"run": {"class": "CommandLineTool", "baseCommand": "x",
+                                "inputs": {"v": "string"}, "outputs": {}},
+                        "scatter": "other", "in": {"v": "xs"}, "out": []}},
+    })
+    assert any("scatters over" in p for p in validate_process(workflow))
+
+
+def test_workflow_cycle_detected():
+    workflow = load_document({
+        "cwlVersion": "v1.2", "class": "Workflow",
+        "inputs": {}, "outputs": {},
+        "steps": {
+            "a": {"run": {"class": "CommandLineTool", "baseCommand": "x",
+                          "inputs": {"v": "File"}, "outputs": {"o": "stdout"}, "stdout": "a.txt"},
+                  "in": {"v": "b/o"}, "out": ["o"]},
+            "b": {"run": {"class": "CommandLineTool", "baseCommand": "x",
+                          "inputs": {"v": "File"}, "outputs": {"o": "stdout"}, "stdout": "b.txt"},
+                  "in": {"v": "a/o"}, "out": ["o"]},
+        },
+    })
+    assert any("cycle" in p for p in validate_process(workflow))
+
+
+def test_empty_workflow_flagged():
+    workflow = load_document({"cwlVersion": "v1.2", "class": "Workflow",
+                              "inputs": {}, "outputs": {}, "steps": {}})
+    assert any("no steps" in p for p in validate_process(workflow))
+
+
+def test_strict_mode_flags_unknown_requirements():
+    tool = load_document({"cwlVersion": "v1.2", "class": "CommandLineTool", "baseCommand": "x",
+                          "requirements": [{"class": "QuantumComputingRequirement"}],
+                          "inputs": {}, "outputs": {}})
+    assert validate_process(tool, strict=False) == []
+    assert any("unsupported requirement" in p for p in validate_process(tool, strict=True))
+
+
+def test_ensure_valid_raises_with_all_issues():
+    tool = load_document({"cwlVersion": "v1.2", "class": "CommandLineTool",
+                          "inputs": [{"id": "a", "type": "string"}, {"id": "a", "type": "int"}],
+                          "outputs": {}})
+    with pytest.raises(ValidationException) as err:
+        ensure_valid(tool)
+    assert len(err.value.issues) >= 2

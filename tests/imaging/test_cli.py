@@ -1,0 +1,89 @@
+"""Tests for the repro-image-* command-line tools."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.imaging.cli import (
+    blur_main,
+    filter_main,
+    generate_main,
+    main as dispatcher_main,
+    resize_main,
+    wordtool_main,
+)
+from repro.imaging.png import read_png, write_png
+from repro.imaging.synthetic import generate_image
+
+
+@pytest.fixture
+def input_png(tmp_path):
+    path = tmp_path / "in.png"
+    write_png(path, generate_image(40, 30, seed=1))
+    return str(path)
+
+
+def test_resize_main(tmp_path, input_png, capsys):
+    out = tmp_path / "resized.png"
+    assert resize_main([input_png, "--size", "16", "--output", str(out)]) == 0
+    assert read_png(out).shape == (16, 16, 3)
+    assert "resized" in capsys.readouterr().out
+
+
+def test_filter_main_sepia_flag(tmp_path, input_png):
+    out_plain = tmp_path / "plain.png"
+    out_sepia = tmp_path / "sepia.png"
+    assert filter_main([input_png, "--output", str(out_plain)]) == 0
+    assert filter_main([input_png, "--sepia", "--output", str(out_sepia)]) == 0
+    assert not np.array_equal(read_png(out_plain), read_png(out_sepia))
+
+
+def test_blur_main(tmp_path, input_png):
+    out = tmp_path / "blurred.png"
+    assert blur_main([input_png, "--radius", "2", "--output", str(out)]) == 0
+    assert read_png(out).shape == read_png(input_png).shape
+
+
+def test_generate_main(tmp_path, capsys):
+    outdir = tmp_path / "generated"
+    assert generate_main(["--count", "3", "--size", "12", "--outdir", str(outdir)]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 3
+    assert read_png(lines[0]).shape == (12, 12, 3)
+
+
+def test_wordtool_modes(capsys):
+    assert wordtool_main(["--mode", "capitalize", "hello", "world"]) == 0
+    assert capsys.readouterr().out.strip() == "Hello World"
+    assert wordtool_main(["--mode", "count", "a", "b", "c"]) == 0
+    assert capsys.readouterr().out.strip() == "3"
+    assert wordtool_main(["--mode", "upper", "abc"]) == 0
+    assert capsys.readouterr().out.strip() == "ABC"
+    assert wordtool_main(["plain", "text"]) == 0
+    assert capsys.readouterr().out.strip() == "plain text"
+
+
+def test_dispatcher_unknown_subcommand(capsys):
+    assert dispatcher_main(["nope"]) == 2
+    assert "unknown subcommand" in capsys.readouterr().err
+
+
+def test_dispatcher_help(capsys):
+    assert dispatcher_main(["-h"]) == 0
+    assert "resize" in capsys.readouterr().out
+
+
+def test_module_invocation_via_subprocess(tmp_path, input_png):
+    """The CWL documents call `python3 -m repro.imaging.cli resize ...`; verify it works."""
+    out = tmp_path / "sub.png"
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.imaging.cli", "resize", input_png,
+         "--size", "8", "--output", str(out)],
+        capture_output=True, text=True,
+    )
+    assert result.returncode == 0, result.stderr
+    assert read_png(out).shape == (8, 8, 3)

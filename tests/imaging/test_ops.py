@@ -1,0 +1,116 @@
+"""Tests for the image operations used by the evaluation workflow."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.imaging.ops import blur_image, resize_image, sepia_filter
+
+
+@pytest.fixture
+def gradient():
+    ys = np.linspace(0, 255, 32)[:, None]
+    xs = np.linspace(0, 255, 48)[None, :]
+    return np.stack([ys + 0 * xs, 0 * ys + xs, 0 * ys + 0 * xs + 128], axis=2).astype(np.uint8)
+
+
+def test_resize_to_square(gradient):
+    out = resize_image(gradient, 16)
+    assert out.shape == (16, 16, 3)
+    assert out.dtype == np.uint8
+
+
+def test_resize_nearest_and_bilinear_agree_on_constant_image():
+    const = np.full((10, 10, 3), 77, dtype=np.uint8)
+    assert np.array_equal(resize_image(const, 5, "nearest"), resize_image(const, 5, "bilinear"))
+
+
+def test_resize_upscale(gradient):
+    out = resize_image(gradient, 64)
+    assert out.shape == (64, 64, 3)
+
+
+def test_resize_greyscale_keeps_two_dims():
+    grey = np.arange(100, dtype=np.uint8).reshape(10, 10)
+    assert resize_image(grey, 4).shape == (4, 4)
+
+
+def test_resize_rejects_bad_size(gradient):
+    with pytest.raises(ValueError):
+        resize_image(gradient, 0)
+    with pytest.raises(ValueError):
+        resize_image(gradient, 8, method="bicubic")
+
+
+def test_sepia_changes_colours_and_preserves_shape(gradient):
+    toned = sepia_filter(gradient, apply=True)
+    assert toned.shape == gradient.shape
+    assert toned.dtype == np.uint8
+    assert not np.array_equal(toned, gradient)
+
+
+def test_sepia_disabled_is_identity(gradient):
+    assert np.array_equal(sepia_filter(gradient, apply=False), gradient)
+
+
+def test_sepia_is_monochrome_ordering():
+    """Sepia output has R >= G >= B for every pixel (property of the matrix)."""
+    rng = np.random.default_rng(1)
+    image = rng.integers(0, 256, (16, 16, 3), dtype=np.uint8)
+    toned = sepia_filter(image).astype(int)
+    assert np.all(toned[:, :, 0] >= toned[:, :, 1])
+    assert np.all(toned[:, :, 1] >= toned[:, :, 2])
+
+
+def test_blur_radius_zero_is_identity(gradient):
+    assert np.array_equal(blur_image(gradient, 0), gradient)
+
+
+def test_blur_reduces_variance(gradient):
+    rng = np.random.default_rng(2)
+    noisy = rng.integers(0, 256, (32, 32, 3), dtype=np.uint8)
+    blurred = blur_image(noisy, 2)
+    assert blurred.shape == noisy.shape
+    assert blurred.astype(float).var() < noisy.astype(float).var()
+
+
+def test_blur_constant_image_unchanged():
+    const = np.full((20, 20, 3), 99, dtype=np.uint8)
+    assert np.array_equal(blur_image(const, 3), const)
+
+
+def test_blur_rejects_negative_radius(gradient):
+    with pytest.raises(ValueError):
+        blur_image(gradient, -1)
+
+
+def test_blur_greyscale_shape():
+    grey = np.arange(64, dtype=np.uint8).reshape(8, 8)
+    assert blur_image(grey, 1).shape == (8, 8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    size=st.integers(min_value=1, max_value=32),
+    src=st.integers(min_value=2, max_value=40),
+    method=st.sampled_from(["nearest", "bilinear"]),
+)
+def test_resize_property_shape_and_range(size, src, method):
+    """Property: resize always produces a size x size uint8 image within [0, 255]."""
+    rng = np.random.default_rng(size * 1000 + src)
+    image = rng.integers(0, 256, (src, src, 3), dtype=np.uint8)
+    out = resize_image(image, size, method=method)
+    assert out.shape == (size, size, 3)
+    assert out.dtype == np.uint8
+
+
+@settings(max_examples=25, deadline=None)
+@given(radius=st.integers(min_value=0, max_value=5), seed=st.integers(0, 1000))
+def test_blur_property_preserves_mean_approximately(radius, seed):
+    """Property: box blur preserves the image mean to within quantisation error."""
+    rng = np.random.default_rng(seed)
+    image = rng.integers(0, 256, (16, 16, 3), dtype=np.uint8)
+    blurred = blur_image(image, radius)
+    assert abs(float(blurred.mean()) - float(image.mean())) < 16.0

@@ -1,0 +1,109 @@
+"""Tests for the pure-numpy PNG codec."""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.imaging.png import PNGError, read_png, write_png
+
+
+def test_round_trip_rgb(tmp_path):
+    image = np.arange(4 * 5 * 3, dtype=np.uint8).reshape(4, 5, 3)
+    path = tmp_path / "rgb.png"
+    write_png(path, image)
+    decoded = read_png(path)
+    assert decoded.shape == (4, 5, 3)
+    assert np.array_equal(decoded, image)
+
+
+def test_round_trip_greyscale(tmp_path):
+    image = np.linspace(0, 255, 6 * 7, dtype=np.uint8).reshape(6, 7)
+    path = tmp_path / "grey.png"
+    write_png(path, image)
+    decoded = read_png(path)
+    assert decoded.shape == (6, 7)
+    assert np.array_equal(decoded, image)
+
+
+def test_round_trip_rgba(tmp_path):
+    rng = np.random.default_rng(0)
+    image = rng.integers(0, 256, size=(8, 8, 4), dtype=np.uint8)
+    path = tmp_path / "rgba.png"
+    write_png(path, image)
+    assert np.array_equal(read_png(path), image)
+
+
+def test_write_clips_non_uint8(tmp_path):
+    image = np.array([[[300.0, -5.0, 127.4]]])
+    path = tmp_path / "clip.png"
+    write_png(path, image)
+    decoded = read_png(path)
+    assert decoded[0, 0, 0] == 255
+    assert decoded[0, 0, 1] == 0
+    assert decoded[0, 0, 2] == 127
+
+
+def test_write_rejects_bad_shape(tmp_path):
+    with pytest.raises(PNGError):
+        write_png(tmp_path / "bad.png", np.zeros((2, 2, 2), dtype=np.uint8))
+
+
+def test_read_rejects_non_png(tmp_path):
+    path = tmp_path / "not.png"
+    path.write_bytes(b"definitely not a png")
+    with pytest.raises(PNGError):
+        read_png(path)
+
+
+def test_read_signature_valid_but_truncated(tmp_path):
+    path = tmp_path / "trunc.png"
+    path.write_bytes(b"\x89PNG\r\n\x1a\n")
+    with pytest.raises(PNGError):
+        read_png(path)
+
+
+def test_read_supports_sub_and_up_filters(tmp_path):
+    """Hand-craft a PNG using filter types 1 (Sub) and 2 (Up) and decode it."""
+    width, height = 4, 2
+    row0 = np.array([10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120], dtype=np.uint8)
+    row1 = row0 + 5
+
+    # Scanline 0 uses Sub filtering, scanline 1 uses Up filtering.
+    sub = row0.astype(np.int16).copy()
+    sub[3:] = (row0[3:].astype(np.int16) - row0[:-3].astype(np.int16)) % 256
+    up = (row1.astype(np.int16) - row0.astype(np.int16)) % 256
+    raw = bytes([1]) + bytes(sub.astype(np.uint8)) + bytes([2]) + bytes(up.astype(np.uint8))
+
+    def chunk(tag, data):
+        return struct.pack(">I", len(data)) + tag + data + struct.pack(
+            ">I", zlib.crc32(tag + data) & 0xFFFFFFFF)
+
+    header = struct.pack(">IIBBBBB", width, height, 8, 2, 0, 0, 0)
+    blob = (b"\x89PNG\r\n\x1a\n" + chunk(b"IHDR", header)
+            + chunk(b"IDAT", zlib.compress(raw)) + chunk(b"IEND", b""))
+    path = tmp_path / "filtered.png"
+    path.write_bytes(blob)
+
+    decoded = read_png(path)
+    assert np.array_equal(decoded[0].reshape(-1), row0)
+    assert np.array_equal(decoded[1].reshape(-1), row1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    width=st.integers(min_value=1, max_value=16),
+    height=st.integers(min_value=1, max_value=16),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_round_trip_property(tmp_path_factory, width, height, seed):
+    """Property: write_png followed by read_png is the identity for uint8 RGB images."""
+    rng = np.random.default_rng(seed)
+    image = rng.integers(0, 256, size=(height, width, 3), dtype=np.uint8)
+    path = tmp_path_factory.mktemp("png") / "img.png"
+    write_png(path, image)
+    assert np.array_equal(read_png(path), image)

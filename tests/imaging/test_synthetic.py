@@ -1,0 +1,43 @@
+"""Tests for the synthetic workload generator."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.imaging.png import read_png
+from repro.imaging.synthetic import generate_image, generate_image_files, word_corpus
+
+
+def test_generate_image_deterministic():
+    a = generate_image(32, 24, seed=5)
+    b = generate_image(32, 24, seed=5)
+    assert np.array_equal(a, b)
+    assert a.shape == (24, 32, 3)
+    assert a.dtype == np.uint8
+
+
+def test_generate_image_seed_changes_content():
+    assert not np.array_equal(generate_image(32, 32, seed=1), generate_image(32, 32, seed=2))
+
+
+def test_generate_image_files_creates_readable_pngs(tmp_path):
+    paths = generate_image_files(tmp_path, 3, width=20, height=10)
+    assert len(paths) == 3
+    assert [os.path.basename(p) for p in paths] == ["img_0000.png", "img_0001.png", "img_0002.png"]
+    for path in paths:
+        image = read_png(path)
+        assert image.shape == (10, 20, 3)
+
+
+def test_generate_image_files_distinct_content(tmp_path):
+    paths = generate_image_files(tmp_path, 2, width=16, height=16)
+    assert not np.array_equal(read_png(paths[0]), read_png(paths[1]))
+
+
+def test_word_corpus_deterministic_and_sized():
+    words = word_corpus(50, seed=3)
+    assert len(words) == 50
+    assert list(words) == list(word_corpus(50, seed=3))
+    assert all(isinstance(w, str) and w for w in words)

@@ -1,0 +1,284 @@
+"""Tests for the DataFlowKernel: apps, dependencies, retries, memoization, joins."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+import repro
+from repro.parsl import bash_app, join_app, python_app
+from repro.parsl.config import Config
+from repro.parsl.dataflow.dflow import DataFlowKernel, DataFlowKernelLoader
+from repro.parsl.dataflow.states import States
+from repro.parsl.errors import (
+    BashExitFailure,
+    ConfigurationError,
+    DependencyError,
+    MissingOutputs,
+    NoDataFlowKernelError,
+)
+from repro.parsl.executors.threads import ThreadPoolExecutor
+
+
+@python_app
+def add(a, b):
+    return a + b
+
+
+@python_app
+def fail_always():
+    raise ValueError("intentional failure")
+
+
+@bash_app
+def echo_to_file(message, stdout=None):
+    return f"echo {message}"
+
+
+@bash_app
+def failing_command():
+    return "exit 9"
+
+
+@join_app
+def fan_out_sum(n):
+    return [add(i, i) for i in range(n)]
+
+
+def test_apps_require_loaded_dfk():
+    with pytest.raises(NoDataFlowKernelError):
+        add(1, 2)
+
+
+def test_double_load_rejected(tmp_path):
+    repro.load(repro.thread_config(run_dir=str(tmp_path / "r1")))
+    with pytest.raises(ConfigurationError):
+        repro.load(repro.thread_config(run_dir=str(tmp_path / "r2")))
+    repro.clear()
+
+
+def test_python_app_and_dependency_chain(parsl_threads):
+    first = add(1, 2)
+    second = add(first, 10)
+    third = add(second, first)
+    assert third.result() == 16
+    assert first.task_record.status == States.exec_done
+
+
+def test_bash_app_writes_stdout(parsl_threads, tmp_path):
+    out = tmp_path / "echo.txt"
+    future = echo_to_file("hello parsl", stdout=str(out))
+    assert future.result() == 0
+    assert out.read_text().strip() == "hello parsl"
+    assert future.stdout == str(out)
+
+
+def test_bash_app_failure_raises_exit_failure(parsl_threads):
+    future = failing_command()
+    with pytest.raises(BashExitFailure) as err:
+        future.result()
+    assert err.value.exitcode == 9
+
+
+def test_bash_app_missing_outputs(parsl_threads, tmp_path):
+    @bash_app
+    def claims_outputs(outputs=None):
+        return "true"
+
+    future = claims_outputs(outputs=[repro.File(str(tmp_path / "never_created.txt"))])
+    with pytest.raises(MissingOutputs):
+        future.result()
+
+
+def test_dependency_failure_propagates(parsl_threads):
+    bad = fail_always()
+    downstream = add(bad, 1)
+    with pytest.raises(ValueError):
+        bad.result()
+    with pytest.raises(DependencyError) as err:
+        downstream.result()
+    assert downstream.task_record.status == States.dep_fail
+    assert any(isinstance(e, ValueError) for e in err.value.dependent_exceptions)
+
+
+def test_join_app_waits_for_inner_futures(parsl_threads):
+    future = fan_out_sum(5)
+    assert future.result() == [0, 2, 4, 6, 8]
+    assert future.task_record.app_type == "join"
+
+
+def test_join_app_plain_return_value(parsl_threads):
+    @join_app
+    def no_futures():
+        return 42
+
+    assert no_futures().result() == 42
+
+
+def test_outputs_become_datafutures(parsl_threads, tmp_path):
+    out_file = tmp_path / "made.txt"
+
+    @bash_app
+    def make_file(outputs=None):
+        return f"echo content > {outputs[0]}"
+
+    future = make_file(outputs=[repro.File(str(out_file))])
+    assert len(future.outputs) == 1
+    produced = future.outputs[0].result()
+    assert produced.filepath == str(out_file)
+    assert out_file.read_text().strip() == "content"
+
+
+def test_datafuture_feeds_downstream_app(parsl_threads, tmp_path):
+    upstream_out = tmp_path / "upstream.txt"
+
+    @bash_app
+    def produce(outputs=None):
+        return f"echo 41 > {outputs[0]}"
+
+    @python_app
+    def consume(path_like):
+        with open(path_like.filepath) as handle:
+            return int(handle.read()) + 1
+
+    producer = produce(outputs=[repro.File(str(upstream_out))])
+    consumer = consume(producer.outputs[0])
+    assert consumer.result() == 42
+
+
+def test_retries_eventually_succeed(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    config = Config(executors=[ThreadPoolExecutor(max_threads=2)], retries=2,
+                    run_dir=str(tmp_path / "runinfo"))
+    repro.load(config)
+    counter = {"attempts": 0}
+
+    @python_app
+    def flaky():
+        counter["attempts"] += 1
+        if counter["attempts"] < 3:
+            raise RuntimeError("transient")
+        return "recovered"
+
+    try:
+        assert flaky().result() == "recovered"
+        assert counter["attempts"] == 3
+    finally:
+        repro.clear()
+
+
+def test_retries_exhausted_reports_failure(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    repro.load(Config(executors=[ThreadPoolExecutor(max_threads=2)], retries=1,
+                      run_dir=str(tmp_path / "runinfo")))
+
+    @python_app
+    def always_bad():
+        raise RuntimeError("permanent")
+
+    try:
+        future = always_bad()
+        with pytest.raises(RuntimeError, match="permanent"):
+            future.result()
+        assert future.task_record.fail_count == 2  # original + one retry
+    finally:
+        repro.clear()
+
+
+def test_memoization_within_run(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    repro.load(Config(executors=[ThreadPoolExecutor(max_threads=2)], app_cache=True,
+                      run_dir=str(tmp_path / "runinfo")))
+    calls = {"n": 0}
+
+    @python_app(cache=True)
+    def expensive(x):
+        calls["n"] += 1
+        return x * 2
+
+    try:
+        assert expensive(4).result() == 8
+        assert expensive(4).result() == 8
+        assert expensive(5).result() == 10
+        assert calls["n"] == 2  # second call to expensive(4) served from memo
+    finally:
+        repro.clear()
+
+
+def test_checkpoint_and_reload(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    config = Config(executors=[ThreadPoolExecutor(max_threads=2)], app_cache=True,
+                    run_dir=str(tmp_path / "runinfo"))
+    dfk = repro.load(config)
+
+    @python_app(cache=True)
+    def square(x):
+        return x * x
+
+    square(6).result()
+    checkpoint_path = dfk.checkpoint()
+    repro.clear()
+    assert os.path.exists(checkpoint_path)
+
+    repro.load(Config(executors=[ThreadPoolExecutor(max_threads=2)], app_cache=True,
+                      checkpoint_files=[checkpoint_path], run_dir=str(tmp_path / "runinfo2")))
+    try:
+        dfk2 = DataFlowKernelLoader.dfk()
+        assert len(dfk2.memoizer) == 1
+    finally:
+        repro.clear()
+
+
+def test_task_summary_and_wait(parsl_threads):
+    futures = [add(i, i) for i in range(5)]
+    parsl_threads.wait_for_current_tasks()
+    summary = parsl_threads.task_summary()
+    assert summary.get("exec_done", 0) >= 5
+    assert all(f.done() for f in futures)
+
+
+def test_executor_label_routing(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    config = Config(
+        executors=[ThreadPoolExecutor(label="alpha", max_threads=2),
+                   ThreadPoolExecutor(label="beta", max_threads=2)],
+        run_dir=str(tmp_path / "runinfo"),
+    )
+    repro.load(config)
+
+    @python_app(executors=["beta"])
+    def where_am_i():
+        import threading
+
+        return threading.current_thread().name
+
+    @python_app(executors=["nonexistent"])
+    def misrouted():
+        return 1
+
+    try:
+        assert "parsl-worker" in where_am_i().result()
+        future = misrouted()
+        with pytest.raises(ConfigurationError):
+            future.result()
+    finally:
+        repro.clear()
+
+
+def test_duplicate_executor_labels_rejected(tmp_path):
+    config = Config(executors=[ThreadPoolExecutor(label="x"), ThreadPoolExecutor(label="x")],
+                    run_dir=str(tmp_path / "runinfo"))
+    with pytest.raises(ConfigurationError):
+        DataFlowKernel(config)
+
+
+def test_submit_after_cleanup_rejected(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    dfk = repro.load(repro.thread_config(run_dir=str(tmp_path / "runinfo")))
+    repro.clear()
+    from repro.parsl.errors import DataFlowKernelShutdownError
+
+    with pytest.raises((DataFlowKernelShutdownError, NoDataFlowKernelError)):
+        dfk.submit(lambda: 1, (), {})

@@ -1,0 +1,71 @@
+"""Tests for AppFuture and DataFuture semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parsl.data_provider.files import File
+from repro.parsl.dataflow.futures import AppFuture, DataFuture
+from repro.parsl.dataflow.taskrecord import TaskRecord
+
+
+def make_record(task_id: int = 0, **kwargs) -> TaskRecord:
+    return TaskRecord(id=task_id, func=lambda: None, func_name="noop", kwargs=kwargs)
+
+
+def test_app_future_exposes_task_metadata():
+    record = make_record(7, stdout="out.txt", stderr="err.txt")
+    future = AppFuture(record)
+    assert future.tid == 7
+    assert future.stdout == "out.txt"
+    assert future.stderr == "err.txt"
+    assert future.task_status() == "unsched"
+    assert "noop" in repr(future)
+
+
+def test_data_future_resolves_with_parent():
+    parent = AppFuture(make_record(1))
+    data = DataFuture(parent, File("/tmp/result.txt"))
+    assert not data.done()
+    parent.set_result(0)
+    assert data.done()
+    assert data.result().filepath == "/tmp/result.txt"
+    assert data.filepath == "/tmp/result.txt"
+    assert data.filename == "result.txt"
+    assert data.tid == 1
+
+
+def test_data_future_propagates_parent_failure():
+    parent = AppFuture(make_record(2))
+    data = DataFuture(parent, File("/tmp/never.txt"))
+    parent.set_exception(RuntimeError("task failed"))
+    with pytest.raises(RuntimeError, match="task failed"):
+        data.result()
+
+
+def test_data_future_accepts_plain_path_strings():
+    parent = AppFuture(make_record(3))
+    data = DataFuture(parent, "relative/output.png")  # type: ignore[arg-type]
+    assert data.filename == "output.png"
+
+
+def test_data_future_cannot_be_cancelled():
+    parent = AppFuture(make_record(4))
+    data = DataFuture(parent, File("x"))
+    with pytest.raises(NotImplementedError):
+        data.cancel()
+
+
+def test_add_output_registers_data_future():
+    parent = AppFuture(make_record(5))
+    data = DataFuture(parent, File("a.txt"))
+    parent.add_output(data)
+    assert parent.outputs == [data]
+
+
+def test_data_future_fspath():
+    import os
+
+    parent = AppFuture(make_record(6))
+    data = DataFuture(parent, File("/tmp/somewhere.bin"))
+    assert os.fspath(data) == "/tmp/somewhere.bin"

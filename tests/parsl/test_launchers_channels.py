@@ -1,0 +1,70 @@
+"""Tests for launchers and channels."""
+
+from __future__ import annotations
+
+from repro.parsl.channels import LocalChannel
+from repro.parsl.launchers import (
+    MpiExecLauncher,
+    SimpleLauncher,
+    SingleNodeLauncher,
+    SrunLauncher,
+)
+
+
+def test_simple_launcher_passthrough():
+    assert SimpleLauncher()("worker --pool", 4, 2) == "worker --pool"
+
+
+def test_single_node_launcher_fans_out_ranks():
+    script = SingleNodeLauncher()("worker", tasks_per_node=3, nodes_per_block=1)
+    assert script.count("worker &") == 3
+    assert "PARSL_RANK=0" in script and "PARSL_RANK=2" in script
+    assert script.strip().endswith("wait")
+
+
+def test_srun_launcher_format():
+    command = SrunLauncher()("worker", tasks_per_node=8, nodes_per_block=3)
+    assert command.startswith("srun ")
+    assert "--ntasks=24" in command
+    assert "--ntasks-per-node=8" in command
+    assert "--nodes=3" in command
+    assert command.endswith("worker")
+
+
+def test_srun_launcher_overrides():
+    command = SrunLauncher(overrides="--exclusive")("w", 1, 1)
+    assert "--exclusive" in command
+
+
+def test_mpiexec_launcher_format():
+    command = MpiExecLauncher()("worker", tasks_per_node=4, nodes_per_block=2)
+    assert command.startswith("mpiexec -n 8")
+    assert "--ppn 4" in command
+
+
+def test_local_channel_execute_wait_success():
+    code, out, err = LocalChannel().execute_wait("echo channel-test")
+    assert code == 0
+    assert out.strip() == "channel-test"
+    assert err == ""
+
+
+def test_local_channel_execute_wait_failure():
+    code, _out, _err = LocalChannel().execute_wait("exit 4")
+    assert code == 4
+
+
+def test_local_channel_env_passthrough():
+    code, out, _ = LocalChannel().execute_wait("echo $REPRO_TEST_VAR",
+                                               env={"REPRO_TEST_VAR": "value42"})
+    assert code == 0
+    assert out.strip() == "value42"
+
+
+def test_local_channel_push_file(tmp_path):
+    source = tmp_path / "script.sh"
+    source.write_text("#!/bin/bash\n")
+    destination_dir = tmp_path / "scripts"
+    pushed = LocalChannel().push_file(str(source), str(destination_dir))
+    assert pushed == str(destination_dir / "script.sh")
+    assert (destination_dir / "script.sh").exists()

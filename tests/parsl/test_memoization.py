@@ -1,0 +1,86 @@
+"""Tests for the memoizer and checkpointing."""
+
+from __future__ import annotations
+
+from repro.parsl.data_provider.files import File
+from repro.parsl.dataflow.memoization import Memoizer, make_hash
+from repro.parsl.dataflow.taskrecord import TaskRecord
+
+
+def record(func_name="app", args=(), kwargs=None, memoize=True, ignore=()):
+    return TaskRecord(id=0, func=lambda: None, func_name=func_name, args=args,
+                      kwargs=kwargs or {}, memoize=memoize, ignore_for_cache=ignore)
+
+
+def test_same_invocation_same_hash():
+    assert make_hash(record(args=(1, 2), kwargs={"x": "y"})) == \
+        make_hash(record(args=(1, 2), kwargs={"x": "y"}))
+
+
+def test_different_args_different_hash():
+    assert make_hash(record(args=(1,))) != make_hash(record(args=(2,)))
+
+
+def test_different_app_name_different_hash():
+    assert make_hash(record(func_name="a")) != make_hash(record(func_name="b"))
+
+
+def test_kwarg_order_does_not_matter():
+    a = record(kwargs={"x": 1, "y": 2})
+    b = record(kwargs={"y": 2, "x": 1})
+    assert make_hash(a) == make_hash(b)
+
+
+def test_ignore_for_cache_removes_kwarg_from_key():
+    a = record(kwargs={"x": 1, "label": "run1"}, ignore=("label",))
+    b = record(kwargs={"x": 1, "label": "run2"}, ignore=("label",))
+    assert make_hash(a) == make_hash(b)
+
+
+def test_files_hash_by_url():
+    a = record(kwargs={"inp": File("/data/a.txt")})
+    b = record(kwargs={"inp": File("/data/a.txt")})
+    c = record(kwargs={"inp": File("/data/c.txt")})
+    assert make_hash(a) == make_hash(b)
+    assert make_hash(a) != make_hash(c)
+
+
+def test_memoizer_hit_and_miss():
+    memo = Memoizer(enabled=True)
+    task = record(args=(5,))
+    assert memo.check(task) is None
+    memo.update(task, 25)
+    again = record(args=(5,))
+    assert memo.check(again) == 25
+    assert len(memo) == 1
+
+
+def test_memoizer_respects_task_opt_out():
+    memo = Memoizer(enabled=True)
+    task = record(memoize=False)
+    memo.update(task, "value")
+    assert memo.check(record(memoize=False)) is None
+    assert len(memo) == 0
+
+
+def test_memoizer_disabled_globally():
+    memo = Memoizer(enabled=False)
+    task = record()
+    memo.update(task, 1)
+    assert memo.check(task) is None
+
+
+def test_checkpoint_round_trip(tmp_path):
+    memo = Memoizer(enabled=True)
+    task = record(args=("chk",))
+    memo.check(task)
+    memo.update(task, "result")
+    path = memo.checkpoint(str(tmp_path / "ckpt" / "memo.pkl"))
+
+    restored = Memoizer(enabled=True, checkpoint_files=[path])
+    assert restored.check(record(args=("chk",))) == "result"
+
+
+def test_load_checkpoint_missing_file_is_ignored(tmp_path):
+    memo = Memoizer(enabled=True)
+    assert memo.load_checkpoint(str(tmp_path / "absent.pkl")) == 0

@@ -1,0 +1,55 @@
+"""Tests for task payload serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parsl.errors import SerializationError
+from repro.parsl.serialization import (
+    deserialize,
+    pack_apply_message,
+    serialize,
+    unpack_apply_message,
+)
+
+
+def module_level_function(a, b=2):
+    return a + b
+
+
+def test_round_trip_simple_values():
+    for value in [1, "text", [1, 2, 3], {"a": (1, 2)}, None, 3.5]:
+        assert deserialize(serialize(value)) == value
+
+
+def test_pack_unpack_apply_message_with_module_function():
+    blob = pack_apply_message(module_level_function, (3,), {"b": 4})
+    func, args, kwargs = unpack_apply_message(blob)
+    assert func(*args, **kwargs) == 7
+
+
+def test_pack_unpack_closures():
+    offset = 10
+
+    def closure(x):
+        return x + offset
+
+    func, args, kwargs = unpack_apply_message(pack_apply_message(closure, (5,), {}))
+    assert func(*args, **kwargs) == 15
+
+
+def test_pack_unpack_lambda():
+    func, args, kwargs = unpack_apply_message(pack_apply_message(lambda x: x * 3, (4,), {}))
+    assert func(*args, **kwargs) == 12
+
+
+def test_deserialize_garbage_raises():
+    with pytest.raises(SerializationError):
+        deserialize(b"this is not a pickle")
+
+
+def test_serialize_unserializable_raises():
+    import threading
+
+    with pytest.raises(SerializationError):
+        serialize(threading.Lock())

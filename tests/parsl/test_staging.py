@@ -1,0 +1,59 @@
+"""Tests for data staging providers."""
+
+from __future__ import annotations
+
+import os
+
+from repro.parsl.data_provider.files import File
+from repro.parsl.data_provider.staging import CopyStaging, DataManager, NoOpStaging
+
+
+def test_noop_staging_accepts_local_files(tmp_path):
+    staging = NoOpStaging()
+    file = File(str(tmp_path / "a.txt"))
+    assert staging.can_stage_in(file)
+    staged = staging.stage_in(file, working_dir=None)
+    assert staged.local_path == staged.path
+
+
+def test_noop_staging_rejects_remote():
+    assert not NoOpStaging().can_stage_in(File("https://example.org/a"))
+
+
+def test_copy_staging_copies_into_working_dir(tmp_path):
+    source = tmp_path / "src" / "input.txt"
+    source.parent.mkdir()
+    source.write_text("payload")
+    workdir = tmp_path / "work"
+
+    staged = CopyStaging().stage_in(File(str(source)), str(workdir))
+    assert staged.local_path == str(workdir / "input.txt")
+    assert (workdir / "input.txt").read_text() == "payload"
+
+
+def test_copy_staging_stage_out_copies_back(tmp_path):
+    workdir = tmp_path / "work"
+    workdir.mkdir()
+    (workdir / "result.txt").write_text("answer")
+    target = File(str(tmp_path / "final" / "result.txt"))
+
+    CopyStaging().stage_out(target, str(workdir))
+    assert (tmp_path / "final" / "result.txt").read_text() == "answer"
+
+
+def test_data_manager_uses_first_matching_provider(tmp_path):
+    manager = DataManager([NoOpStaging()])
+    local = manager.stage_in(File(str(tmp_path / "x.txt")))
+    assert local.local_path is not None
+
+
+def test_data_manager_passthrough_for_unknown_scheme():
+    manager = DataManager([NoOpStaging()])
+    remote = manager.stage_in(File("gridftp://host/path/file.dat"))
+    assert remote.local_path == remote.path  # falls back to pass-through
+
+
+def test_data_manager_stage_out_noop_for_unknown_scheme():
+    manager = DataManager([NoOpStaging()])
+    file = File("https://example.org/out.bin")
+    assert manager.stage_out(file) is file

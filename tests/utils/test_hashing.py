@@ -1,0 +1,55 @@
+"""Tests for repro.utils.hashing."""
+
+from __future__ import annotations
+
+import hashlib
+
+from hypothesis import given, strategies as st
+
+from repro.utils.hashing import hash_bytes, hash_file, hash_obj
+
+
+def test_hash_bytes_format_and_value():
+    data = b"hello world"
+    expected = hashlib.sha1(data).hexdigest()
+    assert hash_bytes(data) == f"sha1${expected}"
+
+
+def test_hash_bytes_other_algorithm():
+    assert hash_bytes(b"x", algorithm="md5").startswith("md5$")
+
+
+def test_hash_file_matches_hash_bytes(tmp_path):
+    path = tmp_path / "data.bin"
+    payload = b"a" * 100_000 + b"b" * 3
+    path.write_bytes(payload)
+    assert hash_file(path) == hash_bytes(payload)
+
+
+def test_hash_obj_dict_order_independent():
+    a = {"x": 1, "y": [1, 2, {"z": 3}]}
+    b = {"y": [1, 2, {"z": 3}], "x": 1}
+    assert hash_obj(a) == hash_obj(b)
+
+
+def test_hash_obj_differs_for_different_values():
+    assert hash_obj({"x": 1}) != hash_obj({"x": 2})
+
+
+def test_hash_obj_handles_unpicklable_values():
+    # A lambda cannot be pickled by the stdlib pickler; repr fallback must kick in.
+    value = {"fn": lambda x: x}
+    assert isinstance(hash_obj(value), str)
+
+
+@given(st.dictionaries(st.text(max_size=8),
+                       st.one_of(st.integers(), st.text(max_size=8), st.booleans()),
+                       max_size=6))
+def test_hash_obj_is_deterministic(payload):
+    assert hash_obj(payload) == hash_obj(dict(payload))
+
+
+@given(st.lists(st.integers(), max_size=10))
+def test_hash_obj_lists_vs_tuples_equal_canonicalisation(items):
+    # Lists and tuples canonicalise identically (documented behaviour).
+    assert hash_obj(items) == hash_obj(tuple(items))

@@ -1,0 +1,60 @@
+"""Tests for repro.utils.timers."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.utils.timers import Stopwatch, wall_time
+
+
+def test_wall_time_is_monotonic():
+    a = wall_time()
+    b = wall_time()
+    assert b >= a
+
+
+def test_stopwatch_total_and_laps():
+    sw = Stopwatch().start()
+    time.sleep(0.01)
+    lap1 = sw.lap("first")
+    time.sleep(0.01)
+    lap2 = sw.lap("second")
+    total = sw.stop()
+    assert lap1 > 0 and lap2 > 0
+    assert total >= lap1 + lap2 - 1e-6
+    assert sw.lap_order == ["first", "second"]
+
+
+def test_stopwatch_lap_accumulates_repeated_names():
+    sw = Stopwatch().start()
+    sw.lap("phase")
+    sw.lap("phase")
+    assert sw.lap_order == ["phase"]
+    assert sw.laps["phase"] >= 0
+
+
+def test_stopwatch_requires_start():
+    sw = Stopwatch()
+    with pytest.raises(RuntimeError):
+        sw.lap("x")
+    with pytest.raises(RuntimeError):
+        sw.stop()
+
+
+def test_stopwatch_elapsed_without_stop():
+    sw = Stopwatch()
+    assert sw.elapsed == 0.0
+    sw.start()
+    time.sleep(0.005)
+    assert sw.elapsed > 0
+
+
+def test_stopwatch_restart_clears_laps():
+    sw = Stopwatch().start()
+    sw.lap("a")
+    sw.stop()
+    sw.start()
+    assert sw.laps == {}
+    assert sw.lap_order == []

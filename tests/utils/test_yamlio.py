@@ -1,0 +1,48 @@
+"""Tests for repro.utils.yamlio."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.yamlio import dump_json, dump_yaml, load_yaml, load_yaml_file
+
+
+def test_load_yaml_parses_mappings_and_lists():
+    doc = load_yaml("a: 1\nb:\n  - x\n  - y\n")
+    assert doc == {"a": 1, "b": ["x", "y"]}
+
+
+def test_load_yaml_accepts_json():
+    assert load_yaml('{"a": [1, 2]}') == {"a": [1, 2]}
+
+
+def test_load_yaml_file_missing_path_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_yaml_file(tmp_path / "missing.yml")
+
+
+def test_yaml_round_trip_through_file(tmp_path):
+    payload = {"z": 1, "a": {"nested": [1, 2, 3]}, "flag": True}
+    path = tmp_path / "doc.yml"
+    dump_yaml(payload, path)
+    assert load_yaml_file(path) == payload
+
+
+def test_dump_yaml_sorts_keys():
+    text = dump_yaml({"b": 1, "a": 2})
+    assert text.index("a:") < text.index("b:")
+
+
+def test_dump_json_writes_file_and_sorts_keys(tmp_path):
+    path = tmp_path / "out.json"
+    text = dump_json({"b": 1, "a": 2}, path)
+    assert path.read_text() == text
+    assert text.index('"a"') < text.index('"b"')
+
+
+def test_dump_json_stringifies_unknown_types():
+    class Odd:
+        def __str__(self):
+            return "odd-value"
+
+    assert "odd-value" in dump_json({"x": Odd()})
