@@ -85,6 +85,27 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
 
 
 @pytest.fixture
+def engine_session():
+    """Factory: open a :class:`repro.api.Session` for any registered engine.
+
+    Benchmarks use this to drive every execution path through the one unified
+    interface; all opened sessions are closed at teardown.
+    """
+    from repro import api
+
+    sessions = []
+
+    def open_session(engine: str, **engine_options):
+        session = api.Session(engine=engine, **engine_options)
+        sessions.append(session)
+        return session
+
+    yield open_session
+    for session in sessions:
+        session.close()
+
+
+@pytest.fixture
 def image_workload(tmp_path_factory):
     """Factory: generate N synthetic images and return the CWL job order for them."""
     from repro.imaging.synthetic import generate_image_files

@@ -15,7 +15,6 @@ import pytest
 
 import repro
 from repro.core import CWLApp
-from repro.cwl import ReferenceRunner, ToilStyleRunner, load_document
 from repro.cwl.runtime import RuntimeContext
 
 WIDTHS = [4, 16]
@@ -49,19 +48,18 @@ def job_order(width: int):
 
 
 def run_reference(width, workdir):
-    runner = ReferenceRunner(runtime_context=RuntimeContext(basedir=str(workdir)),
-                             parallel=True, max_workers=8)
-    result = runner.run(load_document(dict(SCATTER_ECHO)), job_order(width))
+    result = repro.api.run(dict(SCATTER_ECHO), job_order(width), engine="reference",
+                           runtime_context=RuntimeContext(basedir=str(workdir)),
+                           parallel=True, max_workers=8)
     assert len(result.outputs["outs"]) == width
 
 
 def run_toil(width, workdir):
-    runner = ToilStyleRunner(job_store_dir=str(workdir / "jobstore"),
-                             runtime_context=RuntimeContext(basedir=str(workdir)),
-                             max_workers=8)
-    result = runner.run(load_document(dict(SCATTER_ECHO)), job_order(width))
+    result = repro.api.run(dict(SCATTER_ECHO), job_order(width), engine="toil",
+                           job_store_dir=str(workdir / "jobstore"),
+                           runtime_context=RuntimeContext(basedir=str(workdir)),
+                           max_workers=8, destroy_job_store_on_close=True)
     assert len(result.outputs["outs"]) == width
-    runner.close(destroy_job_store=True)
 
 
 def run_parsl(width, workdir, cwl_dir):

@@ -26,7 +26,6 @@ import repro
 from repro.cluster.nodes import NodeInventory
 from repro.cluster.scheduler import SimulatedSlurmCluster
 from repro.core import CWLApp
-from repro.cwl import ReferenceRunner, ToilStyleRunner, load_document
 from repro.cwl.runners.toil.batch import SlurmBatchSystem
 from repro.cwl.runtime import RuntimeContext
 
@@ -42,27 +41,25 @@ def make_cluster() -> SimulatedSlurmCluster:
 
 
 def run_reference(workflow_path, job_order, workdir):
-    workflow = load_document(workflow_path)
-    runner = ReferenceRunner(runtime_context=RuntimeContext(basedir=str(workdir)),
-                             parallel=True, max_workers=NODES * WORKERS_PER_NODE)
-    result = runner.run(workflow, job_order)
+    result = repro.api.run(str(workflow_path), job_order, engine="reference",
+                           runtime_context=RuntimeContext(basedir=str(workdir)),
+                           parallel=True, max_workers=NODES * WORKERS_PER_NODE)
     assert len(result.outputs["final_outputs"]) == len(job_order["input_images"])
 
 
 def run_toil_slurm(workflow_path, job_order, workdir):
     cluster = make_cluster()
-    workflow = load_document(workflow_path)
-    runner = ToilStyleRunner(
-        job_store_dir=str(workdir / "jobstore"),
-        batch_system=SlurmBatchSystem(cluster=cluster),
-        runtime_context=RuntimeContext(basedir=str(workdir)),
-        max_workers=NODES * WORKERS_PER_NODE,
-    )
     try:
-        result = runner.run(workflow, job_order)
+        result = repro.api.run(
+            str(workflow_path), job_order, engine="toil",
+            job_store_dir=str(workdir / "jobstore"),
+            batch_system=SlurmBatchSystem(cluster=cluster),
+            runtime_context=RuntimeContext(basedir=str(workdir)),
+            max_workers=NODES * WORKERS_PER_NODE,
+            destroy_job_store_on_close=True,
+        )
         assert len(result.outputs["final_outputs"]) == len(job_order["input_images"])
     finally:
-        runner.close(destroy_job_store=True)
         cluster.shutdown()
 
 

@@ -23,7 +23,6 @@ import pytest
 
 import repro
 from repro.core import CWLApp
-from repro.cwl import ReferenceRunner, ToilStyleRunner, load_document
 from repro.cwl.runtime import RuntimeContext
 
 IMAGE_COUNTS = [2, 4, 8]
@@ -32,21 +31,18 @@ FIGURE = "Figure 1b (single node): workflow runtime [s] vs number of images"
 
 
 def run_reference(workflow_path, job_order, workdir):
-    workflow = load_document(workflow_path)
-    runner = ReferenceRunner(runtime_context=RuntimeContext(basedir=str(workdir)),
-                             parallel=True, max_workers=WORKERS)
-    result = runner.run(workflow, job_order)
+    result = repro.api.run(str(workflow_path), job_order, engine="reference",
+                           runtime_context=RuntimeContext(basedir=str(workdir)),
+                           parallel=True, max_workers=WORKERS)
     assert len(result.outputs["final_outputs"]) == len(job_order["input_images"])
 
 
 def run_toil(workflow_path, job_order, workdir):
-    workflow = load_document(workflow_path)
-    runner = ToilStyleRunner(job_store_dir=str(workdir / "jobstore"),
-                             runtime_context=RuntimeContext(basedir=str(workdir)),
-                             max_workers=WORKERS)
-    result = runner.run(workflow, job_order)
+    result = repro.api.run(str(workflow_path), job_order, engine="toil",
+                           job_store_dir=str(workdir / "jobstore"),
+                           runtime_context=RuntimeContext(basedir=str(workdir)),
+                           max_workers=WORKERS, destroy_job_store_on_close=True)
     assert len(result.outputs["final_outputs"]) == len(job_order["input_images"])
-    runner.close(destroy_job_store=True)
 
 
 def run_parsl_threads(cwl_dir, job_order, workdir):

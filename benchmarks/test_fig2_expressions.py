@@ -21,7 +21,6 @@ import pytest
 
 import repro
 from repro.core import CWLApp
-from repro.cwl import ReferenceRunner, ToilStyleRunner, load_document
 from repro.cwl.runtime import RuntimeContext
 from repro.imaging.synthetic import word_corpus
 
@@ -34,19 +33,18 @@ def message_of(count: int) -> str:
 
 
 def run_js_reference(cwl_dir, message, workdir):
-    tool = load_document(cwl_dir / "capitalize_js.cwl")
-    runner = ReferenceRunner(runtime_context=RuntimeContext(basedir=str(workdir)))
-    result = runner.run(tool, {"message": message})
+    result = repro.api.run(str(cwl_dir / "capitalize_js.cwl"), {"message": message},
+                           engine="reference",
+                           runtime_context=RuntimeContext(basedir=str(workdir)))
     assert result.outputs["output"]["size"] > 0
 
 
 def run_js_toil(cwl_dir, message, workdir):
-    tool = load_document(cwl_dir / "capitalize_js.cwl")
-    runner = ToilStyleRunner(job_store_dir=str(workdir / "jobstore"),
-                             runtime_context=RuntimeContext(basedir=str(workdir)))
-    result = runner.run(tool, {"message": message})
+    result = repro.api.run(str(cwl_dir / "capitalize_js.cwl"), {"message": message},
+                           engine="toil", job_store_dir=str(workdir / "jobstore"),
+                           runtime_context=RuntimeContext(basedir=str(workdir)),
+                           destroy_job_store_on_close=True)
     assert result.outputs["output"]["size"] > 0
-    runner.close(destroy_job_store=True)
 
 
 def run_python_parsl(cwl_dir, message, workdir):

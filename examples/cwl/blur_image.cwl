@@ -1,0 +1,25 @@
+cwlVersion: v1.2
+class: CommandLineTool
+id: blur_image
+doc: Blur a PNG image with a box blur of the given radius.
+baseCommand: [python3, -m, repro.imaging.cli, blur]
+inputs:
+  input_image:
+    type: File
+    inputBinding:
+      position: 1
+  radius:
+    type: int
+    default: 1
+    inputBinding:
+      prefix: --radius
+  output_image:
+    type: string
+    default: blurred.png
+    inputBinding:
+      prefix: --output
+outputs:
+  output_image:
+    type: File
+    outputBinding:
+      glob: $(inputs.output_image)

@@ -1,0 +1,26 @@
+cwlVersion: v1.2
+class: CommandLineTool
+id: capitalize_js
+doc: >
+  Echo a message with every word capitalised by an InlineJavascriptRequirement
+  expression — the baseline the paper compares InlinePython against (Fig. 2).
+baseCommand: echo
+requirements:
+  - class: InlineJavascriptRequirement
+    expressionLib:
+      - |
+        function capitalizeWords(message) {
+          return message.split(" ").map(function(word) {
+            if (word.length == 0) { return word; }
+            return word.charAt(0).toUpperCase() + word.slice(1);
+          }).join(" ");
+        }
+inputs:
+  message:
+    type: string
+outputs:
+  output:
+    type: stdout
+stdout: capitalized.txt
+arguments:
+  - $(capitalizeWords(inputs.message))

@@ -1,0 +1,22 @@
+cwlVersion: v1.2
+class: CommandLineTool
+id: capitalize_python
+doc: >
+  Echo a message with every word capitalised by an InlinePythonRequirement
+  expression (paper Listing 5).
+baseCommand: echo
+requirements:
+  - class: InlinePythonRequirement
+    expressionLib:
+      - |
+        def capitalize_words(message):
+            return message.title()
+inputs:
+  message:
+    type: string
+outputs:
+  output:
+    type: stdout
+stdout: capitalized.txt
+arguments:
+  - f"{capitalize_words($(inputs.message))}"

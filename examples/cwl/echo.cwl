@@ -1,0 +1,15 @@
+cwlVersion: v1.2
+class: CommandLineTool
+id: echo
+doc: Echo a message to standard output (paper Listing 1).
+baseCommand: echo
+inputs:
+  message:
+    type: string
+    default: Hello World
+    inputBinding:
+      position: 1
+outputs:
+  output:
+    type: stdout
+stdout: hello.txt

@@ -1,0 +1,25 @@
+cwlVersion: v1.2
+class: CommandLineTool
+id: filter_image
+doc: Apply a sepia filter to a PNG image.
+baseCommand: [python3, -m, repro.imaging.cli, filter]
+inputs:
+  input_image:
+    type: File
+    inputBinding:
+      position: 1
+  sepia:
+    type: boolean
+    default: false
+    inputBinding:
+      prefix: --sepia
+  output_image:
+    type: string
+    default: filtered.png
+    inputBinding:
+      prefix: --output
+outputs:
+  output_image:
+    type: File
+    outputBinding:
+      glob: $(inputs.output_image)

@@ -1,0 +1,43 @@
+cwlVersion: v1.2
+class: Workflow
+id: image_pipeline
+doc: >
+  The paper's evaluation workflow (Listing 3): resize an image, apply a sepia
+  filter, then blur the result.  Each step runs one of the image command-line
+  tools; intermediate file names are fixed per step via valueFrom.
+requirements:
+  - class: StepInputExpressionRequirement
+inputs:
+  input_image: File
+  size: int
+  sepia: boolean
+  radius: int
+outputs:
+  final_output:
+    type: File
+    outputSource: blur_image/output_image
+steps:
+  resize_image:
+    run: resize_image.cwl
+    in:
+      input_image: input_image
+      size: size
+      output_image:
+        valueFrom: resized.png
+    out: [output_image]
+  filter_image:
+    run: filter_image.cwl
+    in:
+      input_image: resize_image/output_image
+      sepia: sepia
+      output_image:
+        valueFrom: filtered.png
+    out: [output_image]
+  blur_image:
+    run: blur_image.cwl
+    in:
+      input_image: filter_image/output_image
+      radius: radius
+      output_image:
+        valueFrom: blurred.png
+    out: [output_image]

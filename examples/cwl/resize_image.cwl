@@ -1,0 +1,24 @@
+cwlVersion: v1.2
+class: CommandLineTool
+id: resize_image
+doc: Resize a PNG image to a square of the requested size.
+baseCommand: [python3, -m, repro.imaging.cli, resize]
+inputs:
+  input_image:
+    type: File
+    inputBinding:
+      position: 1
+  size:
+    type: int
+    inputBinding:
+      prefix: --size
+  output_image:
+    type: string
+    default: resized.png
+    inputBinding:
+      prefix: --output
+outputs:
+  output_image:
+    type: File
+    outputBinding:
+      glob: $(inputs.output_image)

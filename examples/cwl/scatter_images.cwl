@@ -1,0 +1,29 @@
+cwlVersion: v1.2
+class: Workflow
+id: scatter_images
+doc: >
+  Scatter wrapper around the image pipeline: run the three-stage pipeline for
+  every image of an input array (the paper's Figure 1 workload).
+requirements:
+  - class: ScatterFeatureRequirement
+  - class: SubworkflowFeatureRequirement
+inputs:
+  input_images: File[]
+  size: int
+  sepia: boolean
+  radius: int
+outputs:
+  final_outputs:
+    type: File[]
+    outputSource: process_image/final_output
+steps:
+  process_image:
+    run: image_pipeline.cwl
+    scatter: input_image
+    scatterMethod: dotproduct
+    in:
+      input_image: input_images
+      size: size
+      sepia: sepia
+      radius: radius
+    out: [final_output]

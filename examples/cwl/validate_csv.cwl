@@ -1,0 +1,27 @@
+cwlVersion: v1.2
+class: CommandLineTool
+id: validate_csv
+doc: >
+  Print a data file after checking, via a per-input InlinePython validate:
+  rule, that it is a CSV file (paper Listing 6).  Non-CSV job orders are
+  rejected before the command ever runs.
+baseCommand: cat
+requirements:
+  - class: InlinePythonRequirement
+    expressionLib:
+      - |
+        def ensure_csv(data_file):
+            name = data_file.get("basename") or data_file.get("path", "")
+            if not str(name).endswith(".csv"):
+                raise ValueError("Invalid file %r: expected a .csv data file" % name)
+            return True
+inputs:
+  data_file:
+    type: File
+    validate: f"{ensure_csv($(inputs.data_file))}"
+    inputBinding:
+      position: 1
+outputs:
+  output:
+    type: stdout
+stdout: validated.txt

@@ -1,0 +1,14 @@
+cwlVersion: v1.2
+class: CommandLineTool
+id: wordcount
+doc: Count the words in a text file.
+baseCommand: [wc, -w]
+inputs:
+  text_file:
+    type: File
+    inputBinding:
+      position: 1
+outputs:
+  count:
+    type: stdout
+stdout: count.txt

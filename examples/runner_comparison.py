@@ -22,7 +22,7 @@ import tempfile
 import time
 
 import repro
-from repro.cwl import ReferenceRunner, ToilStyleRunner, load_document
+from repro import api
 from repro.cwl.runtime import RuntimeContext
 from repro.imaging.synthetic import generate_image_files
 
@@ -51,22 +51,18 @@ def main() -> None:
     workflow_path = os.path.join(CWL_DIR, "scatter_images.cwl")
     timings = {}
 
-    # cwltool-like reference runner with --parallel.
-    workflow = load_document(workflow_path)
-    runner = ReferenceRunner(runtime_context=RuntimeContext(basedir=os.path.join(base, "cwltool")),
-                             parallel=True, max_workers=args.workers)
-    start = time.perf_counter()
-    runner.run(workflow, job_order)
-    timings["cwltool-like (--parallel)"] = time.perf_counter() - start
+    # cwltool-like reference runner with --parallel, via the unified API.
+    result = api.run(workflow_path, job_order, engine="reference",
+                     runtime_context=RuntimeContext(basedir=os.path.join(base, "cwltool")),
+                     parallel=True, max_workers=args.workers)
+    timings["cwltool-like (--parallel)"] = result.wall_time_s
 
-    # Toil-like runner on the single-machine batch system.
-    toil = ToilStyleRunner(job_store_dir=os.path.join(base, "jobstore"),
-                           runtime_context=RuntimeContext(basedir=os.path.join(base, "toil")),
-                           max_workers=args.workers)
-    start = time.perf_counter()
-    toil.run(workflow, job_order)
-    timings["toil-like (single machine)"] = time.perf_counter() - start
-    toil.close()
+    # Toil-like runner on the single-machine batch system, via the unified API.
+    result = api.run(workflow_path, job_order, engine="toil",
+                     job_store_dir=os.path.join(base, "jobstore"),
+                     runtime_context=RuntimeContext(basedir=os.path.join(base, "toil")),
+                     max_workers=args.workers)
+    timings["toil-like (single machine)"] = result.wall_time_s
 
     # Parsl integration: the same pipeline written as chained CWLApps (Listing 4 style —
     # the per-image sub-workflow is a nested Workflow, which the CWLWorkflowBridge does

@@ -44,6 +44,8 @@ from repro.parsl.configs import (
 from repro.core.cwl_app import CWLApp
 from repro.core.yaml_config import load_yaml_config
 from repro.core.workflow_bridge import CWLWorkflowBridge
+from repro import api
+from repro.api import ExecutionHooks, ExecutionResult, Session
 
 __version__ = "1.0.0"
 
@@ -52,7 +54,11 @@ __all__ = [
     "CWLWorkflowBridge",
     "Config",
     "DataFlowKernel",
+    "ExecutionHooks",
+    "ExecutionResult",
     "File",
+    "Session",
+    "api",
     "bash_app",
     "clear",
     "dfk",

@@ -1,0 +1,68 @@
+"""Unified execution API over every way this repository can run CWL.
+
+The paper's contribution (the ``parsl-cwl`` bridge) coexists with the
+cwltool-like :class:`~repro.cwl.runners.reference.ReferenceRunner`, the
+Toil-like :class:`~repro.cwl.runners.toil.runner.ToilStyleRunner` and the
+:class:`~repro.core.workflow_bridge.CWLWorkflowBridge` — four execution paths
+with four calling conventions.  This package puts one facade in front of all
+of them, the same way Parsl composes pluggable executors behind a single
+DataFlowKernel:
+
+* :class:`Engine` — the protocol every execution backend implements, plus a
+  registry (:func:`register_engine` / :func:`get_engine` /
+  :func:`list_engines`) with the built-in entries ``"reference"``, ``"toil"``,
+  ``"parsl"`` and ``"parsl-workflow"``.
+* :class:`Session` — run processes through a chosen engine:
+  ``run(...) -> ExecutionResult`` blocks, ``submit(...) -> ExecutionHandle``
+  is asynchronous.
+* :class:`ExecutionResult` — the unified return shape (outputs, status,
+  jobs_run, wall_time_s, per-job events) subsuming the runners' plain dicts,
+  futures dicts and ``RunnerResult``.
+* :class:`ExecutionHooks` — ``on_job_start`` / ``on_job_end`` callbacks so
+  monitoring and benchmarks observe every engine through one interface.
+
+Quickstart::
+
+    from repro import api
+
+    result = api.run("examples/cwl/echo.cwl", {"message": "hi"},
+                     engine="reference")
+    print(result.outputs["output"]["path"], result.wall_time_s)
+
+    with api.Session(engine="toil") as session:
+        for order in job_orders:
+            session.run("tool.cwl", order)
+"""
+
+from repro.api.engine import (
+    Engine,
+    EngineError,
+    UnknownEngineError,
+    get_engine,
+    list_engines,
+    register_engine,
+    resolve_engine_name,
+)
+from repro.api.events import ExecutionHooks, JobEvent
+from repro.api.result import ExecutionResult
+from repro.api.session import ExecutionHandle, Session, run, submit
+
+# Importing the module registers the built-in engines.
+from repro.api import engines as _builtin_engines  # noqa: F401  (side effect)
+
+__all__ = [
+    "Engine",
+    "EngineError",
+    "ExecutionHandle",
+    "ExecutionHooks",
+    "ExecutionResult",
+    "JobEvent",
+    "Session",
+    "UnknownEngineError",
+    "get_engine",
+    "list_engines",
+    "register_engine",
+    "resolve_engine_name",
+    "run",
+    "submit",
+]

@@ -1,0 +1,122 @@
+"""The :class:`Engine` protocol and the engine registry.
+
+An *engine* adapts one execution path (reference runner, Toil-like runner,
+Parsl bridge, ...) to the single calling convention
+``execute(process, job_order, hooks) -> ExecutionResult``.  Engines are
+constructed through a registry of named factories so that callers — CLIs,
+benchmarks, tests — select a backend by name:
+
+.. code-block:: python
+
+    register_engine("reference", ReferenceEngine, aliases=("cwltool",))
+    engine = get_engine("reference", parallel=True)
+
+Factories are any callable returning an :class:`Engine`; keyword options are
+passed through from :func:`get_engine` (and from
+:class:`~repro.api.session.Session`).
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+from repro.api.events import EventRecorder, ExecutionHooks
+from repro.api.result import ExecutionResult
+from repro.cwl.loader import load_document
+from repro.cwl.schema import Process
+
+ProcessLike = Union[str, os.PathLike, Dict[str, Any], Process]
+
+
+class EngineError(RuntimeError):
+    """An engine cannot execute the given process."""
+
+
+class UnknownEngineError(EngineError):
+    """The requested engine name is not registered."""
+
+
+class Engine(abc.ABC):
+    """One execution backend behind the unified API."""
+
+    #: Registry name; set by the concrete engine (and on registration).
+    name: str = "engine"
+
+    @abc.abstractmethod
+    def execute(self, process: Process, job_order: Dict[str, Any],
+                hooks: Optional[ExecutionHooks] = None) -> ExecutionResult:
+        """Run ``process`` with ``job_order``; raises on failure."""
+
+    def close(self) -> None:
+        """Release engine resources (job stores, kernels, pools)."""
+
+    # ----------------------------------------------------------------- helpers
+
+    @staticmethod
+    def load_process(process: ProcessLike) -> Process:
+        """Accept a path, a parsed document dict or an already-loaded Process."""
+        if isinstance(process, Process):
+            return process
+        return load_document(process)
+
+    @staticmethod
+    def recorder_for(hooks: Optional[ExecutionHooks]) -> EventRecorder:
+        return EventRecorder(hooks)
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+EngineFactory = Callable[..., Engine]
+
+_REGISTRY: Dict[str, EngineFactory] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_engine(name: str, factory: EngineFactory, *,
+                    aliases: Iterable[str] = (), replace: bool = False) -> None:
+    """Register ``factory`` under ``name`` (plus optional aliases)."""
+    key = name.lower()
+    if key in _REGISTRY and not replace:
+        raise ValueError(f"engine {name!r} is already registered "
+                         "(pass replace=True to override)")
+    _REGISTRY[key] = factory
+    for alias in aliases:
+        _ALIASES[alias.lower()] = key
+
+
+def resolve_engine_name(name: str) -> str:
+    """Canonical registry name for ``name`` (resolving aliases)."""
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    if key not in _REGISTRY:
+        raise UnknownEngineError(
+            f"unknown engine {name!r}; registered engines: {list_engines()}"
+        )
+    return key
+
+
+def get_engine(name: str, **options: Any) -> Engine:
+    """Instantiate the engine registered under ``name``.
+
+    Keyword options are forwarded to the engine factory, so each engine keeps
+    its backend-specific knobs (``parallel=`` for the reference runner,
+    ``config=`` for the Parsl engines, ``batch_system=`` for Toil, ...).
+    """
+    key = resolve_engine_name(name)
+    engine = _REGISTRY[key](**options)
+    engine.name = key
+    return engine
+
+
+def list_engines() -> List[str]:
+    """Sorted canonical names of all registered engines."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,265 @@
+"""Built-in engines: the four execution paths behind one interface.
+
+========================  =====================================================
+registry name             wraps
+========================  =====================================================
+``reference``             :class:`~repro.cwl.runners.reference.ReferenceRunner`
+                          (aliases ``cwltool``, ``cwltool-like``)
+``toil``                  :class:`~repro.cwl.runners.toil.runner.ToilStyleRunner`
+                          (alias ``toil-like``)
+``parsl``                 ``run_tool_with_parsl`` for CommandLineTools and the
+                          workflow bridge for Workflows (alias ``parsl-cwl``)
+``parsl-workflow``        :class:`~repro.core.workflow_bridge.CWLWorkflowBridge`
+                          only — strict bridge semantics (alias ``bridge``)
+========================  =====================================================
+
+Engines hold backend state across runs (the Toil engine keeps its job store
+and batch system, the Parsl engines keep the DataFlowKernel they loaded), so
+one :class:`~repro.api.session.Session` amortises setup over many executions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from repro.api.engine import Engine, EngineError, register_engine
+from repro.api.events import EventRecorder, ExecutionHooks
+from repro.api.result import ExecutionResult
+from repro.cwl.runners.base import BaseRunner
+from repro.cwl.runners.reference import ReferenceRunner
+from repro.cwl.runners.toil.runner import ToilStyleRunner
+from repro.cwl.runtime import RuntimeContext
+from repro.cwl.schema import CommandLineTool, Process, Workflow
+
+
+class RunnerEngine(Engine):
+    """Shared adapter for the :class:`BaseRunner` subclasses.
+
+    The underlying runner holds mutable per-run state (``jobs_run``, the
+    attached observer), so executions are serialised on a lock: concurrent
+    :meth:`Session.submit` calls queue here while each *run* still
+    parallelises internally as the runner is configured to.
+    """
+
+    def __init__(self) -> None:
+        self._runner: Optional[BaseRunner] = None
+        self._execute_lock = threading.Lock()
+
+    def _make_runner(self) -> BaseRunner:
+        raise NotImplementedError
+
+    def _get_runner(self) -> BaseRunner:
+        if self._runner is None:
+            self._runner = self._make_runner()
+        return self._runner
+
+    def execute(self, process, job_order: Dict[str, Any],
+                hooks: Optional[ExecutionHooks] = None) -> ExecutionResult:
+        process = self.load_process(process)
+        recorder = self.recorder_for(hooks)
+        with self._execute_lock:
+            runner = self._get_runner()
+            runner.hooks = recorder
+            try:
+                runner_result = runner.run(process, dict(job_order or {}))
+            finally:
+                runner.hooks = None
+        return ExecutionResult(
+            outputs=runner_result.outputs,
+            status=runner_result.status,
+            engine=self.name,
+            jobs_run=runner_result.jobs_run,
+            wall_time_s=runner_result.wall_time_s,
+            events=recorder.events,
+            details=dict(runner_result.details),
+        )
+
+
+class ReferenceEngine(RunnerEngine):
+    """The cwltool-like reference runner behind the unified API."""
+
+    name = "reference"
+
+    def __init__(self, runtime_context: Optional[RuntimeContext] = None,
+                 parallel: bool = False, max_workers: int = 8,
+                 validate: bool = True) -> None:
+        super().__init__()
+        self._options = dict(runtime_context=runtime_context, parallel=parallel,
+                             max_workers=max_workers, validate=validate)
+
+    def _make_runner(self) -> BaseRunner:
+        return ReferenceRunner(**self._options)
+
+
+class ToilEngine(RunnerEngine):
+    """The Toil-like job-store runner behind the unified API."""
+
+    name = "toil"
+
+    def __init__(self, job_store_dir: Optional[str] = None,
+                 batch_system: Any = None,
+                 runtime_context: Optional[RuntimeContext] = None,
+                 parallel: bool = True, max_workers: int = 8,
+                 import_outputs: bool = True, validate: bool = True,
+                 destroy_job_store_on_close: bool = False) -> None:
+        super().__init__()
+        self._options = dict(job_store_dir=job_store_dir, batch_system=batch_system,
+                             runtime_context=runtime_context, parallel=parallel,
+                             max_workers=max_workers, import_outputs=import_outputs,
+                             validate=validate)
+        self._destroy_job_store = destroy_job_store_on_close
+
+    def _make_runner(self) -> BaseRunner:
+        return ToilStyleRunner(**self._options)
+
+    def execute(self, process, job_order: Dict[str, Any],
+                hooks: Optional[ExecutionHooks] = None) -> ExecutionResult:
+        result = super().execute(process, job_order, hooks)
+        result.details.setdefault("job_store", self._runner.job_store.stats())  # type: ignore[union-attr]
+        return result
+
+    def close(self) -> None:
+        if self._runner is not None:
+            self._runner.close(destroy_job_store=self._destroy_job_store)  # type: ignore[attr-defined]
+            self._runner = None
+
+
+class ParslEngine(Engine):
+    """Execute through the paper's Parsl bridge.
+
+    CommandLineTools go through ``run_tool_with_parsl`` (§III-B); Workflows go
+    through the :class:`CWLWorkflowBridge` (the paper's future-work extension).
+    The engine loads a DataFlowKernel from ``config`` on first use — or reuses
+    an already-loaded one — and clears it on :meth:`close` only if it loaded
+    the kernel itself, so it embeds cleanly in larger Parsl programs.
+    """
+
+    name = "parsl"
+
+    def __init__(self, config: Any = None, outdir: Optional[str] = None) -> None:
+        self._config = config
+        self._outdir = outdir
+        self._started = False
+        self._loaded_here = False
+        self._kernel_lock = threading.Lock()
+
+    # -------------------------------------------------------------- lifecycle
+
+    def _ensure_kernel(self) -> None:
+        with self._kernel_lock:
+            self._ensure_kernel_locked()
+
+    def _ensure_kernel_locked(self) -> None:
+        from repro.core.yaml_config import load_yaml_config
+        from repro.parsl.config import Config
+        from repro.parsl.dataflow.dflow import DataFlowKernelLoader
+        from repro.parsl.errors import NoDataFlowKernelError
+
+        if self._started:
+            return
+        if self._config is not None:
+            config = self._config
+            if not isinstance(config, Config):
+                config = load_yaml_config(config)
+            DataFlowKernelLoader.load(config)
+            self._loaded_here = True
+        else:
+            try:
+                DataFlowKernelLoader.dfk()
+            except NoDataFlowKernelError:
+                DataFlowKernelLoader.load(Config.default())
+                self._loaded_here = True
+        self._started = True
+
+    def close(self) -> None:
+        from repro.parsl.dataflow.dflow import DataFlowKernelLoader
+
+        if self._started and self._loaded_here:
+            DataFlowKernelLoader.clear()
+        self._started = False
+        self._loaded_here = False
+
+    # -------------------------------------------------------------- execution
+
+    def execute(self, process, job_order: Dict[str, Any],
+                hooks: Optional[ExecutionHooks] = None) -> ExecutionResult:
+        process = self.load_process(process)
+        recorder = self.recorder_for(hooks)
+        self._ensure_kernel()
+        start = time.perf_counter()
+        if isinstance(process, Workflow):
+            outputs = self._run_workflow(process, dict(job_order or {}), recorder)
+        elif isinstance(process, CommandLineTool):
+            outputs = self._run_tool(process, dict(job_order or {}), recorder)
+        else:
+            raise EngineError(
+                f"the {self.name!r} engine cannot run a {type(process).__name__} "
+                "(CommandLineTool or Workflow expected)"
+            )
+        jobs_run = sum(1 for e in recorder.events if e.kind == "start")
+        return ExecutionResult(
+            outputs=outputs,
+            status="success",
+            engine=self.name,
+            jobs_run=jobs_run,
+            wall_time_s=time.perf_counter() - start,
+            events=recorder.events,
+        )
+
+    def _run_tool(self, tool: CommandLineTool, job_order: Dict[str, Any],
+                  recorder: EventRecorder) -> Dict[str, Any]:
+        from repro.core.runner import run_tool_with_parsl
+
+        with recorder.observing(tool.id or "tool"):
+            return run_tool_with_parsl(
+                tool=tool, job_order=job_order, config=None,
+                outdir=self._outdir, cleanup=False,
+            )
+
+    def _run_workflow(self, workflow: Workflow, job_order: Dict[str, Any],
+                      recorder: EventRecorder) -> Dict[str, Any]:
+        from repro.core.workflow_bridge import CWLWorkflowBridge
+
+        bridge = CWLWorkflowBridge(workflow, job_observer=recorder)
+        outputs = bridge.run(job_order)
+        return {key: _normalise_output(value) for key, value in outputs.items()}
+
+
+class ParslWorkflowEngine(ParslEngine):
+    """The CWL Workflow -> Parsl bridge, with strict Workflow-only semantics."""
+
+    name = "parsl-workflow"
+
+    def execute(self, process, job_order: Dict[str, Any],
+                hooks: Optional[ExecutionHooks] = None) -> ExecutionResult:
+        loaded = self.load_process(process)
+        if not isinstance(loaded, Workflow):
+            raise EngineError(
+                f"the {self.name!r} engine runs complete CWL Workflows; got "
+                f"{type(loaded).__name__} (use engine='parsl' for single tools)"
+            )
+        return super().execute(loaded, job_order, hooks)
+
+
+def _normalise_output(value: Any) -> Any:
+    """Convert Parsl-side File objects into CWL File value dictionaries.
+
+    The workflow bridge resolves its futures to Parsl ``File`` objects; the
+    unified result promises the same CWL output-object shape as the runners.
+    """
+    from repro.cwl.types import build_file_value
+    from repro.parsl.data_provider.files import File as ParslFile
+
+    if isinstance(value, ParslFile):
+        return build_file_value(value.filepath)
+    if isinstance(value, list):
+        return [_normalise_output(item) for item in value]
+    return value
+
+
+register_engine("reference", ReferenceEngine, aliases=("cwltool", "cwltool-like"))
+register_engine("toil", ToilEngine, aliases=("toil-like",))
+register_engine("parsl", ParslEngine, aliases=("parsl-cwl",))
+register_engine("parsl-workflow", ParslWorkflowEngine, aliases=("bridge",))

@@ -1,0 +1,98 @@
+"""Per-job event stream shared by every engine.
+
+Engines report the start and end of each individual job (one CommandLineTool
+or ExpressionTool invocation) to an :class:`EventRecorder`, which timestamps
+the transitions, accumulates :class:`JobEvent` records for the
+:class:`~repro.api.result.ExecutionResult`, and forwards them to the user's
+:class:`ExecutionHooks` callbacks.  Recording is thread-safe: parallel
+runners and the Parsl dataflow deliver events from worker threads.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional
+
+HookCallback = Callable[["JobEvent"], Any]
+
+
+@dataclass
+class JobEvent:
+    """One job lifecycle transition observed during an execution."""
+
+    job: str
+    kind: str  # "start" or "end"
+    timestamp: float
+    ok: bool = True
+    error: Optional[str] = None
+    #: Wall-clock seconds between start and end (set on "end" events).
+    duration_s: Optional[float] = None
+
+
+@dataclass
+class ExecutionHooks:
+    """User-facing callbacks invoked as jobs start and finish."""
+
+    on_job_start: Optional[HookCallback] = None
+    on_job_end: Optional[HookCallback] = None
+
+
+@dataclass
+class _ActiveJob:
+    """Token returned by :meth:`EventRecorder.job_started`."""
+
+    job: str
+    started_at: float
+
+
+class EventRecorder:
+    """Collects job events for one execution and fans them out to hooks.
+
+    Implements the observer protocol duck-typed by
+    :class:`~repro.cwl.runners.base.BaseRunner` and
+    :class:`~repro.core.workflow_bridge.CWLWorkflowBridge`:
+    ``job_started(name) -> token`` and ``job_finished(token, ok, error)``.
+    """
+
+    def __init__(self, hooks: Optional[ExecutionHooks] = None) -> None:
+        self.hooks = hooks
+        self.events: List[JobEvent] = []
+        self._lock = threading.Lock()
+
+    def job_started(self, job: str) -> _ActiveJob:
+        now = time.time()
+        event = JobEvent(job=job, kind="start", timestamp=now)
+        with self._lock:
+            self.events.append(event)
+        if self.hooks and self.hooks.on_job_start:
+            self.hooks.on_job_start(event)
+        return _ActiveJob(job=job, started_at=time.perf_counter())
+
+    def job_finished(self, token: _ActiveJob, ok: bool = True,
+                     error: Optional[str] = None) -> None:
+        event = JobEvent(
+            job=token.job,
+            kind="end",
+            timestamp=time.time(),
+            ok=ok,
+            error=error,
+            duration_s=time.perf_counter() - token.started_at,
+        )
+        with self._lock:
+            self.events.append(event)
+        if self.hooks and self.hooks.on_job_end:
+            self.hooks.on_job_end(event)
+
+    @contextlib.contextmanager
+    def observing(self, job: str) -> Iterator[None]:
+        """Record one job around a ``with`` block (end event on success/failure)."""
+        token = self.job_started(job)
+        try:
+            yield
+        except Exception as exc:
+            self.job_finished(token, ok=False, error=str(exc))
+            raise
+        self.job_finished(token)

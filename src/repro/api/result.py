@@ -1,0 +1,47 @@
+"""The unified return shape of every engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.api.events import JobEvent
+
+
+@dataclass
+class ExecutionResult:
+    """Outputs plus bookkeeping from one execution, whatever the engine.
+
+    Subsumes the three return shapes of the underlying execution paths: the
+    runners' :class:`~repro.cwl.runners.base.RunnerResult`, the plain output
+    dict of ``run_tool_with_parsl`` and the futures dict of
+    ``CWLWorkflowBridge.submit``.
+    """
+
+    #: The CWL output object (output id -> value), fully resolved.
+    outputs: Dict[str, Any]
+    #: ``"success"`` — failures raise instead of returning a result.
+    status: str = "success"
+    #: Registry name of the engine that produced this result.
+    engine: str = ""
+    #: Number of individual tool/expression jobs executed.
+    jobs_run: int = 0
+    #: Wall-clock seconds for the whole execution.
+    wall_time_s: float = 0.0
+    #: Per-job start/end events in observation order.
+    events: List[JobEvent] = field(default_factory=list)
+    #: Engine-specific extras (job store statistics, run directories, ...).
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        """Convenience indexing straight into :attr:`outputs`."""
+        return self.outputs[key]
+
+    def job_names(self) -> List[str]:
+        """Names of the jobs that ran, in start order."""
+        return [e.job for e in self.events if e.kind == "start"]
+
+    def summary(self) -> str:
+        """One human-readable line (used by CLIs in verbose mode)."""
+        return (f"engine={self.engine or '?'} status={self.status} "
+                f"jobs={self.jobs_run} wall_time={self.wall_time_s:.3f}s")

@@ -8,7 +8,8 @@ Usage, matching the paper::
 The first positional argument is the TaPS-style YAML Parsl configuration, the
 second is the CWL CommandLineTool, and inputs come either from a YAML job order
 file or from ``--name value`` / ``--name=value`` flags.  The CWL output object
-is printed as JSON.
+is printed as JSON.  Execution routes through the :mod:`repro.api` registry's
+``"parsl"`` engine.
 """
 
 from __future__ import annotations
@@ -18,7 +19,6 @@ import os
 import sys
 from typing import Optional, Sequence
 
-from repro.core.runner import run_tool_with_parsl
 from repro.cwl.cli import parse_cli_inputs
 from repro.utils.yamlio import dump_json, load_yaml_file
 
@@ -75,9 +75,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             os.makedirs(outdir, exist_ok=True)
             os.chdir(outdir)
         try:
-            outputs = run_tool_with_parsl(
-                tool=os.path.join(previous_cwd, tool_path) if not os.path.isabs(tool_path) else tool_path,
-                job_order=_resolve_job_paths(job_order, previous_cwd),
+            from repro.api import run as api_run
+
+            result = api_run(
+                os.path.join(previous_cwd, tool_path) if not os.path.isabs(tool_path) else tool_path,
+                _resolve_job_paths(job_order, previous_cwd),
+                engine="parsl",
                 config=os.path.join(previous_cwd, config_path) if not os.path.isabs(config_path) else config_path,
             )
         finally:
@@ -87,9 +90,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"parsl-cwl: error: {exc}", file=sys.stderr)
         return 1
 
-    print(dump_json(outputs))
+    print(dump_json(result.outputs))
     if not options["--quiet"]:
-        print("Final process status is success", file=sys.stderr)
+        print(f"Final process status is {result.status}", file=sys.stderr)
     return 0
 
 

@@ -67,7 +67,11 @@ def cwl_tool_command(tool_raw: Dict[str, Any], source_path: Optional[str],
     job_order = fill_in_defaults(tool.inputs, job_order)
     job_order = {k: coerce_file_inputs(v) for k, v in job_order.items()}
 
-    runtime = {"outdir": os.getcwd(), "tmpdir": os.getcwd(), "cores": 1, "ram": 1024}
+    # Honour the tool's ResourceRequirement so $(runtime.cores) / $(runtime.ram)
+    # expressions see the granted resources on the Parsl path too.
+    from repro.cwl.runtime import RuntimeContext
+
+    runtime = RuntimeContext().with_resources(tool).runtime_object(os.getcwd(), os.getcwd())
 
     inline_python = extract_inline_python(tool)
     evaluator: Optional[InlinePythonEvaluator] = None

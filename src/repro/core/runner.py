@@ -16,6 +16,8 @@ from repro.core.cwl_app import CWLApp
 from repro.core.yaml_config import load_yaml_config
 from repro.cwl.loader import load_tool
 from repro.cwl.outputs import collect_outputs
+from repro.cwl.runtime import RuntimeContext
+from repro.cwl.schema import CommandLineTool
 from repro.cwl.types import value_to_path
 from repro.parsl.config import Config
 from repro.parsl.dataflow.dflow import DataFlowKernelLoader
@@ -26,7 +28,7 @@ logger = get_logger("core.runner")
 
 
 def run_tool_with_parsl(
-    tool: Union[str, os.PathLike],
+    tool: Union[str, os.PathLike, "CommandLineTool"],
     job_order: Optional[Dict[str, Any]] = None,
     config: Union[None, str, os.PathLike, Config] = None,
     outdir: Optional[str] = None,
@@ -37,7 +39,8 @@ def run_tool_with_parsl(
     Parameters
     ----------
     tool:
-        Path to a CWL CommandLineTool document.
+        Path to a CWL CommandLineTool document, or an already-loaded
+        :class:`~repro.cwl.schema.CommandLineTool`.
     job_order:
         Input values (plain values; ``File`` inputs may be given as paths or
         ``{"class": "File", "path": ...}`` objects).
@@ -69,15 +72,15 @@ def run_tool_with_parsl(
         cleanup = loaded_here
 
     try:
-        tool_doc = load_tool(tool)
-        app = CWLApp(tool_doc if tool_doc.source_path else os.fspath(tool))
+        tool_doc = tool if isinstance(tool, CommandLineTool) else load_tool(tool)
+        app = CWLApp(tool_doc)
         future = app(**job_order)
         future.result()
 
         outdir = outdir or os.getcwd()
         stdout_path = future.stdout
         stderr_path = future.stderr
-        runtime = {"outdir": outdir, "tmpdir": outdir, "cores": 1, "ram": 1024}
+        runtime = RuntimeContext().with_resources(app.tool).runtime_object(outdir, outdir)
         outputs = collect_outputs(
             app.tool,
             outdir=outdir,

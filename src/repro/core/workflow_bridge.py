@@ -43,7 +43,8 @@ class CWLWorkflowBridge:
 
     def __init__(self, workflow: Union[str, os.PathLike, Workflow],
                  data_flow_kernel: Optional[DataFlowKernel] = None,
-                 validate: bool = True) -> None:
+                 validate: bool = True,
+                 job_observer: Optional[Any] = None) -> None:
         if isinstance(workflow, Workflow):
             self.workflow = workflow
         else:
@@ -54,6 +55,12 @@ class CWLWorkflowBridge:
         if validate:
             ensure_valid(self.workflow)
         self.data_flow_kernel = data_flow_kernel
+        #: Optional job observer (duck-typed ``job_started``/``job_finished``,
+        #: see :class:`repro.api.events.EventRecorder`); notified when a step
+        #: is submitted and, once :meth:`run` has resolved all outputs, when
+        #: each step future finished.
+        self.job_observer = job_observer
+        self._pending_observations: List[tuple] = []
         self._apps: Dict[str, CWLApp] = {}
 
     # -------------------------------------------------------------- submission
@@ -101,8 +108,11 @@ class CWLWorkflowBridge:
 
     def run(self, job_order: Dict[str, Any]) -> Dict[str, Any]:
         """Submit the workflow and block until all outputs are concrete values."""
-        outputs = self.submit(job_order)
-        return {key: self._wait(value) for key, value in outputs.items()}
+        try:
+            outputs = self.submit(job_order)
+            return {key: self._wait(value) for key, value in outputs.items()}
+        finally:
+            self._drain_observations()
 
     # ----------------------------------------------------------------- plumbing
 
@@ -128,9 +138,9 @@ class CWLWorkflowBridge:
             merged.update(concrete)
             plan = build_scatter_jobs(merged, step.scatter, step.scatter_method)
             per_output: Dict[str, List[Any]] = {out_id: [] for out_id in step.out}
-            for job in plan.jobs:
-                future = app(**job)
-                submitted[f"{step.id}[{len(per_output[step.out[0]]) if step.out else 0}]"] = future
+            for index, job in enumerate(plan.jobs):
+                future = self._observed_call(app, job, f"{step.id}[{index}]")
+                submitted[f"{step.id}[{index}]"] = future
                 named = getattr(future, "cwl_outputs", {})
                 for out_id in step.out:
                     per_output[out_id].append(named.get(out_id, future))
@@ -138,7 +148,7 @@ class CWLWorkflowBridge:
                 values[f"{step.id}/{out_id}"] = per_output[out_id]
             return
 
-        future = app(**gathered)
+        future = self._observed_call(app, gathered, step.id)
         submitted[step.id] = future
         named = getattr(future, "cwl_outputs", {})
         for out_id in step.out:
@@ -149,6 +159,36 @@ class CWLWorkflowBridge:
                     "literal or input-derived glob patterns"
                 )
             values[f"{step.id}/{out_id}"] = named[out_id]
+
+    def _observed_call(self, app: CWLApp, kwargs: Dict[str, Any], name: str) -> AppFuture:
+        """Invoke ``app``, reporting the job start to :attr:`job_observer`.
+
+        The matching end event is recorded by :meth:`_drain_observations` —
+        not a done-callback, which CPython fires *after* waking ``result()``
+        waiters and would let :meth:`run` return before its events landed.
+        """
+        observer = self.job_observer
+        if observer is None:
+            return app(**kwargs)
+        token = observer.job_started(name)
+        try:
+            future = app(**kwargs)
+        except Exception as exc:
+            observer.job_finished(token, ok=False, error=str(exc))
+            raise
+        self._pending_observations.append((future, token))
+        return future
+
+    def _drain_observations(self) -> None:
+        """Report an end event for every submitted future (waits as needed)."""
+        observer = self.job_observer
+        pending, self._pending_observations = self._pending_observations, []
+        if observer is None:
+            return
+        for future, token in pending:
+            exception = future.exception()
+            observer.job_finished(token, ok=exception is None,
+                                  error=str(exception) if exception else None)
 
     def _app_for(self, step: WorkflowStep) -> CWLApp:
         if step.id in self._apps:

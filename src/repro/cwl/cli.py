@@ -6,7 +6,10 @@
   mirrors ``toil-cwl-runner``.
 
 Both print the CWL output object as JSON on stdout (the behaviour scripts and
-tests rely on) and return a non-zero exit code on failure.
+tests rely on) and return a non-zero exit code on failure.  Execution routes
+through the :mod:`repro.api` engine registry (``"reference"`` and ``"toil"``
+respectively), so these CLIs observe exactly what a
+:class:`repro.api.Session` would.
 """
 
 from __future__ import annotations
@@ -16,9 +19,6 @@ import sys
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.cwl.loader import load_document
-from repro.cwl.runners.reference import ReferenceRunner
-from repro.cwl.runners.toil.batch import SingleMachineBatchSystem, SlurmBatchSystem
-from repro.cwl.runners.toil.runner import ToilStyleRunner
 from repro.cwl.runtime import RuntimeContext
 from repro.utils.yamlio import dump_json, load_yaml_file
 
@@ -120,12 +120,14 @@ def cwltool_main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(known)
 
     try:
+        from repro.api import Session
+
         process = load_document(args.document)
         job_order = parse_job_order(args.job_order, overrides)
         runtime_context = RuntimeContext(outdir=args.outdir, basedir=args.outdir)
-        runner = ReferenceRunner(runtime_context=runtime_context, parallel=args.parallel,
-                                 max_workers=args.max_workers)
-        result = runner.run(process, job_order)
+        with Session(engine="reference", runtime_context=runtime_context,
+                     parallel=args.parallel, max_workers=args.max_workers) as session:
+            result = session.run(process, job_order)
     except Exception as exc:  # CLI boundary: report and return failure
         print(f"repro-cwltool: error: {exc}", file=sys.stderr)
         return 1
@@ -154,7 +156,11 @@ def toil_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(known)
 
+    cluster = None
     try:
+        from repro.api import Session
+        from repro.cwl.runners.toil.batch import SingleMachineBatchSystem, SlurmBatchSystem
+
         process = load_document(args.document)
         job_order = parse_job_order(args.job_order, overrides)
         runtime_context = RuntimeContext(outdir=args.outdir, basedir=args.outdir)
@@ -167,13 +173,15 @@ def toil_main(argv: Optional[Sequence[str]] = None) -> int:
             batch = SlurmBatchSystem(cluster=cluster)
         else:
             batch = SingleMachineBatchSystem(max_cores=args.max_workers)
-        runner = ToilStyleRunner(job_store_dir=args.jobStore, batch_system=batch,
-                                 runtime_context=runtime_context, max_workers=args.max_workers)
-        result = runner.run(process, job_order)
-        runner.close()
+        with Session(engine="toil", job_store_dir=args.jobStore, batch_system=batch,
+                     runtime_context=runtime_context, max_workers=args.max_workers) as session:
+            result = session.run(process, job_order)
     except Exception as exc:
         print(f"repro-toil-cwl-runner: error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if cluster is not None:
+            cluster.shutdown()
     print(dump_json(result.outputs))
     if not args.quiet:
         print(f"Final process status is {result.status}", file=sys.stderr)

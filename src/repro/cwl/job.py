@@ -93,7 +93,7 @@ class CommandLineJob:
             )
         outdir = outdir or self.runtime_context.ensure_outdir()
         tmpdir = self.runtime_context.make_tmpdir()
-        runtime = self.runtime_context.runtime_object(outdir, tmpdir)
+        runtime = self.runtime_context.with_resources(self.tool).runtime_object(outdir, tmpdir)
         return build_command_line(self.tool, self.job_order, runtime, self.make_evaluator())
 
     # -------------------------------------------------------------- execution
@@ -105,7 +105,7 @@ class CommandLineJob:
         )
         os.makedirs(outdir, exist_ok=True)
         tmpdir = self.runtime_context.make_tmpdir()
-        runtime = self.runtime_context.runtime_object(outdir, tmpdir)
+        runtime = self.runtime_context.with_resources(self.tool).runtime_object(outdir, tmpdir)
 
         problems = self.validate_inputs()
         if problems:
@@ -122,7 +122,9 @@ class CommandLineJob:
         stdout_handle = open(stdout_path, "wb") if stdout_path else subprocess.DEVNULL
         stderr_handle = open(stderr_path, "wb") if stderr_path else subprocess.DEVNULL
 
-        env = dict(os.environ)
+        from repro.utils.environment import subprocess_environment
+
+        env = subprocess_environment()
         env.update(self.runtime_context.env)
         env.update(parts.environment)
         env.setdefault("HOME", outdir)

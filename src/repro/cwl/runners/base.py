@@ -52,6 +52,10 @@ class BaseRunner(ABC):
         self.runtime_context = runtime_context or RuntimeContext()
         self.validate = validate
         self.jobs_run = 0
+        #: Optional job observer (duck-typed ``job_started``/``job_finished``,
+        #: see :class:`repro.api.events.EventRecorder`).  Set by the unified
+        #: API engines; may be called from worker threads.
+        self.hooks = None
 
     # ------------------------------------------------------------------ public
 
@@ -75,13 +79,29 @@ class BaseRunner(ABC):
                      runtime_context: RuntimeContext) -> Dict[str, Any]:
         if isinstance(process, CommandLineTool):
             self.jobs_run += 1
-            return self.run_tool(process, job_order, runtime_context)
+            return self._observed(self.run_tool, process, job_order, runtime_context)
         if isinstance(process, ExpressionTool):
             self.jobs_run += 1
-            return self.run_expression_tool(process, job_order, runtime_context)
+            return self._observed(self.run_expression_tool, process, job_order,
+                                  runtime_context)
         if isinstance(process, Workflow):
             return self.run_workflow(process, job_order, runtime_context)
         raise ValidationException(f"cannot run process of type {type(process).__name__}")
+
+    def _observed(self, method, process: Process, job_order: Dict[str, Any],
+                  runtime_context: RuntimeContext) -> Dict[str, Any]:
+        """Run one job, reporting start/end to the attached observer (if any)."""
+        hooks = self.hooks
+        if hooks is None:
+            return method(process, job_order, runtime_context)
+        token = hooks.job_started(process.id or type(process).__name__)
+        try:
+            outputs = method(process, job_order, runtime_context)
+        except Exception as exc:
+            hooks.job_finished(token, ok=False, error=str(exc))
+            raise
+        hooks.job_finished(token)
+        return outputs
 
     # ------------------------------------------------------------- per-process
 

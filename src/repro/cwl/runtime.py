@@ -72,6 +72,36 @@ class RuntimeContext:
         """A copy of this context with selected fields replaced."""
         return replace(self, **overrides)
 
+    def with_resources(self, process: Any) -> "RuntimeContext":
+        """A context whose cores/RAM honour the process's ``ResourceRequirement``.
+
+        ``coresMin`` / ``ramMin`` (falling back to ``coresMax`` / ``ramMax``)
+        override this context's defaults, so ``$(runtime.cores)`` and
+        ``$(runtime.ram)`` expressions see what the tool asked for.  Values
+        that are not plain numbers (e.g. expressions) are left to the
+        defaults.  Returns ``self`` unchanged when the process declares no
+        resource requirement.
+        """
+        getter = getattr(process, "get_requirement", None)
+        requirement = getter("ResourceRequirement") if getter else None
+        if not requirement:
+            return self
+        cores = _as_positive_int(requirement.get("coresMin"),
+                                 _as_positive_int(requirement.get("coresMax"), self.cores))
+        ram = _as_positive_int(requirement.get("ramMin"),
+                               _as_positive_int(requirement.get("ramMax"), self.ram_mb))
+        if cores == self.cores and ram == self.ram_mb:
+            return self
+        return self.child(cores=cores, ram_mb=ram)
+
     def cleanup_dir(self, path: str) -> None:
         """Best-effort removal of a scratch directory."""
         shutil.rmtree(path, ignore_errors=True)
+
+
+def _as_positive_int(value: Any, default: int) -> int:
+    """Coerce a ResourceRequirement entry to a positive int, else ``default``."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return default
+    coerced = int(value)
+    return coerced if coerced >= 1 else default

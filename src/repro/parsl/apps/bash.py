@@ -63,10 +63,13 @@ def remote_side_bash_executor(func: Callable, *args: Any, **kwargs: Any) -> int:
     stdout_handle, _stdout_path = _open_std_stream(stdout_spec)
     stderr_handle, _stderr_path = _open_std_stream(stderr_spec)
     try:
+        from repro.utils.environment import subprocess_environment
+
         proc = subprocess.Popen(
             command,
             shell=True,
             executable="/bin/bash" if os.path.exists("/bin/bash") else None,
+            env=subprocess_environment(),
             stdout=stdout_handle if stdout_handle is not None else subprocess.DEVNULL,
             stderr=stderr_handle if stderr_handle is not None else subprocess.DEVNULL,
         )

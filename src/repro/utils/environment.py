@@ -1,0 +1,35 @@
+"""Subprocess environment handling.
+
+CWL tools shipped with the repository invoke the imaging CLI as
+``python3 -m repro.imaging.cli ...``.  Jobs execute in per-job working
+directories, so a *relative* ``PYTHONPATH`` entry (e.g. the ``PYTHONPATH=src``
+of the test command) would no longer resolve from there.  Every runner
+therefore builds its subprocess environment through
+:func:`subprocess_environment`, which pins the directory that the running
+``repro`` package was imported from onto ``PYTHONPATH`` as an absolute path.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+
+def package_root() -> str:
+    """Absolute path of the directory containing the importable ``repro`` package."""
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def subprocess_environment(base: Optional[Dict[str, str]] = None) -> Dict[str, str]:
+    """A copy of ``base`` (default ``os.environ``) whose ``PYTHONPATH`` can
+    resolve the ``repro`` package from any working directory."""
+    env = dict(os.environ if base is None else base)
+    root = package_root()
+    entries = [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    resolved = [os.path.abspath(p) for p in entries]
+    if root not in resolved:
+        resolved.insert(0, root)
+    env["PYTHONPATH"] = os.pathsep.join(resolved)
+    return env
