@@ -15,6 +15,7 @@ rows the figures plot.
 from __future__ import annotations
 
 import collections
+import json
 import os
 from pathlib import Path
 
@@ -49,6 +50,21 @@ class SeriesRecorder:
         xs = sorted({x for (name, x) in figure_points if name == series})
         return [(x, figure_points[(series, x)]) for x in xs]
 
+    def as_json(self) -> dict:
+        """Machine-readable form: figure -> series -> sorted [x, seconds] points."""
+        payload: dict = {}
+        for figure, figure_points in self.points.items():
+            series_map: dict = {}
+            for (series, x), seconds in figure_points.items():
+                series_map.setdefault(series, []).append([x, seconds])
+            for series, points in series_map.items():
+                try:
+                    points.sort(key=lambda point: point[0])
+                except TypeError:
+                    points.sort(key=lambda point: str(point[0]))
+            payload[figure] = series_map
+        return payload
+
     def tables(self) -> str:
         lines = []
         for figure in sorted(self.points):
@@ -75,13 +91,24 @@ def series_recorder() -> SeriesRecorder:
     return _RECORDER
 
 
+#: Where the machine-readable benchmark series land (override with the
+#: BENCH_EXPRESSIONS_JSON environment variable).  CI uploads this file as an
+#: artifact so the perf trajectory is trackable across PRs.
+BENCH_JSON_ENV = "BENCH_EXPRESSIONS_JSON"
+BENCH_JSON_DEFAULT = REPO_ROOT / "BENCH_expressions.json"
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
-    """Print the paper-style series tables after the benchmark run."""
+    """Print the paper-style series tables and write BENCH_expressions.json."""
     if _RECORDER.points:
         terminalreporter.write_line("")
         terminalreporter.write_line("Paper-figure series reproduced by this benchmark run")
         for line in _RECORDER.tables().splitlines():
             terminalreporter.write_line(line)
+        path = os.environ.get(BENCH_JSON_ENV) or str(BENCH_JSON_DEFAULT)
+        with open(path, "w") as handle:
+            json.dump(_RECORDER.as_json(), handle, indent=2, sort_keys=True)
+        terminalreporter.write_line(f"Benchmark series written to {path}")
 
 
 @pytest.fixture

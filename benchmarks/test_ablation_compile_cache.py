@@ -1,0 +1,107 @@
+"""Ablation A5 — what does the compiled-expression pipeline buy?
+
+Three configurations evaluate the same expression workload at increasing
+evaluation counts:
+
+* **uncached** — :class:`ExpressionEvaluator` with a fresh engine per
+  evaluation (cwltool fidelity: re-scan, re-parse, rebuild the stdlib and
+  re-run the expressionLib every time, the Figure 2 cost model),
+* **cached engine** — the engine (and parsed library) reused, but every
+  string still re-scanned and re-parsed per evaluation,
+* **compiled** — :class:`CompiledEvaluator`: parse-once templates from the
+  bounded LRU, closure-compiled ASTs, shared library scope.
+
+The recorded series land in ``BENCH_expressions.json`` (figure → series →
+points) so future PRs can track the trajectory; the shape test asserts the
+headline claim — the compiled pipeline is at least 2× faster than the
+uncached baseline on the largest workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cwl.expressions.compiler import CompiledEvaluator, compile_cache_stats
+from repro.cwl.expressions.evaluator import ExpressionEvaluator
+
+EVALUATION_COUNTS = [32, 128, 512]
+FIGURE = "Ablation A5: expression pipeline runtime [s] vs evaluations"
+
+JS_LIB = """
+function addTag(word) {
+  return "[" + word.toUpperCase() + "]";
+}
+"""
+
+#: A small rotation of distinct strings: simple parameter references, JS
+#: calls into the library, and an interpolated template — the mix one job's
+#: bindings actually contain.
+EXPRESSIONS = [
+    "$(inputs.word)",
+    "$(addTag(inputs.word))",
+    "prefix $(inputs.word) :: $(addTag(inputs.word)) suffix",
+    "${ return addTag(inputs.word) + '!'; }",
+]
+
+
+def run_workload(evaluator, count: int) -> None:
+    for index in range(count):
+        context = {"inputs": {"word": f"word{index}"}, "runtime": {}, "self": None}
+        result = evaluator.evaluate(EXPRESSIONS[index % len(EXPRESSIONS)], context)
+        assert result
+
+
+def make_uncached():
+    return ExpressionEvaluator(expression_lib=[JS_LIB], cache_engine=False)
+
+
+def make_cached_engine():
+    return ExpressionEvaluator(expression_lib=[JS_LIB], cache_engine=True)
+
+
+def make_compiled():
+    return CompiledEvaluator(expression_lib=[JS_LIB])
+
+
+SERIES = {
+    "uncached (fresh engine per evaluation)": make_uncached,
+    "cached engine (re-parse per evaluation)": make_cached_engine,
+    "compiled (parse-once AST cache)": make_compiled,
+}
+
+
+@pytest.mark.parametrize("count", EVALUATION_COUNTS)
+@pytest.mark.parametrize("series", list(SERIES))
+def test_ablation_compile_cache(benchmark, series, count, series_recorder):
+    factory = SERIES[series]
+    evaluator = factory()
+    run_workload(evaluator, 4)  # warm caches so the fixed setup cost is excluded
+
+    benchmark.pedantic(run_workload, args=(evaluator, count), rounds=1, iterations=2)
+    series_recorder.record(FIGURE, series, count, benchmark.stats.stats.mean)
+
+
+def test_ablation_shape_compiled_at_least_2x_faster(series_recorder):
+    """Acceptance: compiled evaluation ≥ 2× faster than the uncached baseline."""
+    figure = series_recorder.points.get(FIGURE, {})
+    if not figure:
+        pytest.skip("benchmarks did not run")
+    largest = EVALUATION_COUNTS[-1]
+    uncached = figure.get(("uncached (fresh engine per evaluation)", largest))
+    compiled = figure.get(("compiled (parse-once AST cache)", largest))
+    if uncached is None or compiled is None:
+        pytest.skip("not all series were measured")
+    assert compiled * 2 <= uncached, (
+        f"compiled pipeline ({compiled:.4f}s) should be at least 2x faster than "
+        f"the uncached baseline ({uncached:.4f}s) at {largest} evaluations"
+    )
+
+
+def test_ablation_compile_cache_is_actually_hit():
+    """The workload's repeated strings must be served from the template LRU."""
+    evaluator = CompiledEvaluator(expression_lib=[JS_LIB])
+    run_workload(evaluator, 8)
+    before = compile_cache_stats()["hits"]
+    run_workload(evaluator, 64)
+    after = compile_cache_stats()["hits"]
+    assert after > before

@@ -6,11 +6,15 @@ words are capitalised by an embedded expression) as the message length grows:
 * InlineJavaScript via cwltool   → capitalize_js.cwl through the ReferenceRunner
   (a fresh JavaScript engine is built per evaluation, as cwltool spawns node.js)
 * InlineJavaScript via Toil      → capitalize_js.cwl through the ToilStyleRunner
+  (which now defaults to the compiled-expression pipeline — parse-once ASTs,
+  shared library scopes — so its curve sits well below the reference runner's)
 * InlinePython via Parsl-CWL     → capitalize_python.cwl through a CWLApp
   (the Python expression evaluates natively in the runner's interpreter)
 
 The paper reports a superlinear increase for the JavaScript runners and an
-essentially flat curve for InlinePython; the same shape is asserted here.
+essentially flat curve for InlinePython; the same shape is asserted here, plus
+the compiled-pipeline acceptance bar: at the largest workload the toil and
+parsl series are at least 2× faster than the uncached reference series.
 """
 
 from __future__ import annotations
@@ -77,8 +81,11 @@ def test_fig2_expression_scaling(benchmark, series, words, cwl_dir, tmp_path, se
     def run():
         runner(cwl_dir, message, tmp_path / series.replace(" ", "_"))
 
-    benchmark.pedantic(run, rounds=1, iterations=2)
-    series_recorder.record(FIGURE, series, words, benchmark.stats.stats.mean)
+    # Three rounds, best-of recorded: per-job jitter (subprocess spawn, job
+    # store IO) would otherwise drown the expression-pipeline signal the
+    # figure exists to show.
+    benchmark.pedantic(run, rounds=3, iterations=2)
+    series_recorder.record(FIGURE, series, words, benchmark.stats.stats.min)
 
 
 def test_fig2_shape_python_flat_javascript_grows(series_recorder):
@@ -115,3 +122,27 @@ def test_fig2_shape_python_flat_javascript_grows(series_recorder):
     if None not in (js_large, toil_large, py_large):
         assert py_large <= js_large
         assert py_large <= toil_large
+
+
+def test_fig2_compiled_engines_at_least_2x_faster_than_reference(series_recorder):
+    """Acceptance: toil (compiled pipeline) and parsl beat the uncached
+    reference series by at least 2× on the largest workload, while the
+    reference series itself keeps its uncached cost model (asserted by
+    ``test_fig2_shape_python_flat_javascript_grows`` above)."""
+    figure = series_recorder.points.get(FIGURE, {})
+    if not figure:
+        pytest.skip("benchmarks did not run")
+    largest = WORD_COUNTS[-1]
+    reference = figure.get(("InlineJavaScript (cwltool-like)", largest))
+    toil = figure.get(("InlineJavaScript (toil-like)", largest))
+    parsl = figure.get(("InlinePython (parsl-cwl)", largest))
+    if None in (reference, toil, parsl):
+        pytest.skip("not all series were measured")
+    assert toil * 2 <= reference, (
+        f"compiled toil series ({toil:.4f}s) should be at least 2x faster than the "
+        f"uncached reference series ({reference:.4f}s) at {largest} words"
+    )
+    assert parsl * 2 <= reference, (
+        f"parsl series ({parsl:.4f}s) should be at least 2x faster than the "
+        f"uncached reference series ({reference:.4f}s) at {largest} words"
+    )

@@ -24,7 +24,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 
 from repro.api.events import EventRecorder, ExecutionHooks
 from repro.api.result import ExecutionResult
-from repro.cwl.loader import load_document
+from repro.cwl.loader import load_document, load_document_cached
 from repro.cwl.schema import Process
 
 ProcessLike = Union[str, os.PathLike, Dict[str, Any], Process]
@@ -56,9 +56,17 @@ class Engine(abc.ABC):
 
     @staticmethod
     def load_process(process: ProcessLike) -> Process:
-        """Accept a path, a parsed document dict or an already-loaded Process."""
+        """Accept a path, a parsed document dict or an already-loaded Process.
+
+        Paths go through the loader's document cache (invalidated on mtime or
+        size change): repeated ``api.run`` calls on the same file skip the
+        YAML parse.  Runner-level fidelity is unaffected — the reference
+        runner still revalidates per job and evaluates uncached.
+        """
         if isinstance(process, Process):
             return process
+        if isinstance(process, (str, os.PathLike)):
+            return load_document_cached(process)
         return load_document(process)
 
     @staticmethod

@@ -16,6 +16,13 @@ registry name             wraps
 Engines hold backend state across runs (the Toil engine keeps its job store
 and batch system, the Parsl engines keep the DataFlowKernel they loaded), so
 one :class:`~repro.api.session.Session` amortises setup over many executions.
+
+Expression handling differs by engine: ``reference`` keeps cwltool's
+per-evaluation cost model (fresh JS engine, re-parsed expressionLib — the
+Figure 2 baseline), while ``toil``, ``parsl`` and ``parsl-workflow`` default
+to the compiled pipeline of :mod:`repro.cwl.expressions.compiler`; pass a
+``RuntimeContext(compile_expressions=...)`` to override either way where a
+runtime context is accepted.
 """
 
 from __future__ import annotations

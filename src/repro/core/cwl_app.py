@@ -73,6 +73,14 @@ def cwl_tool_command(tool_raw: Dict[str, Any], source_path: Optional[str],
 
     runtime = RuntimeContext().with_resources(tool).runtime_object(os.getcwd(), os.getcwd())
 
+    # The parsl path always uses the compiled pipeline — this call is the
+    # switch: build_command_line/collect_output pick up tool.compiled.  The
+    # shared library scope and template cache are process-wide, so repeated
+    # invocations of the same tool in one worker skip all parsing.
+    from repro.cwl.expressions.compiler import precompile_process
+
+    precompile_process(tool)
+
     inline_python = extract_inline_python(tool)
     evaluator: Optional[InlinePythonEvaluator] = None
     if inline_python is not None:
@@ -125,6 +133,11 @@ class CWLApp:
             self.tool = load_tool(self.cwl_path)
         if validate_document:
             ensure_valid(self.tool)
+            # Validate-time compilation: submission-side expression use (static
+            # glob prediction, output collection) reuses the pinned templates.
+            from repro.cwl.expressions.compiler import precompile_process
+
+            precompile_process(self.tool)
         self.data_flow_kernel = data_flow_kernel
         self.executor_label = executors if isinstance(executors, str) or executors is None \
             else (executors[0] if executors else "all")

@@ -80,6 +80,9 @@ def run_tool_with_parsl(
         outdir = outdir or os.getcwd()
         stdout_path = future.stdout
         stderr_path = future.stderr
+        # The parsl engine always uses the compiled-expression pipeline: the
+        # CWLApp constructor precompiled the tool, and collect_outputs' default
+        # evaluator picks up the pinned templates from app.tool.compiled.
         runtime = RuntimeContext().with_resources(app.tool).runtime_object(outdir, outdir)
         outputs = collect_outputs(
             app.tool,

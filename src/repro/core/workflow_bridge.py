@@ -26,8 +26,9 @@ from typing import Any, Dict, List, Optional, Union
 
 from repro.core.cwl_app import CWLApp
 from repro.cwl.errors import UnsupportedRequirement, WorkflowException
-from repro.cwl.expressions.evaluator import ExpressionEvaluator, needs_expression_evaluation
-from repro.cwl.loader import load_document
+from repro.cwl.expressions.compiler import CompiledEvaluator
+from repro.cwl.expressions.evaluator import needs_expression_evaluation
+from repro.cwl.loader import load_document, load_document_cached
 from repro.cwl.scatter import build_scatter_jobs
 from repro.cwl.schema import CommandLineTool, Workflow, WorkflowStep
 from repro.cwl.validate import ensure_valid
@@ -197,7 +198,7 @@ class CWLWorkflowBridge:
         if process is None and isinstance(step.run, str):
             base = os.path.dirname(self.workflow.source_path or "")
             path = step.run if os.path.isabs(step.run) else os.path.join(base, step.run)
-            process = load_document(path)
+            process = load_document_cached(path)
         if isinstance(process, Workflow):
             raise UnsupportedRequirement(
                 f"step {step.id!r} runs a nested Workflow; the Parsl workflow bridge currently "
@@ -245,7 +246,9 @@ class CWLWorkflowBridge:
                                         "class": "File"}
             else:
                 concrete_inputs[key] = value
-        evaluator = ExpressionEvaluator(js_enabled=True, cache_engine=True)
+        # The bridge is a long-lived engine: submission-time expressions go
+        # through the compiled pipeline (parse-once template cache).
+        evaluator = CompiledEvaluator(js_enabled=True)
         return evaluator.evaluate(expression, {"inputs": concrete_inputs, "self": self_value,
                                                "runtime": {}})
 

@@ -105,8 +105,16 @@ def build_command_line(
     runtime: Dict[str, Any],
     evaluator: Optional[ExpressionEvaluator] = None,
 ) -> CommandLineParts:
-    """Construct the argv and redirections for one invocation of ``tool``."""
-    evaluator = evaluator or ExpressionEvaluator(js_enabled=True)
+    """Construct the argv and redirections for one invocation of ``tool``.
+
+    When no ``evaluator`` is supplied, a tool that went through
+    :func:`~repro.cwl.expressions.compiler.precompile_process` contributes its
+    precompiled evaluator; otherwise a fresh uncached one is built.
+    """
+    if evaluator is None:
+        compilation = getattr(tool, "compiled", None)
+        evaluator = compilation.evaluator if compilation is not None \
+            else ExpressionEvaluator(js_enabled=True)
     context = {"inputs": job_order, "runtime": runtime, "self": None}
 
     bindings: List[Tuple[Tuple[int, int], List[str]]] = []

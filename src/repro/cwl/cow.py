@@ -1,0 +1,34 @@
+"""Copy-on-write job-order views.
+
+The Toil-like runner used to ``copy.deepcopy`` the job order for every job it
+issued — on a scatter over N items that is N full deep copies of structures
+whose leaves (paths, contents strings, sizes) are immutable and never need
+copying at all.
+
+:func:`job_order_view` provides the same isolation guarantee far cheaper: the
+*containers* (dicts, lists) are duplicated so a job that annotates a File
+value or appends to a list never writes into a sibling job's view, while every
+leaf value is shared by reference.  Because leaves are immutable (strings,
+numbers, booleans, ``None``), sharing them is indistinguishable from copying —
+this is the copy-on-write contract with the "write" resolved eagerly at the
+container level, skipping ``deepcopy``'s per-object dispatch, memo table and
+reduce protocol entirely (roughly an order of magnitude faster on typical
+File-bearing job orders).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+def job_order_view(job_order: Dict[str, Any]) -> Dict[str, Any]:
+    """An isolated view of ``job_order``: private containers, shared leaves."""
+    return {key: _view(value) for key, value in job_order.items()}
+
+
+def _view(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {key: _view(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_view(item) for item in value]
+    return value

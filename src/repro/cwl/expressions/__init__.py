@@ -14,8 +14,23 @@ subset CWL documents actually use.  :class:`~repro.cwl.expressions.evaluator.Exp
 ties it together: it finds references/expressions in strings, evaluates them
 against the CWL context (``inputs``, ``self``, ``runtime``) and performs string
 interpolation, mirroring the behaviour of cwltool's expression handling.
+
+Two evaluation pipelines are provided:
+
+* the **uncached** :class:`ExpressionEvaluator` re-scans and re-parses per
+  evaluation (cwltool fidelity — the Figure 2 cost model), and
+* the **compiled** :class:`~repro.cwl.expressions.compiler.CompiledEvaluator`
+  parses each distinct string once into closures, shares library scopes by
+  content hash and serves repeats from a bounded LRU (the default for the
+  long-lived ``toil`` / ``parsl`` / ``parsl-workflow`` engines).
 """
 
+from repro.cwl.expressions.compiler import (
+    CompiledEvaluator,
+    clear_compile_cache,
+    compile_cache_stats,
+    precompile_process,
+)
 from repro.cwl.expressions.evaluator import ExpressionEvaluator, needs_expression_evaluation
 from repro.cwl.expressions.paramrefs import (
     find_expressions,
@@ -23,8 +38,12 @@ from repro.cwl.expressions.paramrefs import (
 )
 
 __all__ = [
+    "CompiledEvaluator",
     "ExpressionEvaluator",
+    "clear_compile_cache",
+    "compile_cache_stats",
     "find_expressions",
     "needs_expression_evaluation",
+    "precompile_process",
     "resolve_parameter_reference",
 ]

@@ -8,11 +8,24 @@ context (``inputs``, ``self``, ``runtime``), and returns the evaluated value:
   value is returned (so ``$(inputs.size)`` stays an int),
 * otherwise each embedded expression is evaluated and string-interpolated.
 
-The evaluator can be configured to build a fresh JavaScript engine per
-evaluation (``cache_engine=False`` — the behaviour of cwltool, which launches a
-node.js process per evaluation batch) or to re-use a single engine
-(``cache_engine=True``).  The expression benchmark (Fig. 2) exercises exactly
-this difference.
+This is the **uncached pipeline**: every call re-parses any JavaScript and
+(with ``cache_engine=False``, the default) rebuilds the engine — including
+re-running the whole ``expressionLib`` — mirroring cwltool, which launches a
+node.js process per evaluation batch.  ``cache_engine=True`` re-uses one
+engine per context but still re-parses each string.  The expression benchmark
+(Fig. 2) exercises exactly these costs.  (One shared shortcut: the
+*scanning* helpers in :mod:`repro.cwl.expressions.paramrefs` are memoized
+process-wide, so locating ``$(...)``/``${...}`` occurrences is cached even
+here; the dominant Fig. 2 costs — JS parsing, engine construction and
+evaluation — remain strictly per-call in this class.)
+
+Long-lived runners should use the **compiled pipeline** instead
+(:class:`repro.cwl.expressions.compiler.CompiledEvaluator`): identical
+semantics, but each distinct string is parsed once, library scopes are shared
+by content hash, and repeats are served from a bounded LRU.  The ``toil``,
+``parsl`` and ``parsl-workflow`` engines default to it via
+``RuntimeContext.compile_expressions``; this class remains the default for the
+cwltool-fidelity reference runner.
 """
 
 from __future__ import annotations

@@ -6,16 +6,27 @@ arrays become ``list``; objects become ``dict``.  A small standard library is
 provided (``Math``, ``JSON``, ``parseInt``, string and array methods) covering
 what CWL expressions typically use.
 
-The engine is intentionally *not* cached or optimised per evaluation when used
-by the cwltool-like reference runner: the cost of re-parsing the expression
-library for every evaluation is exactly the per-expression overhead the paper's
-Figure 2 attributes to JavaScript expression handling in existing runners.
+This tree-walker is one of two execution backends:
+
+* **Fidelity mode** (this class, used by the cwltool-like reference runner by
+  default): a fresh engine is built per evaluation, re-parsing the expression
+  library every time — exactly the per-expression overhead the paper's
+  Figure 2 attributes to JavaScript expression handling in existing runners.
+* **Compiled mode** (:mod:`repro.cwl.expressions.jsengine.closures`, the
+  default for the toil/parsl engines): ASTs are closure-compiled once and the
+  expression library lives in an immutable shared
+  :class:`~repro.cwl.expressions.jsengine.closures.LibraryScope`; only a cheap
+  activation frame is created per evaluation.
+
+Both backends share the coercion/truthiness helpers defined here, so their
+results are identical — only the cost model differs.
 """
 
 from __future__ import annotations
 
 import json
 import math
+from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.cwl.errors import JavaScriptError
@@ -159,6 +170,101 @@ def _maybe_int(value: float) -> Any:
     if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
         return int(value)
     return value
+
+
+# ----------------------------------------------------------- builtin methods
+#
+# Single source of truth for string/array/object builtin methods, shared by
+# both execution backends.  Entries are *value-first* functions
+# (``STRING_METHODS["charAt"](value, index)``): the closure backend dispatches
+# them directly with no per-access allocation, while this tree-walker binds
+# them into a fresh dictionary per member access — faithfully keeping the
+# per-evaluation allocation cost model Figure 2 measures.
+
+
+def _array_push(value: list, *items: Any) -> int:
+    value.extend(items)
+    return len(value)
+
+
+def _array_reverse(value: list) -> list:
+    value.reverse()
+    return value
+
+
+def _array_sort(value: list) -> list:
+    value.sort(key=_js_string)
+    return value
+
+
+def _array_for_each(value: list, fn: Callable) -> None:
+    for item in value:
+        fn(item)
+    return None
+
+
+def _array_join(value: list, sep: str = ",") -> str:
+    try:
+        return sep.join(value)  # all-string arrays: no per-item coercion
+    except TypeError:
+        return sep.join(_js_string(item) for item in value)
+
+
+def _number_to_fixed(value: Any, digits: Any = 0) -> str:
+    return f"{float(value):.{int(digits)}f}"
+
+
+STRING_METHODS: Dict[str, Callable[..., Any]] = {
+    "toUpperCase": lambda v: v.upper(),
+    "toLowerCase": lambda v: v.lower(),
+    "trim": lambda v: v.strip(),
+    "split": lambda v, sep=None, limit=None: (
+        list(v) if sep == "" else (v.split() if sep is None else v.split(sep))
+    )[: int(limit) if limit is not None else None],
+    "replace": lambda v, old, new: v.replace(old, new, 1),
+    "replaceAll": lambda v, old, new: v.replace(old, new),
+    "substring": lambda v, start, end=None: v[int(max(0, start)): int(end) if end is not None else None],
+    "slice": lambda v, start=0, end=None: v[int(start): int(end) if end is not None else None],
+    "charAt": lambda v, index=0: v[int(index)] if 0 <= int(index) < len(v) else "",
+    "charCodeAt": lambda v, index=0: ord(v[int(index)]) if 0 <= int(index) < len(v) else float("nan"),
+    "indexOf": lambda v, needle, start=0: v.find(needle, int(start)),
+    "lastIndexOf": lambda v, needle: v.rfind(needle),
+    "includes": lambda v, needle: needle in v,
+    "startsWith": lambda v, needle: v.startswith(needle),
+    "endsWith": lambda v, needle: v.endswith(needle),
+    "concat": lambda v, *others: v + "".join(_js_string(o) for o in others),
+    "repeat": lambda v, count: v * int(count),
+    "padStart": lambda v, width, fill=" ": v.rjust(int(width), str(fill)[:1] or " "),
+    "padEnd": lambda v, width, fill=" ": v.ljust(int(width), str(fill)[:1] or " "),
+    "toString": lambda v: v,
+}
+
+ARRAY_METHODS: Dict[str, Callable[..., Any]] = {
+    "join": _array_join,
+    "indexOf": lambda v, needle: v.index(needle) if needle in v else -1,
+    "includes": lambda v, needle: needle in v,
+    "slice": lambda v, start=0, end=None: v[int(start): int(end) if end is not None else None],
+    "concat": lambda v, *others: v + [item for other in others
+                                      for item in (other if isinstance(other, list) else [other])],
+    "push": _array_push,
+    "pop": lambda v: v.pop() if v else None,
+    "reverse": _array_reverse,
+    "sort": _array_sort,
+    "map": lambda v, fn: [fn(item) for item in v],
+    "filter": lambda v, fn: [item for item in v if _js_truthy(fn(item))],
+    "forEach": _array_for_each,
+    "reduce": lambda v, fn, initial=None: JSEngine._reduce(v, fn, initial),
+    "some": lambda v, fn: any(_js_truthy(fn(item)) for item in v),
+    "every": lambda v, fn: all(_js_truthy(fn(item)) for item in v),
+    "flat": lambda v: [item for sub in v
+                       for item in (sub if isinstance(sub, list) else [sub])],
+    "toString": lambda v: ",".join(_js_string(item) for item in v),
+}
+
+OBJECT_METHODS: Dict[str, Callable[..., Any]] = {
+    "hasOwnProperty": lambda v, key: key in v,
+    "toString": lambda v: json.dumps(v),
+}
 
 
 class JSEngine:
@@ -491,64 +597,27 @@ class JSEngine:
 
     # ---------------------------------------------------------- standard library
 
+    # The three lookups below rebuild a dictionary of bound methods on *every*
+    # member access — deliberately (Figure 2's per-evaluation cost model).
+    # The method implementations themselves live in the shared value-first
+    # tables above, so both backends stay semantically identical by
+    # construction.
+
     @staticmethod
     def _string_method(value: str, prop: str) -> Optional[Callable]:
-        methods: Dict[str, Callable] = {
-            "toUpperCase": lambda: value.upper(),
-            "toLowerCase": lambda: value.lower(),
-            "trim": lambda: value.strip(),
-            "split": lambda sep=None, limit=None: (
-                list(value) if sep == "" else (value.split() if sep is None else value.split(sep))
-            )[: int(limit) if limit is not None else None],
-            "replace": lambda old, new: value.replace(old, new, 1),
-            "replaceAll": lambda old, new: value.replace(old, new),
-            "substring": lambda start, end=None: value[int(max(0, start)): int(end) if end is not None else None],
-            "slice": lambda start=0, end=None: value[int(start): int(end) if end is not None else None],
-            "charAt": lambda index=0: value[int(index)] if 0 <= int(index) < len(value) else "",
-            "charCodeAt": lambda index=0: ord(value[int(index)]) if 0 <= int(index) < len(value) else float("nan"),
-            "indexOf": lambda needle, start=0: value.find(needle, int(start)),
-            "lastIndexOf": lambda needle: value.rfind(needle),
-            "includes": lambda needle: needle in value,
-            "startsWith": lambda needle: value.startswith(needle),
-            "endsWith": lambda needle: value.endswith(needle),
-            "concat": lambda *others: value + "".join(_js_string(o) for o in others),
-            "repeat": lambda count: value * int(count),
-            "padStart": lambda width, fill=" ": value.rjust(int(width), str(fill)[:1] or " "),
-            "padEnd": lambda width, fill=" ": value.ljust(int(width), str(fill)[:1] or " "),
-            "toString": lambda: value,
-        }
+        methods: Dict[str, Callable] = {name: partial(fn, value)
+                                        for name, fn in STRING_METHODS.items()}
         return methods.get(prop)
 
     def _array_method(self, value: list, prop: str) -> Optional[Callable]:
-        methods: Dict[str, Callable] = {
-            "join": lambda sep=",": sep.join(_js_string(v) for v in value),
-            "indexOf": lambda needle: value.index(needle) if needle in value else -1,
-            "includes": lambda needle: needle in value,
-            "slice": lambda start=0, end=None: value[int(start): int(end) if end is not None else None],
-            "concat": lambda *others: value + [item for other in others
-                                               for item in (other if isinstance(other, list) else [other])],
-            "push": lambda *items: (value.extend(items), len(value))[1],
-            "pop": lambda: value.pop() if value else None,
-            "reverse": lambda: (value.reverse(), value)[1],
-            "sort": lambda: (value.sort(key=_js_string), value)[1],
-            "map": lambda fn: [fn(item) for item in value],
-            "filter": lambda fn: [item for item in value if _js_truthy(fn(item))],
-            "forEach": lambda fn: [fn(item) for item in value] and None,
-            "reduce": lambda fn, initial=None: self._reduce(value, fn, initial),
-            "some": lambda fn: any(_js_truthy(fn(item)) for item in value),
-            "every": lambda fn: all(_js_truthy(fn(item)) for item in value),
-            "flat": lambda: [item for sub in value
-                             for item in (sub if isinstance(sub, list) else [sub])],
-            "toString": lambda: ",".join(_js_string(v) for v in value),
-        }
+        methods: Dict[str, Callable] = {name: partial(fn, value)
+                                        for name, fn in ARRAY_METHODS.items()}
         return methods.get(prop)
 
     @staticmethod
     def _object_method(value: dict, prop: str) -> Optional[Callable]:
-        methods: Dict[str, Callable] = {
-            "hasOwnProperty": lambda key: key in value,
-            "toString": lambda: json.dumps(value),
-        }
+        methods: Dict[str, Callable] = {name: partial(fn, value)
+                                        for name, fn in OBJECT_METHODS.items()}
         return methods.get(prop)
 
     @staticmethod

@@ -11,13 +11,19 @@ expressions like ``$(inputs.file.basename.split('.')[0])`` contain both.  A
 ``self`` or ``runtime``) can be resolved without the JavaScript engine — the
 CWL specification deliberately allows these even when
 ``InlineJavascriptRequirement`` is absent.
+
+Scatter workloads evaluate the *same* binding strings for every job, so the
+scanner, the simple-reference classifier and the path tokenizer are all
+memoized with bounded ``lru_cache`` s — the scan/classify/tokenize work happens
+once per distinct string per process.
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from functools import lru_cache
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cwl.errors import ExpressionError
 
@@ -39,7 +45,17 @@ class FoundExpression:
 
 
 def find_expressions(text: str) -> List[FoundExpression]:
-    """Locate every ``$(...)`` and ``${...}`` in ``text`` (non-overlapping, in order)."""
+    """Locate every ``$(...)`` and ``${...}`` in ``text`` (non-overlapping, in order).
+
+    The scan itself is memoized (see :func:`scan_expressions`); this wrapper
+    returns a fresh list for API compatibility.
+    """
+    return list(scan_expressions(text))
+
+
+@lru_cache(maxsize=4096)
+def scan_expressions(text: str) -> Tuple[FoundExpression, ...]:
+    """Memoized expression scan returning an immutable tuple."""
     found: List[FoundExpression] = []
     i = 0
     length = len(text)
@@ -59,7 +75,7 @@ def find_expressions(text: str) -> List[FoundExpression]:
             i = end + 1
             continue
         i += 1
-    return found
+    return tuple(found)
 
 
 def _scan_balanced(text: str, open_index: int, opener: str, closer: str) -> Optional[int]:
@@ -87,6 +103,7 @@ def _scan_balanced(text: str, open_index: int, opener: str, closer: str) -> Opti
     return None
 
 
+@lru_cache(maxsize=4096)
 def is_simple_parameter_reference(body: str) -> bool:
     """Whether ``body`` is a plain dotted/indexed path (no JavaScript needed)."""
     return bool(_SIMPLE_PATH_RE.match(body))
@@ -99,9 +116,14 @@ def resolve_parameter_reference(body: str, context: Dict[str, Any]) -> Any:
     Missing intermediate values resolve to ``None`` (matching JS member access
     on missing properties) but a missing *root* is an error.
     """
-    tokens = _tokenize_path(body)
+    return resolve_path_tokens(tokenize_path(body), context, source=body)
+
+
+def resolve_path_tokens(tokens: Tuple[Any, ...], context: Dict[str, Any],
+                        source: str = "") -> Any:
+    """Walk a pre-tokenized parameter-reference path against ``context``."""
     if not tokens:
-        raise ExpressionError(f"empty parameter reference: {body!r}")
+        raise ExpressionError(f"empty parameter reference: {source!r}")
     root = tokens[0]
     if root not in context:
         raise ExpressionError(
@@ -126,8 +148,9 @@ def resolve_parameter_reference(body: str, context: Dict[str, Any]) -> Any:
     return value
 
 
-def _tokenize_path(body: str):
-    """Split ``inputs.file['basename'][0]`` into ['inputs', 'file', 'basename', 0]."""
+@lru_cache(maxsize=4096)
+def tokenize_path(body: str) -> Tuple[Any, ...]:
+    """Split ``inputs.file['basename'][0]`` into ('inputs', 'file', 'basename', 0)."""
     tokens: List[Any] = []
     i = 0
     body = body.strip()
@@ -151,4 +174,4 @@ def _tokenize_path(body: str):
             raise ExpressionError(f"malformed parameter reference {body!r}")
         tokens.append(match.group(0))
         i += len(match.group(0))
-    return tokens
+    return tuple(tokens)

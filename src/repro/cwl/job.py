@@ -74,8 +74,18 @@ class CommandLineJob:
 
     # -------------------------------------------------------------- building
 
-    def make_evaluator(self) -> ExpressionEvaluator:
-        """Build the expression evaluator configured by the tool's requirements."""
+    def make_evaluator(self):
+        """Build the expression evaluator configured by the tool's requirements.
+
+        With ``runtime_context.compile_expressions`` on, this returns the
+        tool's precompiled :class:`~repro.cwl.expressions.compiler.CompiledEvaluator`
+        (parse-once, shared library scope); otherwise the cwltool-fidelity
+        :class:`ExpressionEvaluator`, optionally with a cached engine.
+        """
+        if self.runtime_context.compile_expressions:
+            from repro.cwl.expressions.compiler import precompile_process
+
+            return precompile_process(self.tool).evaluator
         js_req = self.tool.get_requirement("InlineJavascriptRequirement")
         expression_lib = list(js_req.get("expressionLib", [])) if js_req else []
         return ExpressionEvaluator(

@@ -18,6 +18,8 @@ The loader normalises all of them into the document model in
 from __future__ import annotations
 
 import os
+import threading
+from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Union
 
 from repro.cwl.errors import ValidationException
@@ -36,6 +38,84 @@ from repro.cwl.schema import (
 from repro.utils.yamlio import load_yaml_file
 
 PathLike = Union[str, os.PathLike]
+
+#: Loaded ``run:`` sub-documents keyed by resolved path (bounded LRU).
+#: Scatter-heavy workflows and repeated benchmark runs reload the same tool
+#: files over and over; the loaded model is immutable during execution, so
+#: one shared instance per (path, mtime, size) is safe and skips the YAML
+#: parse and model build entirely.
+_RUN_DOCUMENT_CACHE: "OrderedDict[str, tuple]" = OrderedDict()
+_RUN_DOCUMENT_CACHE_MAX = 128
+_RUN_DOCUMENT_LOCK = threading.Lock()
+
+
+def _stamp_of(path: str):
+    stat = os.stat(path)
+    return (stat.st_mtime_ns, stat.st_size)
+
+
+def _dependency_stamps(path: str, process: Process) -> Dict[str, tuple]:
+    """Stamps for ``path`` and every file-backed sub-process embedded in it.
+
+    A cached workflow bakes its ``run:`` sub-documents in at parse time, so
+    editing a *child* file must invalidate the parent's entry too.
+    """
+    stamps = {path: _stamp_of(path)}
+
+    def visit(proc: Process) -> None:
+        if isinstance(proc, Workflow):
+            for step in proc.steps:
+                embedded = step.embedded_process
+                if embedded is None or not embedded.source_path:
+                    continue
+                child = os.path.abspath(embedded.source_path)
+                if child not in stamps:
+                    stamps[child] = _stamp_of(child)
+                    visit(embedded)
+
+    visit(process)
+    return stamps
+
+
+def _stamps_current(stamps: Dict[str, tuple]) -> bool:
+    try:
+        return all(_stamp_of(path) == stamp for path, stamp in stamps.items())
+    except OSError:
+        return False
+
+
+def load_document_cached(source_path: PathLike) -> Process:
+    """Load a CWL document from a path through the sub-document cache.
+
+    The cache entry is invalidated when the file — or any ``run:`` sub-file
+    embedded in it — changes mtime or size.  Returns a *shared*
+    :class:`Process` instance; callers must not mutate it.
+    """
+    path = os.path.abspath(os.fspath(source_path))
+    with _RUN_DOCUMENT_LOCK:
+        entry = _RUN_DOCUMENT_CACHE.get(path)
+    if entry is not None and _stamps_current(entry[0]):
+        with _RUN_DOCUMENT_LOCK:
+            if path in _RUN_DOCUMENT_CACHE:
+                _RUN_DOCUMENT_CACHE.move_to_end(path)
+        return entry[1]
+    process = load_document(path)
+    try:
+        stamps = _dependency_stamps(path, process)
+    except OSError:
+        return process
+    with _RUN_DOCUMENT_LOCK:
+        _RUN_DOCUMENT_CACHE[path] = (stamps, process)
+        _RUN_DOCUMENT_CACHE.move_to_end(path)
+        while len(_RUN_DOCUMENT_CACHE) > _RUN_DOCUMENT_CACHE_MAX:
+            _RUN_DOCUMENT_CACHE.popitem(last=False)
+    return process
+
+
+def clear_document_cache() -> None:
+    """Drop every cached ``run:`` sub-document (tests)."""
+    with _RUN_DOCUMENT_LOCK:
+        _RUN_DOCUMENT_CACHE.clear()
 
 
 def _strip_hash(identifier: str) -> str:
@@ -255,7 +335,7 @@ def _load_steps(document: Dict[str, Any], base_dir: Optional[str]) -> List[Workf
             if base_dir is not None and not os.path.isabs(run):
                 resolved = os.path.join(base_dir, run)
             if os.path.exists(resolved):
-                embedded = load_document(resolved)
+                embedded = load_document_cached(resolved)
 
         raw_in = entry.get("in", {})
         if isinstance(raw_in, dict):

@@ -51,9 +51,18 @@ def collect_output(
     runtime: Dict[str, Any],
     evaluator: Optional[ExpressionEvaluator] = None,
     compute_checksum: bool = False,
+    tool: Optional[CommandLineTool] = None,
 ) -> Any:
-    """Collect one declared output parameter."""
-    evaluator = evaluator or ExpressionEvaluator(js_enabled=True)
+    """Collect one declared output parameter.
+
+    When no ``evaluator`` is supplied, a ``tool`` that went through
+    :func:`~repro.cwl.expressions.compiler.precompile_process` contributes its
+    precompiled evaluator; otherwise a fresh uncached one is built.
+    """
+    if evaluator is None:
+        compilation = getattr(tool, "compiled", None)
+        evaluator = compilation.evaluator if compilation is not None \
+            else ExpressionEvaluator(js_enabled=True)
     context = {"inputs": job_order, "runtime": runtime, "self": None}
 
     raw_type = param.raw_type
@@ -129,5 +138,6 @@ def collect_outputs(
             runtime=runtime,
             evaluator=evaluator,
             compute_checksum=compute_checksum,
+            tool=tool,
         )
     return outputs

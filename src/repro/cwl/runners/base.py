@@ -67,6 +67,13 @@ class BaseRunner(ABC):
         self.jobs_run = 0
         if self.validate:
             ensure_valid(process)
+        if self.runtime_context.compile_expressions:
+            # The precompiled-process pass: every expression in the document
+            # (bindings, outputs, step valueFrom/when, sub-processes) is
+            # compiled once here, at validate time.
+            from repro.cwl.expressions.compiler import precompile_process
+
+            precompile_process(process)
         job_order = {k: coerce_file_inputs(v) for k, v in job_order.items()}
         outputs = self._run_process(process, job_order, self.runtime_context)
         elapsed = time.perf_counter() - start
@@ -118,12 +125,17 @@ class BaseRunner(ABC):
     def run_expression_tool(self, tool: ExpressionTool, job_order: Dict[str, Any],
                             runtime_context: RuntimeContext) -> Dict[str, Any]:
         """Execute an ExpressionTool by evaluating its expression."""
-        js_req = tool.get_requirement("InlineJavascriptRequirement")
-        evaluator = ExpressionEvaluator(
-            expression_lib=list(js_req.get("expressionLib", [])) if js_req else [],
-            js_enabled=True,
-            cache_engine=runtime_context.cache_js_engine,
-        )
+        if runtime_context.compile_expressions:
+            from repro.cwl.expressions.compiler import precompile_process
+
+            evaluator = precompile_process(tool).evaluator
+        else:
+            js_req = tool.get_requirement("InlineJavascriptRequirement")
+            evaluator = ExpressionEvaluator(
+                expression_lib=list(js_req.get("expressionLib", [])) if js_req else [],
+                js_enabled=True,
+                cache_engine=runtime_context.cache_js_engine,
+            )
         context = {"inputs": job_order, "self": None,
                    "runtime": runtime_context.runtime_object("", "")}
         result = evaluator.evaluate(tool.expression, context)

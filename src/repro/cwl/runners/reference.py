@@ -7,7 +7,10 @@ This runner mirrors how ``cwltool`` executes documents:
   (cwltool rebuilds its internal ``Process`` state per job),
 * JavaScript expressions are evaluated with a *fresh* engine per evaluation —
   the analogue of cwltool starting a node.js sandbox for expression batches —
-  unless the runtime context explicitly enables engine caching,
+  unless the runtime context explicitly enables engine caching
+  (``cache_js_engine=True``) or the compiled pipeline
+  (``compile_expressions=True``); both stay off by default so the Figure 2
+  uncached series keeps its shape,
 * with ``parallel=False`` jobs run strictly one at a time (plain ``cwltool``);
   with ``parallel=True`` independent steps and scatter jobs run on a thread
   pool (``cwltool --parallel``), which is the configuration the paper compares

@@ -20,11 +20,11 @@ from the Parsl bridge in Figure 1.
 
 from __future__ import annotations
 
-import copy
 import os
 import tempfile
 from typing import Any, Dict, Optional
 
+from repro.cwl.cow import job_order_view
 from repro.cwl.job import CommandLineJob
 from repro.cwl.runners.base import BaseRunner
 from repro.cwl.runners.toil.batch import BatchSystem, SingleMachineBatchSystem
@@ -55,6 +55,11 @@ class ToilStyleRunner(BaseRunner):
     ) -> None:
         if runtime_context is None:
             runtime_context = RuntimeContext(cache_js_engine=False)
+        if runtime_context.compile_expressions is None:
+            # This long-lived runner defaults to the compiled-expression
+            # pipeline; pass compile_expressions=False to force the
+            # cwltool-style per-evaluation cost model instead.
+            runtime_context = runtime_context.child(compile_expressions=True)
         super().__init__(runtime_context=runtime_context, validate=validate)
         self.job_store = FileJobStore(job_store_dir or tempfile.mkdtemp(prefix="toil-jobstore-"))
         self.batch_system = batch_system or SingleMachineBatchSystem(max_cores=max_workers)
@@ -76,7 +81,9 @@ class ToilStyleRunner(BaseRunner):
             self.job_store.update_job(stored, state="running")
             job = CommandLineJob(
                 tool=tool,
-                job_order=copy.deepcopy(job_order),
+                # Copy-on-write view instead of deepcopy: scatter loops issue
+                # this per job, and the leaves never needed copying.
+                job_order=job_order_view(job_order),
                 runtime_context=runtime_context,
             )
             result = job.execute()

@@ -39,6 +39,14 @@ class RuntimeContext:
     #: Evaluate JavaScript with a cached engine (Parsl/InlinePython-style) or
     #: rebuild the engine per evaluation (cwltool-style).
     cache_js_engine: bool = False
+    #: Use the compiled-expression pipeline (parse-once AST cache, shared
+    #: library scopes, precompiled processes — see
+    #: :mod:`repro.cwl.expressions.compiler`).  Tri-state: ``None`` lets the
+    #: runner pick its default — the ``toil``, ``parsl`` and
+    #: ``parsl-workflow`` engines turn it on, the cwltool-fidelity reference
+    #: runner leaves it off (its per-evaluation cost model is what Figure 2
+    #: measures).  Set ``True``/``False`` to force either mode on any engine.
+    compile_expressions: Optional[bool] = None
 
     def ensure_outdir(self) -> str:
         """Create (if needed) and return the output directory."""

@@ -149,6 +149,9 @@ class Process:
     source_path: Optional[str] = None
     #: The raw normalised dictionary (kept for round-tripping and provenance).
     raw: Dict[str, Any] = field(default_factory=dict)
+    #: Filled by :func:`repro.cwl.expressions.compiler.precompile_process` —
+    #: the document's expressions compiled once (a ``ProcessCompilation``).
+    compiled: Optional[Any] = field(default=None, repr=False, compare=False)
 
     def get_requirement(self, class_name: str, include_hints: bool = True) -> Optional[Dict[str, Any]]:
         """Return the requirement dictionary with the given ``class``, if present."""

@@ -30,7 +30,7 @@ from typing import Any, Callable, Dict, List, Optional, Set
 
 from repro.cwl.errors import ValidationException, WorkflowException
 from repro.cwl.expressions.evaluator import ExpressionEvaluator
-from repro.cwl.loader import load_document
+from repro.cwl.loader import load_document_cached
 from repro.cwl.runtime import RuntimeContext
 from repro.cwl.scatter import build_scatter_jobs, nest_outputs
 from repro.cwl.schema import Process, Workflow, WorkflowStep
@@ -73,6 +73,30 @@ class WorkflowEngine:
         self.records: Dict[str, StepExecutionRecord] = {}
         self._values: Dict[str, Any] = {}
         self._values_lock = threading.Lock()
+        self._step_evaluator_cache: Optional[Any] = None
+        #: Lazily resolved ``run:`` processes, pinned per engine instance so a
+        #: single workflow run sees one snapshot of each tool even if the file
+        #: changes mid-run (see :meth:`_resolve_process`).
+        self._resolved_processes: Dict[str, Process] = {}
+
+    def _step_evaluator(self):
+        """Evaluator for step-level ``when`` / ``valueFrom`` expressions.
+
+        With the compiled pipeline on, one parse-once evaluator is shared by
+        every step (thread-safe); otherwise a fresh cwltool-style evaluator is
+        built per use, as before.  Both are constructed *without* the
+        workflow's ``expressionLib`` — step-level expressions have never had
+        access to it here, and the compiled mode must not silently change
+        evaluation semantics, only cost.
+        """
+        if self.runtime_context.compile_expressions:
+            if self._step_evaluator_cache is None:
+                from repro.cwl.expressions.compiler import CompiledEvaluator
+
+                self._step_evaluator_cache = CompiledEvaluator(js_enabled=True)
+            return self._step_evaluator_cache
+        return ExpressionEvaluator(js_enabled=True,
+                                   cache_engine=self.runtime_context.cache_js_engine)
 
     # ------------------------------------------------------------------ public
 
@@ -192,8 +216,7 @@ class WorkflowEngine:
 
         # Conditional execution (`when`).
         if step.when is not None:
-            evaluator = ExpressionEvaluator(js_enabled=True,
-                                            cache_engine=self.runtime_context.cache_js_engine)
+            evaluator = self._step_evaluator()
             condition = evaluator.evaluate(step.when, {"inputs": step_inputs, "self": None,
                                                        "runtime": {}})
             if not condition:
@@ -242,15 +265,22 @@ class WorkflowEngine:
         if step.embedded_process is not None:
             return step.embedded_process
         if isinstance(step.run, str):
+            resolved = self._resolved_processes.get(step.id)
+            if resolved is not None:
+                return resolved
             base_dir = None
             if self.workflow.source_path:
                 import os
 
                 base_dir = os.path.dirname(self.workflow.source_path)
-            process = load_document(step.run if base_dir is None else
-                                    step.run if step.run.startswith("/") else
-                                    f"{base_dir}/{step.run}")
-            step.embedded_process = process
+            # Pinned on this engine instance (snapshot per run), NOT on the
+            # step object: the enclosing workflow may live in the loader's
+            # document cache, whose dependency stamps were computed at parse
+            # time — pinning there would outlive the child's own mtime check.
+            process = load_document_cached(step.run if base_dir is None else
+                                           step.run if step.run.startswith("/") else
+                                           f"{base_dir}/{step.run}")
+            self._resolved_processes[step.id] = process
             return process
         raise WorkflowException(f"step {step.id!r} has an unresolvable run reference {step.run!r}")
 
@@ -278,8 +308,7 @@ class WorkflowEngine:
         # to the pre-valueFrom value of that input (CWL v1.2 semantics).
         needs_expression = any(si.value_from is not None for si in step.in_)
         if needs_expression:
-            evaluator = ExpressionEvaluator(js_enabled=True,
-                                            cache_engine=self.runtime_context.cache_js_engine)
+            evaluator = self._step_evaluator()
             base_context = dict(gathered)
             for step_input in step.in_:
                 if step_input.value_from is None:

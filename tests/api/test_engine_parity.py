@@ -69,6 +69,36 @@ def test_command_line_tool_outputs_identical(engine, run_engine, cwl_dir):
     assert normalise(result.outputs["output"])["contents"] == b"one API, many engines\n"
 
 
+@pytest.mark.parametrize("engine", TOOL_ENGINES)
+def test_js_expression_tool_outputs_identical(engine, run_engine, cwl_dir):
+    """The compiled pipeline (toil/parsl default) must be bit-identical to the
+    uncached reference runner on an expression-heavy tool."""
+    job_order = {"message": "the compiled pipeline must not change results"}
+    baseline = run_engine("reference", str(cwl_dir / "capitalize_js.cwl"), job_order)
+    result = run_engine(engine, str(cwl_dir / "capitalize_js.cwl"), job_order)
+
+    assert result.status == "success"
+    assert normalise(result.outputs["output"])["contents"] == \
+        normalise(baseline.outputs["output"])["contents"]
+    assert normalise(baseline.outputs["output"])["contents"] == \
+        b"The Compiled Pipeline Must Not Change Results\n"
+
+
+def test_toil_compiled_matches_toil_uncompiled(run_engine, cwl_dir, tmp_path_factory):
+    """Forcing compile_expressions off on the toil engine changes timing only."""
+    job_order = {"message": "compiled versus uncompiled"}
+    compiled = run_engine("toil", str(cwl_dir / "capitalize_js.cwl"), dict(job_order))
+
+    workdir = tmp_path_factory.mktemp("toil_uncompiled")
+    uncompiled = api.run(
+        str(cwl_dir / "capitalize_js.cwl"), dict(job_order), engine="toil",
+        job_store_dir=str(workdir / "jobstore"), destroy_job_store_on_close=True,
+        runtime_context=RuntimeContext(basedir=str(workdir), compile_expressions=False),
+    )
+    assert normalise(compiled.outputs["output"])["contents"] == \
+        normalise(uncompiled.outputs["output"])["contents"]
+
+
 @pytest.mark.parametrize("engine", WORKFLOW_ENGINES)
 def test_workflow_outputs_identical(engine, run_engine, cwl_dir, small_image):
     job_order = {"input_image": {"class": "File", "path": small_image},
