@@ -92,23 +92,39 @@ def series_recorder() -> SeriesRecorder:
 
 
 #: Where the machine-readable benchmark series land (override with the
-#: BENCH_EXPRESSIONS_JSON environment variable).  CI uploads this file as an
-#: artifact so the perf trajectory is trackable across PRs.
+#: BENCH_EXPRESSIONS_JSON / BENCH_DAG_JSON environment variables).  CI uploads
+#: both files as artifacts so the perf trajectory is trackable across PRs.
+#: Figures whose name starts with ``DAG`` (the scheduler benchmarks of
+#: ``test_dag_scheduling.py``) go to ``BENCH_dag.json``; everything else
+#: (the paper figures and ablations) goes to ``BENCH_expressions.json``.
 BENCH_JSON_ENV = "BENCH_EXPRESSIONS_JSON"
 BENCH_JSON_DEFAULT = REPO_ROOT / "BENCH_expressions.json"
+BENCH_DAG_JSON_ENV = "BENCH_DAG_JSON"
+BENCH_DAG_JSON_DEFAULT = REPO_ROOT / "BENCH_dag.json"
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
-    """Print the paper-style series tables and write BENCH_expressions.json."""
+    """Print the paper-style series tables and write the BENCH json files."""
     if _RECORDER.points:
         terminalreporter.write_line("")
         terminalreporter.write_line("Paper-figure series reproduced by this benchmark run")
         for line in _RECORDER.tables().splitlines():
             terminalreporter.write_line(line)
-        path = os.environ.get(BENCH_JSON_ENV) or str(BENCH_JSON_DEFAULT)
-        with open(path, "w") as handle:
-            json.dump(_RECORDER.as_json(), handle, indent=2, sort_keys=True)
-        terminalreporter.write_line(f"Benchmark series written to {path}")
+        payload = _RECORDER.as_json()
+        dag_payload = {figure: series for figure, series in payload.items()
+                       if figure.startswith("DAG")}
+        expr_payload = {figure: series for figure, series in payload.items()
+                        if not figure.startswith("DAG")}
+        if expr_payload:
+            path = os.environ.get(BENCH_JSON_ENV) or str(BENCH_JSON_DEFAULT)
+            with open(path, "w") as handle:
+                json.dump(expr_payload, handle, indent=2, sort_keys=True)
+            terminalreporter.write_line(f"Benchmark series written to {path}")
+        if dag_payload:
+            path = os.environ.get(BENCH_DAG_JSON_ENV) or str(BENCH_DAG_JSON_DEFAULT)
+            with open(path, "w") as handle:
+                json.dump(dag_payload, handle, indent=2, sort_keys=True)
+            terminalreporter.write_line(f"DAG scheduling series written to {path}")
 
 
 @pytest.fixture

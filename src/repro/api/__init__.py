@@ -20,6 +20,10 @@ DataFlowKernel:
   futures dicts and ``RunnerResult``.
 * :class:`ExecutionHooks` — ``on_job_start`` / ``on_job_end`` callbacks so
   monitoring and benchmarks observe every engine through one interface.
+* :func:`plan` / :meth:`Session.plan` — compile a process into the shared
+  :class:`~repro.cwl.graph.WorkflowGraph` IR and return its node/edge/
+  critical-path summary without executing anything (also attached to every
+  workflow result as :attr:`ExecutionResult.plan`).
 
 Quickstart::
 
@@ -44,6 +48,7 @@ from repro.api.engine import (
     resolve_engine_name,
 )
 from repro.api.events import ExecutionHooks, JobEvent
+from repro.api.plan import ExecutionPlan, plan
 from repro.api.result import ExecutionResult
 from repro.api.session import ExecutionHandle, Session, run, submit
 
@@ -55,12 +60,14 @@ __all__ = [
     "EngineError",
     "ExecutionHandle",
     "ExecutionHooks",
+    "ExecutionPlan",
     "ExecutionResult",
     "JobEvent",
     "Session",
     "UnknownEngineError",
     "get_engine",
     "list_engines",
+    "plan",
     "register_engine",
     "resolve_engine_name",
     "run",

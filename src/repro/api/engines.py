@@ -33,6 +33,7 @@ from typing import Any, Dict, Optional
 
 from repro.api.engine import Engine, EngineError, register_engine
 from repro.api.events import EventRecorder, ExecutionHooks
+from repro.api.plan import describe_workflow
 from repro.api.result import ExecutionResult
 from repro.cwl.runners.base import BaseRunner
 from repro.cwl.runners.reference import ReferenceRunner
@@ -81,6 +82,7 @@ class RunnerEngine(Engine):
             wall_time_s=runner_result.wall_time_s,
             events=recorder.events,
             details=dict(runner_result.details),
+            plan=_plan_for(process),
         )
 
 
@@ -110,7 +112,7 @@ class ToilEngine(RunnerEngine):
                  runtime_context: Optional[RuntimeContext] = None,
                  parallel: bool = True, max_workers: int = 8,
                  import_outputs: bool = True, validate: bool = True,
-                 destroy_job_store_on_close: bool = False) -> None:
+                 destroy_job_store_on_close: Optional[bool] = None) -> None:
         super().__init__()
         self._options = dict(job_store_dir=job_store_dir, batch_system=batch_system,
                              runtime_context=runtime_context, parallel=parallel,
@@ -128,6 +130,13 @@ class ToilEngine(RunnerEngine):
         return result
 
     def close(self) -> None:
+        """Deterministically release backend state on ``Session`` exit.
+
+        The batch system always shuts down; the job store is destroyed when
+        the runner created it itself (a temp directory) or when the caller
+        asked via ``destroy_job_store_on_close=True`` — so context-managed
+        sessions never leak stores or batch-system threads between runs.
+        """
         if self._runner is not None:
             self._runner.close(destroy_job_store=self._destroy_job_store)  # type: ignore[attr-defined]
             self._runner = None
@@ -213,6 +222,7 @@ class ParslEngine(Engine):
             jobs_run=jobs_run,
             wall_time_s=time.perf_counter() - start,
             events=recorder.events,
+            plan=_plan_for(process),
         )
 
     def _run_tool(self, tool: CommandLineTool, job_order: Dict[str, Any],
@@ -248,6 +258,16 @@ class ParslWorkflowEngine(ParslEngine):
                 f"{type(loaded).__name__} (use engine='parsl' for single tools)"
             )
         return super().execute(loaded, job_order, hooks)
+
+
+def _plan_for(process: Process) -> Optional[Dict[str, Any]]:
+    """The graph summary attached to workflow results (best-effort)."""
+    if not isinstance(process, Workflow):
+        return None
+    try:
+        return describe_workflow(process)
+    except Exception:  # introspection must never fail an execution
+        return None
 
 
 def _normalise_output(value: Any) -> Any:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.api.events import JobEvent
 
@@ -32,6 +32,9 @@ class ExecutionResult:
     events: List[JobEvent] = field(default_factory=list)
     #: Engine-specific extras (job store statistics, run directories, ...).
     details: Dict[str, Any] = field(default_factory=dict)
+    #: The workflow dataflow plan (``WorkflowGraph.describe()`` — nodes, edges,
+    #: critical path) when a Workflow was executed; ``None`` for single tools.
+    plan: Optional[Dict[str, Any]] = None
 
     def __getitem__(self, key: str) -> Any:
         """Convenience indexing straight into :attr:`outputs`."""

@@ -82,6 +82,19 @@ class Session:
             raise RuntimeError("session is closed")
         return self.engine.execute(process, job_order or {}, hooks or self.hooks)
 
+    def plan(self, process: Any) -> "ExecutionPlan":
+        """Compile ``process`` into its dataflow plan without executing it.
+
+        Returns the :class:`~repro.api.plan.ExecutionPlan` built from the same
+        :class:`~repro.cwl.graph.WorkflowGraph` IR every engine executes from
+        (nodes, dependency edges, critical path, scatter nodes).
+        """
+        from repro.api.plan import plan as build_plan
+
+        if self._closed:
+            raise RuntimeError("session is closed")
+        return build_plan(process)
+
     def submit(self, process: Any, job_order: Optional[Dict[str, Any]] = None,
                hooks: Optional[ExecutionHooks] = None) -> ExecutionHandle:
         """Start ``process`` on a background thread; returns a handle."""

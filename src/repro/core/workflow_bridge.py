@@ -4,19 +4,27 @@ The paper's ``parsl-cwl`` prototype only runs single CommandLineTools; §VIII
 lists "support in Parsl to run complete CWL workflows" as future work.  This
 module implements that extension so the evaluation workflow (Listing 3) can be
 run either through the hand-written Parsl program of Listing 4 *or* directly
-from its CWL Workflow definition:
+from its CWL Workflow definition.
 
-* every step's CommandLineTool becomes a :class:`~repro.core.cwl_app.CWLApp`,
-* step-to-step data dependencies become ``DataFuture`` s, so Parsl's dataflow
-  scheduler interleaves steps exactly as it would for a native Parsl program,
-* ``scatter`` over workflow-level array inputs expands at submission time,
-* step-level ``valueFrom`` strings (literal values or ``$(inputs.x)``
-  references over concrete values) are evaluated at submission time,
+Since PR 3 the bridge shares the :class:`~repro.cwl.graph.WorkflowGraph` IR
+with the workflow engine: the workflow is compiled once at load time into the
+same explicit dataflow graph the reference and Toil-like runners schedule
+from, and :meth:`submit` simply walks it in topological order:
+
+* every ``step`` node's CommandLineTool becomes a :class:`~repro.core.cwl_app.CWLApp`,
+* dependency edges become ``DataFuture`` s, so Parsl's dataflow scheduler
+  interleaves steps exactly as it would for a native Parsl program,
+* ``scatter`` nodes over concrete arrays expand at submission time,
+* nested (non-scattered) subworkflow steps are flattened into the parent
+  graph by the IR — their ``ingress``/``egress`` nodes seed child inputs and
+  map child outputs at submission time, so the bridge now runs subworkflows
+  it previously rejected,
 * workflow outputs are returned as ``DataFuture`` s / values keyed by output id.
 
 Dynamic constructs whose value depends on *task results* (e.g. ``when`` guards
-referencing upstream outputs) are outside what can be decided at submission
-time and raise a clear error instead of silently misbehaving.
+referencing upstream outputs, or scattering over a future) are outside what
+can be decided at submission time and raise a clear error instead of silently
+misbehaving.  Scattering a sub-*workflow* step likewise stays unsupported.
 """
 
 from __future__ import annotations
@@ -28,9 +36,20 @@ from repro.core.cwl_app import CWLApp
 from repro.cwl.errors import UnsupportedRequirement, WorkflowException
 from repro.cwl.expressions.compiler import CompiledEvaluator
 from repro.cwl.expressions.evaluator import needs_expression_evaluation
-from repro.cwl.loader import load_document, load_document_cached
+from repro.cwl.graph import (
+    EGRESS,
+    INGRESS,
+    SCATTER,
+    STEP,
+    GraphNode,
+    WorkflowGraph,
+    build_graph,
+    merge_link_values,
+    seed_workflow_inputs,
+)
+from repro.cwl.loader import load_document
 from repro.cwl.scatter import build_scatter_jobs
-from repro.cwl.schema import CommandLineTool, Workflow, WorkflowStep
+from repro.cwl.schema import CommandLineTool, Process, Workflow, WorkflowStep
 from repro.cwl.validate import ensure_valid
 from repro.parsl.dataflow.dflow import DataFlowKernel
 from repro.parsl.dataflow.futures import AppFuture, DataFuture
@@ -55,6 +74,9 @@ class CWLWorkflowBridge:
             self.workflow = loaded
         if validate:
             ensure_valid(self.workflow)
+        #: The shared dataflow IR, compiled once at load time (the same graph
+        #: the WorkflowEngine schedules from).
+        self.graph: WorkflowGraph = build_graph(self.workflow)
         self.data_flow_kernel = data_flow_kernel
         #: Optional job observer (duck-typed ``job_started``/``job_finished``,
         #: see :class:`repro.api.events.EventRecorder`); notified when a step
@@ -67,36 +89,31 @@ class CWLWorkflowBridge:
     # -------------------------------------------------------------- submission
 
     def submit(self, job_order: Dict[str, Any]) -> Dict[str, Any]:
-        """Submit every step and return workflow outputs as futures/values."""
-        values: Dict[str, Any] = {}
-        for param in self.workflow.inputs:
-            if param.id in job_order:
-                values[param.id] = job_order[param.id]
-            elif param.has_default:
-                values[param.id] = param.default
-            elif param.type.is_optional:
-                values[param.id] = None
-            else:
-                raise WorkflowException(f"workflow input {param.id!r} is required")
+        """Submit every graph node and return workflow outputs as futures/values."""
+        values: Dict[str, Any] = seed_workflow_inputs(self.workflow, job_order,
+                                                      error=WorkflowException)
+        skipped_scopes: List[str] = []
 
-        remaining = list(self.workflow.steps)
-        submitted: Dict[str, AppFuture] = {}
-        # Steps are submitted in dependency order, but they execute concurrently:
-        # Parsl's DFK holds each task until its DataFuture inputs resolve.
-        while remaining:
-            progressed = False
-            for step in list(remaining):
-                if not self._sources_known(step, values):
-                    continue
-                self._submit_step(step, values, submitted)
-                remaining.remove(step)
-                progressed = True
-            if not progressed:
-                unresolved = {s.id: [src for si in s.in_ for src in si.source
-                                     if src not in values] for s in remaining}
+        def is_skipped(scope: str) -> bool:
+            return any(scope.startswith(skipped) for skipped in skipped_scopes)
+
+        for node_id in self.graph.topological_order():
+            node = self.graph.nodes[node_id]
+            if node.kind == EGRESS:
+                self._submit_egress(node, values, is_skipped(node.child_scope))
+                continue
+            if is_skipped(node.scope):
+                continue
+            if node.kind == STEP:
+                self._submit_step(node, values)
+            elif node.kind == SCATTER:
+                self._submit_scatter(node, values)
+            elif node.kind == INGRESS:
+                self._submit_ingress(node, values, skipped_scopes)
+            else:
                 raise WorkflowException(
-                    f"cannot order workflow steps; unresolved sources: {unresolved}"
-                )
+                    f"graph node {node.id!r} of kind {node.kind!r} cannot be "
+                    "submitted at load time")
 
         outputs: Dict[str, Any] = {}
         for output in self.workflow.workflow_outputs:
@@ -104,7 +121,7 @@ class CWLWorkflowBridge:
                 outputs[output.id] = None
                 continue
             resolved = [values.get(source) for source in output.output_source]
-            outputs[output.id] = resolved[0] if len(resolved) == 1 else resolved
+            outputs[output.id] = merge_link_values(resolved, output.link_merge)
         return outputs
 
     def run(self, job_order: Dict[str, Any]) -> Dict[str, Any]:
@@ -115,42 +132,21 @@ class CWLWorkflowBridge:
         finally:
             self._drain_observations()
 
-    # ----------------------------------------------------------------- plumbing
+    # ------------------------------------------------------------------- nodes
 
-    def _sources_known(self, step: WorkflowStep, values: Dict[str, Any]) -> bool:
-        return all(source in values for step_input in step.in_ for source in step_input.source)
-
-    def _submit_step(self, step: WorkflowStep, values: Dict[str, Any],
-                     submitted: Dict[str, AppFuture]) -> None:
-        app = self._app_for(step)
-        gathered = self._gather_inputs(step, values)
+    def _submit_step(self, node: GraphNode, values: Dict[str, Any]) -> None:
+        step = node.step
+        app = self._app_for(node)
+        gathered = self._gather_inputs(step, values, node.scope)
 
         if step.when is not None:
             condition = self._evaluate_static(step.when, gathered)
             if not condition:
                 for out_id in step.out:
-                    values[f"{step.id}/{out_id}"] = None
+                    values[f"{node.scope}{step.id}/{out_id}"] = None
                 return
 
-        if step.scatter:
-            concrete = {key: self._require_concrete(value, step.id, key)
-                        for key, value in gathered.items() if key in step.scatter}
-            merged = dict(gathered)
-            merged.update(concrete)
-            plan = build_scatter_jobs(merged, step.scatter, step.scatter_method)
-            per_output: Dict[str, List[Any]] = {out_id: [] for out_id in step.out}
-            for index, job in enumerate(plan.jobs):
-                future = self._observed_call(app, job, f"{step.id}[{index}]")
-                submitted[f"{step.id}[{index}]"] = future
-                named = getattr(future, "cwl_outputs", {})
-                for out_id in step.out:
-                    per_output[out_id].append(named.get(out_id, future))
-            for out_id in step.out:
-                values[f"{step.id}/{out_id}"] = per_output[out_id]
-            return
-
-        future = self._observed_call(app, gathered, step.id)
-        submitted[step.id] = future
+        future = self._observed_call(app, gathered, node.id)
         named = getattr(future, "cwl_outputs", {})
         for out_id in step.out:
             if out_id not in named:
@@ -159,7 +155,72 @@ class CWLWorkflowBridge:
                     f"time (predictable outputs: {sorted(named)}); the workflow bridge requires "
                     "literal or input-derived glob patterns"
                 )
-            values[f"{step.id}/{out_id}"] = named[out_id]
+            values[f"{node.scope}{step.id}/{out_id}"] = named[out_id]
+
+    def _submit_scatter(self, node: GraphNode, values: Dict[str, Any]) -> None:
+        step = node.step
+        app = self._app_for(node)
+        gathered = self._gather_inputs(step, values, node.scope)
+
+        if step.when is not None:
+            condition = self._evaluate_static(step.when, gathered)
+            if not condition:
+                for out_id in step.out:
+                    values[f"{node.scope}{step.id}/{out_id}"] = None
+                return
+
+        concrete = {key: self._require_concrete(value, step.id, key)
+                    for key, value in gathered.items() if key in step.scatter}
+        merged = dict(gathered)
+        merged.update(concrete)
+        plan = build_scatter_jobs(merged, step.scatter, step.scatter_method)
+        per_output: Dict[str, List[Any]] = {out_id: [] for out_id in step.out}
+        for index, job in enumerate(plan.jobs):
+            future = self._observed_call(app, job, f"{node.id}[{index}]")
+            named = getattr(future, "cwl_outputs", {})
+            for out_id in step.out:
+                per_output[out_id].append(named.get(out_id, future))
+        for out_id in step.out:
+            values[f"{node.scope}{step.id}/{out_id}"] = per_output[out_id]
+
+    def _submit_ingress(self, node: GraphNode, values: Dict[str, Any],
+                        skipped_scopes: List[str]) -> None:
+        """Enter a flattened subworkflow: evaluate ``when``, seed child inputs."""
+        step = node.step
+        gathered = self._gather_inputs(step, values, node.scope)
+        if step.when is not None and not self._evaluate_static(step.when, gathered):
+            skipped_scopes.append(node.child_scope)
+            return
+        seeded = seed_workflow_inputs(node.child, gathered, error=WorkflowException)
+        for key, value in seeded.items():
+            values[node.child_scope + key] = value
+
+    def _submit_egress(self, node: GraphNode, values: Dict[str, Any],
+                       skipped: bool) -> None:
+        """Leave a subworkflow: map child workflow outputs into the parent scope."""
+        step = node.step
+        if skipped:
+            for out_id in step.out:
+                values[node.child_scope + out_id] = None
+            return
+        child_outputs: Dict[str, Any] = {}
+        for output in node.child.workflow_outputs:
+            if not output.output_source:
+                child_outputs[output.id] = None
+                continue
+            resolved = [values.get(node.child_scope + source)
+                        for source in output.output_source]
+            child_outputs[output.id] = merge_link_values(resolved, output.link_merge)
+        for out_id in step.out:
+            if out_id not in child_outputs:
+                raise WorkflowException(
+                    f"step {step.id!r} did not produce declared output {out_id!r} "
+                    f"(produced {sorted(child_outputs)})"
+                )
+        for out_id, value in child_outputs.items():
+            values[node.child_scope + out_id] = value
+
+    # ----------------------------------------------------------------- plumbing
 
     def _observed_call(self, app: CWLApp, kwargs: Dict[str, Any], name: str) -> AppFuture:
         """Invoke ``app``, reporting the job start to :attr:`job_observer`.
@@ -191,31 +252,36 @@ class CWLWorkflowBridge:
             observer.job_finished(token, ok=exception is None,
                                   error=str(exception) if exception else None)
 
-    def _app_for(self, step: WorkflowStep) -> CWLApp:
-        if step.id in self._apps:
-            return self._apps[step.id]
-        process = step.embedded_process
+    def _app_for(self, node: GraphNode) -> CWLApp:
+        if node.id in self._apps:
+            return self._apps[node.id]
+        step = node.step
+        process: Optional[Process] = step.embedded_process
         if process is None and isinstance(step.run, str):
-            base = os.path.dirname(self.workflow.source_path or "")
-            path = step.run if os.path.isabs(step.run) else os.path.join(base, step.run)
-            process = load_document_cached(path)
+            from repro.cwl.graph import default_resolver
+
+            process = default_resolver(step, node.workflow)
+        elif process is None and isinstance(step.run, Process):
+            process = step.run
         if isinstance(process, Workflow):
             raise UnsupportedRequirement(
-                f"step {step.id!r} runs a nested Workflow; the Parsl workflow bridge currently "
-                "supports CommandLineTool steps (use ReferenceRunner for nested workflows)"
+                f"step {step.id!r} scatters over a nested Workflow; the Parsl workflow "
+                "bridge expands scatter at submission time over CommandLineTool steps only "
+                "(use ReferenceRunner for scattered subworkflows)"
             )
         if not isinstance(process, CommandLineTool):
             raise WorkflowException(f"step {step.id!r} does not resolve to a CommandLineTool")
         app = CWLApp(process, data_flow_kernel=self.data_flow_kernel)
-        self._apps[step.id] = app
+        self._apps[node.id] = app
         return app
 
-    def _gather_inputs(self, step: WorkflowStep, values: Dict[str, Any]) -> Dict[str, Any]:
+    def _gather_inputs(self, step: WorkflowStep, values: Dict[str, Any],
+                       scope: str) -> Dict[str, Any]:
         gathered: Dict[str, Any] = {}
         for step_input in step.in_:
             if step_input.source:
-                sourced = [values[source] for source in step_input.source]
-                value = sourced[0] if len(sourced) == 1 else sourced
+                sourced = [values[scope + source] for source in step_input.source]
+                value = merge_link_values(sourced, step_input.link_merge)
             else:
                 value = None
             if value is None and step_input.has_default:

@@ -16,8 +16,13 @@ machinery the paper's integration and evaluation need:
   job order (positions, prefixes, arrays, stdin/stdout/stderr redirection).
 * :mod:`repro.cwl.outputs` — output collection (glob, outputEval, checksums).
 * :mod:`repro.cwl.job` — single-tool job execution.
-* :mod:`repro.cwl.workflow` — the workflow engine (dataflow scheduling, scatter,
-  conditional ``when``, subworkflows).
+* :mod:`repro.cwl.graph` — the explicit dataflow IR: a ``WorkflowGraph`` of
+  step/scatter/ingress/egress nodes with precomputed edges, indegrees and
+  critical-path priorities, shared by every execution path.
+* :mod:`repro.cwl.scheduler` — the event-driven dependency-counting scheduler
+  (one bounded worker pool, priority dispatch, runtime scatter expansion).
+* :mod:`repro.cwl.workflow` — the workflow engine (graph-backed dataflow
+  scheduling, scatter, conditional ``when``, flattened subworkflows).
 * :mod:`repro.cwl.runners` — the cwltool-like reference runner and the
   Toil-like runner used as evaluation baselines.
 """

@@ -61,6 +61,10 @@ class ToilStyleRunner(BaseRunner):
             # cwltool-style per-evaluation cost model instead.
             runtime_context = runtime_context.child(compile_expressions=True)
         super().__init__(runtime_context=runtime_context, validate=validate)
+        #: True when this runner created a throwaway store itself; such stores
+        #: are destroyed on :meth:`close` by default so sessions never leak
+        #: ``toil-jobstore-*`` temp directories between runs.
+        self._owns_job_store = job_store_dir is None
         self.job_store = FileJobStore(job_store_dir or tempfile.mkdtemp(prefix="toil-jobstore-"))
         self.batch_system = batch_system or SingleMachineBatchSystem(max_cores=max_workers)
         self.parallel = parallel
@@ -144,9 +148,18 @@ class ToilStyleRunner(BaseRunner):
 
         visit(outputs)
 
-    def close(self, destroy_job_store: bool = False) -> None:
-        """Shut down the batch system and optionally remove the job store."""
+    def close(self, destroy_job_store: Optional[bool] = None) -> None:
+        """Shut down the batch system and release the job store.
+
+        ``destroy_job_store=None`` (the default) removes the store only when
+        this runner created it as a temp directory; pass ``True``/``False`` to
+        force either way (a caller-supplied ``job_store_dir`` is theirs to
+        keep unless they ask for destruction).  Idempotent: closing twice is
+        safe, so engine/session teardown is deterministic.
+        """
         self.batch_system.shutdown()
+        if destroy_job_store is None:
+            destroy_job_store = self._owns_job_store
         if destroy_job_store:
             self.job_store.destroy()
 

@@ -1,0 +1,186 @@
+"""Event-driven scheduler for :class:`~repro.cwl.graph.WorkflowGraph` nodes.
+
+Replaces the polling loops the workflow engine used to run (re-scanning every
+pending step under a lock, O(V²) in the step count) and the nested
+per-scatter-step thread pools.  Scheduling is dependency-counting: every node
+carries its predecessor count; a completion event decrements each successor's
+count and enqueues the ones that hit zero into a priority heap (critical-path
+priority first, insertion order as the tie-break).  Work runs on **one**
+bounded pool — ``max_workers`` is a global cap on live worker threads, however
+deeply scatter and subworkflows nest — and in serial mode the same bookkeeping
+runs inline with no threads at all.
+
+Dynamic expansion: a node's executor may return an :class:`Expansion` —
+freshly created nodes (scatter shards, shard subgraphs, a gather node) that
+join the running schedule.  ``retarget`` moves the expanding node's successors
+onto the expansion's terminal node (the gather), so downstream consumers wait
+for assembled scatter outputs while the shards themselves interleave freely
+with every other ready node in the shared pool.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import heapq
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.cwl.errors import WorkflowException
+from repro.cwl.graph import GraphNode, WorkflowGraph
+
+#: A node executor: runs one node, optionally returning new nodes to schedule.
+NodeExecutor = Callable[[GraphNode], Optional["Expansion"]]
+
+
+@dataclass
+class Expansion:
+    """Nodes created at runtime by executing a node (scatter expansion)."""
+
+    #: The new nodes, in creation order.
+    nodes: List[GraphNode] = field(default_factory=list)
+    #: node id -> predecessor node ids (all within this expansion).
+    preds: Dict[str, List[str]] = field(default_factory=dict)
+    #: Successors of the expanding node are moved onto this node (the gather),
+    #: so downstream work waits for assembled outputs, not the scatter node.
+    retarget: Optional[str] = None
+
+
+class GraphScheduler:
+    """Run every node of a graph, respecting dependencies and ``max_workers``."""
+
+    def __init__(self, graph: WorkflowGraph, execute: NodeExecutor,
+                 parallel: bool = False, max_workers: int = 8) -> None:
+        self.graph = graph
+        self.execute = execute
+        self.parallel = parallel
+        self.max_workers = max(1, int(max_workers))
+        self._lock = threading.Lock()
+        self._event = threading.Condition(self._lock)
+        self._nodes: Dict[str, GraphNode] = dict(graph.nodes)
+        self._indegree: Dict[str, int] = dict(graph.indegree)
+        self._successors: Dict[str, List[str]] = {nid: list(succs)
+                                                  for nid, succs in graph.successors.items()}
+        self._ready: List = []          # heap of (-priority, seq, node_id)
+        self._seq = itertools.count()
+        self._pending = len(self._nodes)
+        self._completed: set = set()
+        self._inflight = 0
+        self._failure: Optional[BaseException] = None
+        self._pool: Optional[cf.ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------------ public
+
+    def run(self) -> None:
+        """Execute all nodes; raises the first node failure (if any)."""
+        for node_id in self.graph.topological_order():
+            if self._indegree[node_id] == 0:
+                self._push(node_id)
+        if self.parallel:
+            self._run_parallel()
+        else:
+            self._run_serial()
+
+    # ------------------------------------------------------------------ serial
+
+    def _run_serial(self) -> None:
+        while self._ready:
+            node = self._nodes[self._pop()]
+            expansion = self.execute(node)
+            self._complete(node.id, expansion)
+        self._check_drained()
+
+    # ---------------------------------------------------------------- parallel
+
+    def _run_parallel(self) -> None:
+        self._pool = cf.ThreadPoolExecutor(max_workers=self.max_workers,
+                                           thread_name_prefix="cwl-dag")
+        try:
+            with self._lock:
+                self._dispatch()
+                while self._pending and self._failure is None:
+                    if self._inflight == 0 and not self._ready:
+                        break  # stalled; reported by _check_drained below
+                    self._event.wait()
+            # Let in-flight workers finish before surfacing the outcome.
+        finally:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._failure is not None:
+            raise self._failure
+        self._check_drained()
+
+    def _worker(self, node_id: str) -> None:
+        node = self._nodes[node_id]
+        expansion: Optional[Expansion] = None
+        failure: Optional[BaseException] = None
+        try:
+            expansion = self.execute(node)
+        except BaseException as exc:  # noqa: BLE001 — re-raised by run()
+            failure = exc
+        with self._lock:
+            self._inflight -= 1
+            if failure is not None:
+                if self._failure is None:
+                    self._failure = failure
+            elif self._failure is None:
+                self._complete(node_id, expansion)
+                self._dispatch()
+            self._event.notify_all()
+
+    def _dispatch(self) -> None:
+        """Submit ready nodes, highest priority first, up to the worker cap."""
+        while self._ready and self._inflight < self.max_workers and self._failure is None:
+            node_id = self._pop()
+            self._inflight += 1
+            self._pool.submit(self._worker, node_id)
+
+    # ------------------------------------------------------------- bookkeeping
+
+    def _push(self, node_id: str) -> None:
+        heapq.heappush(self._ready, (-self._nodes[node_id].priority,
+                                     next(self._seq), node_id))
+
+    def _pop(self) -> str:
+        return heapq.heappop(self._ready)[2]
+
+    def _complete(self, node_id: str, expansion: Optional[Expansion]) -> None:
+        """Record a completion: integrate any expansion, wake successors."""
+        if expansion is not None and expansion.nodes:
+            self._apply_expansion(node_id, expansion)
+        for successor in self._successors.get(node_id, ()):
+            self._indegree[successor] -= 1
+            if self._indegree[successor] == 0:
+                self._push(successor)
+        self._completed.add(node_id)
+        self._pending -= 1
+
+    def _apply_expansion(self, node_id: str, expansion: Expansion) -> None:
+        base_priority = self._nodes[node_id].priority
+        for node in expansion.nodes:
+            if node.id in self._nodes:
+                raise WorkflowException(f"duplicate dynamic node id {node.id!r}")
+            # Dynamic nodes inherit the expanding node's critical-path rank.
+            node.priority = base_priority
+            self._nodes[node.id] = node
+            self._successors[node.id] = []
+            self._indegree[node.id] = 0
+        for new_id, preds in expansion.preds.items():
+            self._indegree[new_id] = len(preds)
+            for pred in preds:
+                self._successors[pred].append(new_id)
+        self._pending += len(expansion.nodes)
+        if expansion.retarget is not None:
+            moved = self._successors.get(node_id, [])
+            self._successors[expansion.retarget].extend(moved)
+            self._successors[node_id] = []
+        for node in expansion.nodes:
+            if self._indegree[node.id] == 0:
+                self._push(node.id)
+
+    def _check_drained(self) -> None:
+        if self._pending:
+            remaining = sorted(set(self._nodes) - self._completed)
+            raise WorkflowException(
+                f"workflow deadlock: no node can run; remaining nodes: {remaining}")

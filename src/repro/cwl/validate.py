@@ -14,7 +14,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import List, Set
 
 from repro.cwl.errors import ValidationException
 from repro.cwl.schema import CommandLineTool, ExpressionTool, Process, Workflow
@@ -116,8 +116,6 @@ def _validate_workflow(workflow: Workflow) -> List[str]:
         for out_id in step.out:
             step_output_refs.add(f"{step.id}/{out_id}")
 
-    dependency_graph: Dict[str, Set[str]] = {step.id: set() for step in workflow.steps}
-
     for step in workflow.steps:
         declared_step_inputs = {si.id for si in step.in_}
         for scatter_key in step.scatter:
@@ -136,8 +134,6 @@ def _validate_workflow(workflow: Workflow) -> List[str]:
                             f"step {step.id!r} input {step_input.id!r} references unknown "
                             f"step output {source!r}"
                         )
-                    else:
-                        dependency_graph[step.id].add(source.split("/", 1)[0])
                 elif source not in input_ids:
                     problems.append(
                         f"step {step.id!r} input {step_input.id!r} references unknown "
@@ -172,29 +168,13 @@ def _validate_workflow(workflow: Workflow) -> List[str]:
                     f"workflow output {output.id!r} references unknown workflow input {source!r}"
                 )
 
-    problems.extend(_detect_cycles(dependency_graph))
-    return problems
+    # Cycle detection is shared with the dataflow IR (repro.cwl.graph), so
+    # `ensure_valid` names the cyclic steps in dependency order — the same
+    # diagnosis the graph build raises — instead of deferring to a runtime
+    # "workflow deadlock" error.
+    from repro.cwl.graph import find_step_cycle
 
-
-def _detect_cycles(graph: Dict[str, Set[str]]) -> List[str]:
-    """Report any dependency cycles among workflow steps (DFS three-colour)."""
-    WHITE, GREY, BLACK = 0, 1, 2
-    colour = {node: WHITE for node in graph}
-    problems: List[str] = []
-
-    def visit(node: str, stack: List[str]) -> None:
-        colour[node] = GREY
-        for neighbour in graph.get(node, ()):  # neighbour = dependency
-            if neighbour not in colour:
-                continue
-            if colour[neighbour] == GREY:
-                cycle = stack[stack.index(neighbour):] + [neighbour] if neighbour in stack else [node, neighbour]
-                problems.append("dependency cycle between steps: " + " -> ".join(cycle))
-            elif colour[neighbour] == WHITE:
-                visit(neighbour, stack + [neighbour])
-        colour[node] = BLACK
-
-    for node in graph:
-        if colour[node] == WHITE:
-            visit(node, [node])
+    cycle = find_step_cycle(workflow)
+    if cycle:
+        problems.append("dependency cycle between steps: " + " -> ".join(cycle))
     return problems

@@ -1,10 +1,19 @@
 """The workflow execution engine.
 
 :class:`WorkflowEngine` executes a loaded :class:`~repro.cwl.schema.Workflow`
-against a job order.  Execution is dataflow-driven: a step runs as soon as all
-of its sources are available, regardless of the order steps appear in the
-document (CWL semantics, and the property the paper leans on when comparing
-with Parsl's implicit DAG).
+against a job order.  Execution is dataflow-driven — a step runs as soon as
+all of its sources are available (CWL semantics, and the property the paper
+leans on when comparing with Parsl's implicit DAG) — and since PR 3 the
+dataflow is *explicit*: the workflow is compiled once into a
+:class:`~repro.cwl.graph.WorkflowGraph` (one node per step, nested
+subworkflows flattened into the parent graph, precomputed edges/indegrees/
+critical-path priorities) and executed by the event-driven
+:class:`~repro.cwl.scheduler.GraphScheduler`.  Completion events wake exactly
+the steps they unblock; there is no ready-poll loop.  Scatter steps expand at
+runtime into per-shard nodes plus a gather node that all share the scheduler's
+single bounded worker pool, so scatter inside parallel steps (or inside
+subworkflows) never multiplies threads: with ``parallel=True`` the total
+number of live worker threads never exceeds ``max_workers``.
 
 The engine is runner-agnostic: the actual execution of a step's process is
 delegated to a ``process_runner`` callable supplied by the runner
@@ -17,22 +26,38 @@ object.  The engine handles:
 * ``valueFrom`` on step inputs (``StepInputExpressionRequirement``),
 * conditional execution via ``when``,
 * ``scatter`` with all three scatter methods,
-* subworkflows (recursing into nested Workflow processes),
-* optional parallel execution of independent steps and scatter jobs.
+* subworkflows (flattened into the parent graph; scattered subworkflows
+  expand per-shard subgraphs),
+* optional parallel execution on one shared bounded worker pool.
 """
 
 from __future__ import annotations
 
-import concurrent.futures as cf
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set
 
 from repro.cwl.errors import ValidationException, WorkflowException
 from repro.cwl.expressions.evaluator import ExpressionEvaluator
+from repro.cwl.graph import (
+    EGRESS,
+    GATHER,
+    INGRESS,
+    SCATTER,
+    SHARD,
+    STEP,
+    GraphBuilder,
+    GraphNode,
+    WorkflowGraph,
+    build_graph,
+    merge_link_values,
+    resolve_run_reference,
+    seed_workflow_inputs,
+)
 from repro.cwl.loader import load_document_cached
 from repro.cwl.runtime import RuntimeContext
 from repro.cwl.scatter import build_scatter_jobs, nest_outputs
+from repro.cwl.scheduler import Expansion, GraphScheduler
 from repro.cwl.schema import Process, Workflow, WorkflowStep
 from repro.cwl.types import coerce_file_inputs
 from repro.utils.logging_config import get_logger
@@ -55,7 +80,7 @@ class StepExecutionRecord:
 
 
 class WorkflowEngine:
-    """Dataflow scheduler for one workflow instance."""
+    """Graph-backed dataflow scheduler for one workflow instance."""
 
     def __init__(
         self,
@@ -77,7 +102,15 @@ class WorkflowEngine:
         #: Lazily resolved ``run:`` processes, pinned per engine instance so a
         #: single workflow run sees one snapshot of each tool even if the file
         #: changes mid-run (see :meth:`_resolve_process`).
-        self._resolved_processes: Dict[str, Process] = {}
+        self._resolved_processes: Dict[int, Process] = {}
+        #: The workflow's dataflow IR, compiled once per engine instance.
+        self._graph: Optional[WorkflowGraph] = None
+        #: Scopes whose subgraph was skipped by a false ``when`` guard.
+        self._skipped_scopes: List[str] = []
+        #: Egress nodes created by scatter expansion: missing declared outputs
+        #: gather as ``None`` (matching the historical per-shard ``.get``)
+        #: instead of raising like a plain subworkflow step does.
+        self._lenient_egress: Set[str] = set()
 
     def _step_evaluator(self):
         """Evaluator for step-level ``when`` / ``valueFrom`` expressions.
@@ -100,144 +133,85 @@ class WorkflowEngine:
 
     # ------------------------------------------------------------------ public
 
+    @property
+    def graph(self) -> WorkflowGraph:
+        """The workflow's :class:`WorkflowGraph` IR (built on first access)."""
+        if self._graph is None:
+            self._graph = build_graph(self.workflow, resolve=self._resolve_process)
+        return self._graph
+
     def run(self, job_order: Dict[str, Any]) -> Dict[str, Any]:
         """Execute the workflow and return its output object."""
         job_order = {k: coerce_file_inputs(v) for k, v in job_order.items()}
+        self._skipped_scopes = []
+        self._lenient_egress = set()
         self._seed_inputs(job_order)
+        scheduler = GraphScheduler(self.graph, self._execute_node,
+                                   parallel=self.parallel,
+                                   max_workers=self.max_workers)
+        scheduler.run()
+        return self._collect_outputs(self.workflow, scope="")
 
-        pending: Set[str] = {step.id for step in self.workflow.steps}
-        completed: Set[str] = set()
-
-        if self.parallel:
-            self._run_parallel(pending, completed)
-        else:
-            self._run_serial(pending, completed)
-
-        return self._collect_workflow_outputs()
-
-    # ------------------------------------------------------------- scheduling
-
-    def _run_serial(self, pending: Set[str], completed: Set[str]) -> None:
-        while pending:
-            ready = [step_id for step_id in pending if self._step_ready(step_id)]
-            if not ready:
-                unresolved = {s: self._missing_sources(s) for s in pending}
-                raise WorkflowException(
-                    f"workflow deadlock: no step can run; unresolved sources: {unresolved}"
-                )
-            for step_id in ready:
-                self._execute_step(self.workflow.get_step(step_id))
-                pending.discard(step_id)
-                completed.add(step_id)
-
-    def _run_parallel(self, pending: Set[str], completed: Set[str]) -> None:
-        with cf.ThreadPoolExecutor(max_workers=self.max_workers,
-                                   thread_name_prefix="cwl-workflow") as pool:
-            running: Dict[cf.Future, str] = {}
-            while pending or running:
-                ready = [step_id for step_id in list(pending) if self._step_ready(step_id)]
-                for step_id in ready:
-                    pending.discard(step_id)
-                    future = pool.submit(self._execute_step, self.workflow.get_step(step_id))
-                    running[future] = step_id
-                if not running:
-                    if pending:
-                        unresolved = {s: self._missing_sources(s) for s in pending}
-                        raise WorkflowException(
-                            f"workflow deadlock: no step can run; unresolved sources: {unresolved}"
-                        )
-                    break
-                done, _ = cf.wait(list(running), return_when=cf.FIRST_COMPLETED)
-                for future in done:
-                    step_id = running.pop(future)
-                    future.result()  # re-raise failures
-                    completed.add(step_id)
-
-    # ------------------------------------------------------------- data store
+    # --------------------------------------------------------------- data store
 
     def _seed_inputs(self, job_order: Dict[str, Any]) -> None:
+        values = seed_workflow_inputs(self.workflow, job_order)
         with self._values_lock:
-            for param in self.workflow.inputs:
-                if param.id in job_order:
-                    self._values[param.id] = job_order[param.id]
-                elif param.has_default:
-                    self._values[param.id] = param.default
-                elif param.type.is_optional:
-                    self._values[param.id] = None
-                else:
-                    raise ValidationException(
-                        f"workflow input {param.id!r} is required but was not provided"
-                    )
+            self._values.update(values)
 
     def _store(self, key: str, value: Any) -> None:
         with self._values_lock:
             self._values[key] = value
 
-    def _available(self, key: str) -> bool:
-        with self._values_lock:
-            return key in self._values
-
     def _get(self, key: str) -> Any:
         with self._values_lock:
             return self._values[key]
 
-    def _step_ready(self, step_id: str) -> bool:
-        step = self.workflow.get_step(step_id)
-        if step is None:
-            return False
-        for step_input in step.in_:
-            for source in step_input.source:
-                if not self._available(source):
-                    return False
-        return True
+    def _get_or_none(self, key: str) -> Any:
+        with self._values_lock:
+            return self._values.get(key)
 
-    def _missing_sources(self, step_id: str) -> List[str]:
-        step = self.workflow.get_step(step_id)
-        missing: List[str] = []
-        if step is None:
-            return missing
-        for step_input in step.in_:
-            for source in step_input.source:
-                if not self._available(source):
-                    missing.append(source)
-        return missing
+    def _available(self, key: str) -> bool:
+        with self._values_lock:
+            return key in self._values
 
-    # --------------------------------------------------------------- execution
+    # ------------------------------------------------------------ node executor
 
-    def _execute_step(self, step: Optional[WorkflowStep]) -> None:
-        if step is None:
-            raise WorkflowException("attempted to execute an unknown step")
-        logger.debug("executing step %s", step.id)
-        record = StepExecutionRecord(step_id=step.id)
-        self.records[step.id] = record
+    def _is_skipped(self, scope: str) -> bool:
+        return any(scope.startswith(skipped) for skipped in self._skipped_scopes)
 
-        process = self._resolve_process(step)
-        step_inputs = self._gather_step_inputs(step)
+    def _execute_node(self, node: GraphNode) -> Optional[Expansion]:
+        if node.kind == EGRESS:
+            return self._execute_egress(node)
+        if self._is_skipped(node.scope):
+            return None
+        if node.kind == STEP:
+            return self._execute_step_node(node)
+        if node.kind == SCATTER:
+            return self._execute_scatter_node(node)
+        if node.kind == SHARD:
+            return self._execute_shard_node(node)
+        if node.kind == GATHER:
+            return self._execute_gather_node(node)
+        if node.kind == INGRESS:
+            return self._execute_ingress(node)
+        raise WorkflowException(f"unknown graph node kind {node.kind!r}")
 
-        # Conditional execution (`when`).
-        if step.when is not None:
-            evaluator = self._step_evaluator()
-            condition = evaluator.evaluate(step.when, {"inputs": step_inputs, "self": None,
-                                                       "runtime": {}})
-            if not condition:
-                record.skipped = True
-                for out_id in step.out:
-                    self._store(f"{step.id}/{out_id}", None)
-                return
+    # ------------------------------------------------------------- plain steps
 
-        if step.scatter:
-            plan = build_scatter_jobs(step_inputs, step.scatter, step.scatter_method)
-            record.scattered = True
-            record.job_count = len(plan.jobs)
-            results = self._run_scatter_jobs(process, plan.jobs)
+    def _execute_step_node(self, node: GraphNode) -> None:
+        step = node.step
+        logger.debug("executing step %s", node.id)
+        record = StepExecutionRecord(step_id=node.id)
+        self.records[node.id] = record
+
+        process = self._resolve_process(step, node.workflow)
+        step_inputs = self._gather_step_inputs(step, node.scope)
+
+        if step.when is not None and not self._evaluate_when(step, step_inputs):
+            record.skipped = True
             for out_id in step.out:
-                flat = [result.get(out_id) for result in results]
-                if step.scatter_method == "nested_crossproduct":
-                    value = nest_outputs(flat, plan.shape)
-                else:
-                    value = flat
-                self._store(f"{step.id}/{out_id}", value)
-            record.outputs = {out_id: self._get(f"{step.id}/{out_id}") for out_id in step.out}
+                self._store(f"{node.scope}{step.id}/{out_id}", None)
             return
 
         outputs = self.process_runner(process, step_inputs, self.runtime_context)
@@ -247,57 +221,171 @@ class WorkflowEngine:
                     f"step {step.id!r} did not produce declared output {out_id!r} "
                     f"(produced {sorted(outputs)})"
                 )
-            self._store(f"{step.id}/{out_id}", outputs[out_id])
+            self._store(f"{node.scope}{step.id}/{out_id}", outputs[out_id])
         record.outputs = {out_id: outputs[out_id] for out_id in step.out}
 
-    def _run_scatter_jobs(self, process: Process, jobs: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
-        if not jobs:
-            return []
-        if not self.parallel or len(jobs) == 1:
-            return [self.process_runner(process, job, self.runtime_context) for job in jobs]
-        with cf.ThreadPoolExecutor(max_workers=self.max_workers,
-                                   thread_name_prefix="cwl-scatter") as pool:
-            futures = [pool.submit(self.process_runner, process, job, self.runtime_context)
-                       for job in jobs]
-            return [future.result() for future in futures]
+    def _evaluate_when(self, step: WorkflowStep, step_inputs: Dict[str, Any]) -> bool:
+        evaluator = self._step_evaluator()
+        return bool(evaluator.evaluate(step.when, {"inputs": step_inputs, "self": None,
+                                                   "runtime": {}}))
 
-    def _resolve_process(self, step: WorkflowStep) -> Process:
+    # ----------------------------------------------------------------- scatter
+
+    def _execute_scatter_node(self, node: GraphNode) -> Optional[Expansion]:
+        step = node.step
+        record = StepExecutionRecord(step_id=node.id, scattered=True)
+        self.records[node.id] = record
+
+        process = self._resolve_process(step, node.workflow)
+        step_inputs = self._gather_step_inputs(step, node.scope)
+
+        if step.when is not None and not self._evaluate_when(step, step_inputs):
+            record.skipped = True
+            record.scattered = False
+            record.job_count = 1
+            for out_id in step.out:
+                self._store(f"{node.scope}{step.id}/{out_id}", None)
+            return None
+
+        plan = build_scatter_jobs(step_inputs, step.scatter, step.scatter_method)
+        record.job_count = len(plan.jobs)
+        return self._expand_scatter(node, process, plan)
+
+    def _expand_scatter(self, node: GraphNode, process: Process, plan) -> Expansion:
+        """Turn a scattered step into shard nodes plus a gather node.
+
+        Tool shards become ``shard`` nodes carrying their job order; workflow
+        shards become flattened per-shard subgraphs terminated by an egress
+        node.  Every shard joins the scheduler's single bounded pool — there
+        is no per-step scatter pool — and downstream consumers are retargeted
+        onto the gather node, which re-assembles the array outputs.
+        """
+        builder = GraphBuilder(resolve=self._resolve_process)
+        terminals: List[str] = []
+        for index, job in enumerate(plan.jobs):
+            shard_id = f"{node.id}[{index}]"
+            if isinstance(process, Workflow):
+                shard_scope = f"{shard_id}/"
+                seeded = seed_workflow_inputs(
+                    process, {k: coerce_file_inputs(v) for k, v in job.items()})
+                for key, value in seeded.items():
+                    self._store(shard_scope + key, value)
+                egress_id = builder.add_subworkflow_instance(
+                    node.step, process, shard_scope, entry=None)
+                self._lenient_egress.add(egress_id)
+                terminals.append(egress_id)
+            else:
+                builder.add_node(
+                    GraphNode(id=shard_id, kind=SHARD, step=node.step,
+                              workflow=node.workflow, scope=node.scope,
+                              payload=(process, job)),
+                    preds=[])
+                terminals.append(shard_id)
+        gather_id = f"{node.id}@gather"
+        builder.add_node(
+            GraphNode(id=gather_id, kind=GATHER, step=node.step, workflow=node.workflow,
+                      scope=node.scope, payload=plan),
+            preds=terminals)
+        return Expansion(nodes=list(builder.nodes.values()), preds=builder.preds,
+                         retarget=gather_id)
+
+    def _execute_shard_node(self, node: GraphNode) -> None:
+        process, job = node.payload
+        outputs = self.process_runner(process, job, self.runtime_context)
+        for out_id in node.step.out:
+            self._store(f"{node.id}/{out_id}", outputs.get(out_id))
+
+    def _execute_gather_node(self, node: GraphNode) -> None:
+        step = node.step
+        plan = node.payload
+        base_id = node.record_id
+        record = self.records[base_id]
+        for out_id in step.out:
+            flat = [self._get_or_none(f"{base_id}[{index}]/{out_id}")
+                    for index in range(len(plan.jobs))]
+            if step.scatter_method == "nested_crossproduct":
+                value = nest_outputs(flat, plan.shape)
+            else:
+                value = flat
+            self._store(f"{node.scope}{step.id}/{out_id}", value)
+        record.outputs = {out_id: self._get(f"{node.scope}{step.id}/{out_id}")
+                          for out_id in step.out}
+
+    # ------------------------------------------------------------ subworkflows
+
+    def _execute_ingress(self, node: GraphNode) -> None:
+        """Enter a flattened subworkflow: evaluate ``when``, seed child inputs."""
+        step = node.step
+        logger.debug("entering subworkflow %s", node.id)
+        step_inputs = self._gather_step_inputs(step, node.scope)
+
+        if step.when is not None and not self._evaluate_when(step, step_inputs):
+            self._skipped_scopes.append(node.child_scope)
+            return
+
+        seeded = seed_workflow_inputs(
+            node.child, {k: coerce_file_inputs(v) for k, v in step_inputs.items()})
+        for key, value in seeded.items():
+            self._store(node.child_scope + key, value)
+
+    def _execute_egress(self, node: GraphNode) -> None:
+        """Leave a subworkflow instance: map child outputs into the parent scope."""
+        step = node.step
+        record_id = node.record_id
+        if self._is_skipped(node.child_scope):
+            record = StepExecutionRecord(step_id=record_id, skipped=True)
+            self.records[record_id] = record
+            for out_id in step.out:
+                self._store(node.child_scope + out_id, None)
+            return
+
+        child_outputs = self._collect_outputs(node.child, node.child_scope)
+        strict = node.id not in self._lenient_egress
+        record = StepExecutionRecord(step_id=record_id)
+        self.records[record_id] = record
+        for out_id in step.out:
+            if out_id not in child_outputs:
+                if strict:
+                    raise WorkflowException(
+                        f"step {step.id!r} did not produce declared output {out_id!r} "
+                        f"(produced {sorted(child_outputs)})"
+                    )
+                child_outputs[out_id] = None
+        for out_id, value in child_outputs.items():
+            self._store(node.child_scope + out_id, value)
+        record.outputs = {out_id: child_outputs.get(out_id) for out_id in step.out}
+
+    # ---------------------------------------------------------------- resolve
+
+    def _resolve_process(self, step: WorkflowStep,
+                         workflow: Optional[Workflow] = None) -> Process:
         if step.embedded_process is not None:
             return step.embedded_process
         if isinstance(step.run, str):
-            resolved = self._resolved_processes.get(step.id)
+            resolved = self._resolved_processes.get(id(step))
             if resolved is not None:
                 return resolved
-            base_dir = None
-            if self.workflow.source_path:
-                import os
-
-                base_dir = os.path.dirname(self.workflow.source_path)
+            source_path = (workflow or self.workflow).source_path
             # Pinned on this engine instance (snapshot per run), NOT on the
             # step object: the enclosing workflow may live in the loader's
             # document cache, whose dependency stamps were computed at parse
             # time — pinning there would outlive the child's own mtime check.
-            process = load_document_cached(step.run if base_dir is None else
-                                           step.run if step.run.startswith("/") else
-                                           f"{base_dir}/{step.run}")
-            self._resolved_processes[step.id] = process
+            process = load_document_cached(resolve_run_reference(step.run, source_path))
+            self._resolved_processes[id(step)] = process
             return process
+        if isinstance(step.run, Process):
+            return step.run
         raise WorkflowException(f"step {step.id!r} has an unresolvable run reference {step.run!r}")
 
     # ------------------------------------------------------------- step inputs
 
-    def _gather_step_inputs(self, step: WorkflowStep) -> Dict[str, Any]:
+    def _gather_step_inputs(self, step: WorkflowStep, scope: str = "") -> Dict[str, Any]:
         gathered: Dict[str, Any] = {}
         for step_input in step.in_:
             if step_input.source:
-                values = [self._get(source) for source in step_input.source]
-                if len(values) == 1:
-                    value = values[0]
-                elif step_input.link_merge == "merge_flattened":
-                    value = [item for sub in values
-                             for item in (sub if isinstance(sub, list) else [sub])]
-                else:  # merge_nested
-                    value = values
+                value = merge_link_values(
+                    [self._get(scope + source) for source in step_input.source],
+                    step_input.link_merge)
             else:
                 value = None
             if value is None and step_input.has_default:
@@ -320,24 +408,19 @@ class WorkflowEngine:
 
     # --------------------------------------------------------- workflow outputs
 
-    def _collect_workflow_outputs(self) -> Dict[str, Any]:
+    def _collect_outputs(self, workflow: Workflow, scope: str) -> Dict[str, Any]:
+        """Collect a (sub)workflow's outputs from the value store."""
         outputs: Dict[str, Any] = {}
-        for output in self.workflow.workflow_outputs:
+        for output in workflow.workflow_outputs:
             if not output.output_source:
                 outputs[output.id] = None
                 continue
             values = []
             for source in output.output_source:
-                if not self._available(source):
+                if not self._available(scope + source):
                     raise WorkflowException(
                         f"workflow output {output.id!r} source {source!r} was never produced"
                     )
-                values.append(self._get(source))
-            if len(values) == 1:
-                outputs[output.id] = values[0]
-            elif output.link_merge == "merge_flattened":
-                outputs[output.id] = [item for sub in values
-                                      for item in (sub if isinstance(sub, list) else [sub])]
-            else:
-                outputs[output.id] = values
+                values.append(self._get(scope + source))
+            outputs[output.id] = merge_link_values(values, output.link_merge)
         return outputs

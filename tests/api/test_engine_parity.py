@@ -99,6 +99,93 @@ def test_toil_compiled_matches_toil_uncompiled(run_engine, cwl_dir, tmp_path_fac
         normalise(uncompiled.outputs["output"])["contents"]
 
 
+#: A tool whose output file name derives from an input, so every engine —
+#: including the submission-time Parsl bridge — can predict and collect it.
+WRITE_TOOL = {
+    "class": "CommandLineTool",
+    "baseCommand": ["python3", "-c",
+                    "import sys; open(sys.argv[1], 'w').write(sys.argv[2].upper())"],
+    "inputs": {
+        "go": {"type": "boolean"},
+        "name": {"type": "string", "inputBinding": {"position": 1}},
+        "word": {"type": "string", "inputBinding": {"position": 2}},
+    },
+    "outputs": {"out": {"type": "File", "outputBinding": {"glob": "$(inputs.name)"}}},
+}
+
+
+def guarded_scatter_workflow():
+    return {
+        "cwlVersion": "v1.2", "class": "Workflow",
+        "requirements": [{"class": "ScatterFeatureRequirement"}],
+        "inputs": {"go": "boolean", "names": "string[]", "words": "string[]"},
+        "outputs": {"files": {"type": "Any", "outputSource": "write/out"}},
+        "steps": {
+            "write": {"run": dict(WRITE_TOOL), "scatter": ["name", "word"],
+                      "scatterMethod": "dotproduct", "when": "$(inputs.go)",
+                      "in": {"go": "go", "name": "names", "word": "words"},
+                      "out": ["out"]},
+        },
+    }
+
+
+@pytest.mark.parametrize("engine", WORKFLOW_ENGINES)
+def test_when_plus_scatter_parity(engine, run_engine):
+    """A false `when` guard skips the whole scattered step on every engine;
+    a true guard scatters identically (same files, same contents)."""
+    job_order = {"go": True, "names": ["w0.txt", "w1.txt", "w2.txt"],
+                 "words": ["alpha", "beta", "gamma"]}
+    baseline = run_engine("reference", guarded_scatter_workflow(), job_order)
+    result = run_engine(engine, guarded_scatter_workflow(), job_order)
+    assert normalise(result.outputs["files"]) == normalise(baseline.outputs["files"])
+    assert [f["contents"] for f in normalise(baseline.outputs["files"])] == \
+        [b"ALPHA", b"BETA", b"GAMMA"]
+
+    skipped = run_engine(engine, guarded_scatter_workflow(),
+                         {"go": False, "names": ["w0.txt"], "words": ["alpha"]})
+    assert skipped.outputs["files"] is None
+    assert skipped.jobs_run == 0
+
+
+def merge_flattened_workflow():
+    return {
+        "cwlVersion": "v1.2", "class": "Workflow",
+        "requirements": [{"class": "ScatterFeatureRequirement"},
+                         {"class": "MultipleInputFeatureRequirement"}],
+        "inputs": {"go": "boolean", "left_names": "string[]", "right_names": "string[]",
+                   "left_words": "string[]", "right_words": "string[]"},
+        "outputs": {"flat": {"type": "Any",
+                             "outputSource": ["left/out", "right/out"],
+                             "linkMerge": "merge_flattened"}},
+        "steps": {
+            "left": {"run": dict(WRITE_TOOL), "scatter": ["name", "word"],
+                     "scatterMethod": "dotproduct",
+                     "in": {"go": "go", "name": "left_names", "word": "left_words"},
+                     "out": ["out"]},
+            "right": {"run": dict(WRITE_TOOL), "scatter": ["name", "word"],
+                      "scatterMethod": "dotproduct",
+                      "in": {"go": "go", "name": "right_names", "word": "right_words"},
+                      "out": ["out"]},
+        },
+    }
+
+
+@pytest.mark.parametrize("engine", WORKFLOW_ENGINES)
+def test_merge_flattened_workflow_outputs_parity(engine, run_engine):
+    """`linkMerge: merge_flattened` workflow outputs combine two scatter arrays
+    into one flat list identically on every engine."""
+    job_order = {"go": True,
+                 "left_names": ["l0.txt", "l1.txt"], "left_words": ["one", "two"],
+                 "right_names": ["r0.txt"], "right_words": ["three"]}
+    baseline = run_engine("reference", merge_flattened_workflow(), job_order)
+    result = run_engine(engine, merge_flattened_workflow(), job_order)
+
+    flattened = normalise(result.outputs["flat"])
+    assert len(flattened) == 3
+    assert flattened == normalise(baseline.outputs["flat"])
+    assert [f["contents"] for f in flattened] == [b"ONE", b"TWO", b"THREE"]
+
+
 @pytest.mark.parametrize("engine", WORKFLOW_ENGINES)
 def test_workflow_outputs_identical(engine, run_engine, cwl_dir, small_image):
     job_order = {"input_image": {"class": "File", "path": small_image},

@@ -131,3 +131,33 @@ def test_bridge_missing_workflow_input_reported(cwl_dir, parsl_threads):
     bridge = CWLWorkflowBridge(str(cwl_dir / "image_pipeline.cwl"))
     with pytest.raises(WorkflowException, match="required"):
         bridge.run({"size": 10})
+
+
+def test_bridge_flattens_nested_subworkflow(cwl_dir, parsl_threads, tmp_path, small_image):
+    """Non-scattered subworkflow steps are flattened into the shared graph IR,
+    so the bridge now runs them (previously an UnsupportedRequirement)."""
+    wrapper = load_document({
+        "cwlVersion": "v1.2",
+        "class": "Workflow",
+        "requirements": [{"class": "SubworkflowFeatureRequirement"}],
+        "inputs": {"input_image": "File", "size": "int", "sepia": "boolean",
+                   "radius": "int"},
+        "outputs": {"wrapped": {"type": "File", "outputSource": "pipeline/final_output"}},
+        "steps": {
+            "pipeline": {
+                "run": str(cwl_dir / "image_pipeline.cwl"),
+                "in": {"input_image": "input_image", "size": "size",
+                       "sepia": "sepia", "radius": "radius"},
+                "out": ["final_output"],
+            }
+        },
+    })
+    bridge = CWLWorkflowBridge(wrapper)
+    # The shared IR exposes the flattened shape before anything runs.
+    assert "pipeline/resize_image" in bridge.graph.nodes
+    outputs = bridge.run({
+        "input_image": {"class": "File", "path": small_image},
+        "size": 20, "sepia": True, "radius": 1,
+    })
+    assert outputs["wrapped"].filepath.endswith("blurred.png")
+    assert read_png(tmp_path / "blurred.png").shape == (20, 20, 3)

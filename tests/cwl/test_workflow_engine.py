@@ -214,6 +214,217 @@ def test_diamond_dependency_executes_each_step_once():
     assert len(runner.calls) == 3
 
 
+def test_when_guard_skips_scattered_step():
+    """`when` + `scatter`: a false guard skips the whole scatter (null outputs)."""
+    doc = {
+        "cwlVersion": "v1.2", "class": "Workflow",
+        "requirements": [{"class": "ScatterFeatureRequirement"}],
+        "inputs": {"go": "boolean", "values": "int[]"},
+        "outputs": {"all": {"type": "Any", "outputSource": "per_value/out"}},
+        "steps": {
+            "per_value": {"run": dict(SIMPLE_TOOL), "scatter": "value",
+                          "when": "$(inputs.go)",
+                          "in": {"go": "go", "value": "values"}, "out": ["out"]},
+        },
+    }
+    runner = counting_runner(lambda p, j: {"out": j["value"] * 10})
+    skipped = WorkflowEngine(make_workflow(doc), runner).run({"go": False, "values": [1, 2]})
+    assert skipped == {"all": None}
+    assert len(runner.calls) == 0
+
+    runner = counting_runner(lambda p, j: {"out": j["value"] * 10})
+    ran = WorkflowEngine(make_workflow(doc), runner, parallel=True).run(
+        {"go": True, "values": [1, 2, 3]})
+    assert ran == {"all": [10, 20, 30]}
+    assert len(runner.calls) == 3
+
+
+def test_merge_flattened_workflow_outputs_across_scatters():
+    """Workflow outputs with linkMerge: merge_flattened combine scatter arrays."""
+    doc = {
+        "cwlVersion": "v1.2", "class": "Workflow",
+        "requirements": [{"class": "ScatterFeatureRequirement"},
+                         {"class": "MultipleInputFeatureRequirement"}],
+        "inputs": {"a": "int[]", "b": "int[]"},
+        "outputs": {
+            "flat": {"type": "Any", "outputSource": ["left/out", "right/out"],
+                     "linkMerge": "merge_flattened"},
+            "nested": {"type": "Any", "outputSource": ["left/out", "right/out"]},
+        },
+        "steps": {
+            "left": {"run": dict(SIMPLE_TOOL), "scatter": "value",
+                     "in": {"value": "a"}, "out": ["out"]},
+            "right": {"run": dict(SIMPLE_TOOL), "scatter": "value",
+                      "in": {"value": "b"}, "out": ["out"]},
+        },
+    }
+    runner = counting_runner(lambda p, j: {"out": j["value"]})
+    outputs = WorkflowEngine(make_workflow(doc), runner, parallel=True).run(
+        {"a": [1, 2], "b": [3]})
+    assert outputs["flat"] == [1, 2, 3]
+    assert outputs["nested"] == [[1, 2], [3]]
+
+
+def nested_scatter_workflow():
+    """A fig1-style workload: scatter over a two-step subworkflow, plus a side scatter."""
+    child = {
+        "cwlVersion": "v1.2", "class": "Workflow",
+        "inputs": {"value": "Any"},
+        "outputs": {"result": {"type": "Any", "outputSource": "second/out"}},
+        "steps": {
+            "first": {"run": dict(SIMPLE_TOOL), "in": {"value": "value"}, "out": ["out"]},
+            "second": {"run": dict(SIMPLE_TOOL), "in": {"value": "first/out"}, "out": ["out"]},
+        },
+    }
+    return make_workflow({
+        "cwlVersion": "v1.2", "class": "Workflow",
+        "requirements": [{"class": "ScatterFeatureRequirement"},
+                         {"class": "SubworkflowFeatureRequirement"}],
+        "inputs": {"values": "int[]"},
+        "outputs": {"all": {"type": "Any", "outputSource": "pipe/result"},
+                    "side": {"type": "Any", "outputSource": "extra/out"}},
+        "steps": {
+            "pipe": {"run": child, "scatter": "value",
+                     "in": {"value": "values"}, "out": ["result"]},
+            "extra": {"run": dict(SIMPLE_TOOL), "scatter": "value",
+                      "in": {"value": "values"}, "out": ["out"]},
+        },
+    })
+
+
+def test_scatter_over_subworkflow_expands_per_shard_subgraphs():
+    def runner(process, job_order):
+        return {"out": job_order["value"] + 1}
+
+    engine = WorkflowEngine(nested_scatter_workflow(), counting_runner(runner))
+    outputs = engine.run({"values": [10, 20]})
+    # Each shard runs first(+1) then second(+1): 10 -> 12, 20 -> 22.
+    assert outputs["all"] == [12, 22]
+    assert outputs["side"] == [11, 21]
+    assert engine.records["pipe"].scattered and engine.records["pipe"].job_count == 2
+    # Inner steps are first-class records, namespaced per shard.
+    assert engine.records["pipe[0]/first"].outputs["out"] == 11
+    assert engine.records["pipe[1]/second"].outputs["out"] == 22
+
+
+def test_parallel_worker_threads_never_exceed_max_workers():
+    """Acceptance: one shared bounded pool — scatter inside parallel steps and
+    subworkflows never multiplies threads beyond max_workers."""
+    import time
+
+    max_workers = 3
+    active = {"now": 0, "peak": 0, "dag_threads_peak": 0}
+    lock = threading.Lock()
+
+    def runner(process, job_order, runtime_context):
+        with lock:
+            active["now"] += 1
+            active["peak"] = max(active["peak"], active["now"])
+            dag_threads = sum(1 for t in threading.enumerate()
+                              if t.name.startswith(("cwl-dag", "cwl-workflow", "cwl-scatter")))
+            active["dag_threads_peak"] = max(active["dag_threads_peak"], dag_threads)
+        time.sleep(0.02)
+        with lock:
+            active["now"] -= 1
+        return {"out": job_order["value"]}
+
+    engine = WorkflowEngine(nested_scatter_workflow(), runner,
+                            parallel=True, max_workers=max_workers)
+    engine.run({"values": list(range(8))})
+    # 8 subworkflow shards (2 steps each) + 8 side shards = 24 jobs total.
+    assert active["peak"] <= max_workers, "live workers exceeded the global cap"
+    assert active["dag_threads_peak"] <= max_workers, "scheduler spawned nested pools"
+    assert active["peak"] >= 2, "parallel execution should overlap"
+
+
+def test_scatter_shards_share_the_pool_with_other_steps():
+    """Shards of one scatter and an independent step interleave (no barrier
+    monopolising the pool)."""
+    import time
+
+    seen = []
+    lock = threading.Lock()
+
+    def runner(process, job_order, runtime_context):
+        with lock:
+            seen.append(job_order.get("value"))
+        time.sleep(0.02)
+        return {"out": job_order.get("value")}
+
+    doc = {
+        "cwlVersion": "v1.2", "class": "Workflow",
+        "requirements": [{"class": "ScatterFeatureRequirement"}],
+        "inputs": {"values": "int[]", "solo": "int"},
+        "outputs": {"all": {"type": "Any", "outputSource": "fan/out"},
+                    "one": {"type": "Any", "outputSource": "single/out"}},
+        "steps": {
+            "fan": {"run": dict(SIMPLE_TOOL), "scatter": "value",
+                    "in": {"value": "values"}, "out": ["out"]},
+            "single": {"run": dict(SIMPLE_TOOL), "in": {"value": "solo"}, "out": ["out"]},
+        },
+    }
+    outputs = WorkflowEngine(make_workflow(doc), runner, parallel=True,
+                             max_workers=4).run({"values": [1, 2, 3, 4, 5, 6], "solo": 99})
+    assert outputs["all"] == [1, 2, 3, 4, 5, 6]
+    assert outputs["one"] == 99
+    # The independent step must not be queued behind the entire scatter.
+    assert seen.index(99) < len(seen) - 1
+
+
+def test_when_false_skips_sourceless_steps_inside_subworkflow():
+    """A false `when` on a subworkflow step must skip even child steps with no
+    sources (they get an explicit edge to the ingress node — regression test)."""
+    child = {
+        "cwlVersion": "v1.2", "class": "Workflow",
+        "inputs": {"value": "Any"},
+        "outputs": {"result": {"type": "Any", "outputSource": "orphan/out"}},
+        "steps": {
+            # No sources at all: ready at t=0 unless wired to the ingress.
+            "orphan": {"run": dict(SIMPLE_TOOL),
+                       "in": {"value": {"default": 41}}, "out": ["out"]},
+        },
+    }
+    parent = make_workflow({
+        "cwlVersion": "v1.2", "class": "Workflow",
+        "requirements": [{"class": "SubworkflowFeatureRequirement"}],
+        "inputs": {"go": "boolean", "seed": "int"},
+        "outputs": {"final": {"type": "Any", "outputSource": "sub/result"}},
+        "steps": {
+            "sub": {"run": child, "when": "$(inputs.go)",
+                    "in": {"go": "go", "value": "seed"}, "out": ["result"]},
+        },
+    })
+    runner = counting_runner(lambda p, j: {"out": j["value"] + 1})
+    outputs = WorkflowEngine(parent, runner).run({"go": False, "seed": 1})
+    assert outputs == {"final": None}
+    assert len(runner.calls) == 0, "skipped subworkflow interior must not execute"
+
+    runner = counting_runner(lambda p, j: {"out": j["value"] + 1})
+    outputs = WorkflowEngine(parent, runner, parallel=True).run({"go": True, "seed": 1})
+    assert outputs == {"final": 42}
+    assert len(runner.calls) == 1
+
+
+def test_engine_exposes_graph_and_detects_cycles():
+    from repro.cwl.errors import ValidationException
+
+    engine = WorkflowEngine(linear_workflow(), counting_runner())
+    description = engine.graph.describe()
+    assert description["critical_path"] == ["first", "second"]
+
+    cyclic = make_workflow({
+        "cwlVersion": "v1.2", "class": "Workflow",
+        "inputs": {"seed": "int"},
+        "outputs": {},
+        "steps": {
+            "a": {"run": dict(SIMPLE_TOOL), "in": {"value": "b/out"}, "out": ["out"]},
+            "b": {"run": dict(SIMPLE_TOOL), "in": {"value": "a/out"}, "out": ["out"]},
+        },
+    })
+    with pytest.raises(ValidationException, match="cycle"):
+        WorkflowEngine(cyclic, counting_runner()).run({"seed": 1})
+
+
 def test_image_pipeline_workflow_with_real_tools(cwl_dir, tmp_path, small_image):
     """End-to-end: the paper's Listing 3 workflow through the workflow engine + real jobs."""
     from repro.cwl.runners.reference import ReferenceRunner
