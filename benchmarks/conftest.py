@@ -92,15 +92,29 @@ def series_recorder() -> SeriesRecorder:
 
 
 #: Where the machine-readable benchmark series land (override with the
-#: BENCH_EXPRESSIONS_JSON / BENCH_DAG_JSON environment variables).  CI uploads
-#: both files as artifacts so the perf trajectory is trackable across PRs.
-#: Figures whose name starts with ``DAG`` (the scheduler benchmarks of
-#: ``test_dag_scheduling.py``) go to ``BENCH_dag.json``; everything else
-#: (the paper figures and ablations) goes to ``BENCH_expressions.json``.
+#: BENCH_EXPRESSIONS_JSON / BENCH_DAG_JSON / BENCH_CACHE_JSON environment
+#: variables).  CI uploads all three files as artifacts so the perf
+#: trajectory is trackable across PRs.  Figures whose name starts with
+#: ``DAG`` (the scheduler benchmarks of ``test_dag_scheduling.py``) go to
+#: ``BENCH_dag.json``; figures starting with ``CACHE`` (the job-cache
+#: benchmarks of ``test_job_cache.py``) go to ``BENCH_cache.json``;
+#: everything else (the paper figures and ablations) goes to
+#: ``BENCH_expressions.json``.
 BENCH_JSON_ENV = "BENCH_EXPRESSIONS_JSON"
 BENCH_JSON_DEFAULT = REPO_ROOT / "BENCH_expressions.json"
 BENCH_DAG_JSON_ENV = "BENCH_DAG_JSON"
 BENCH_DAG_JSON_DEFAULT = REPO_ROOT / "BENCH_dag.json"
+BENCH_CACHE_JSON_ENV = "BENCH_CACHE_JSON"
+BENCH_CACHE_JSON_DEFAULT = REPO_ROOT / "BENCH_cache.json"
+
+
+def _write_series(terminalreporter, payload: dict, env: str, default, label: str):
+    if not payload:
+        return
+    path = os.environ.get(env) or str(default)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    terminalreporter.write_line(f"{label} series written to {path}")
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
@@ -113,18 +127,16 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
         payload = _RECORDER.as_json()
         dag_payload = {figure: series for figure, series in payload.items()
                        if figure.startswith("DAG")}
+        cache_payload = {figure: series for figure, series in payload.items()
+                         if figure.startswith("CACHE")}
         expr_payload = {figure: series for figure, series in payload.items()
-                        if not figure.startswith("DAG")}
-        if expr_payload:
-            path = os.environ.get(BENCH_JSON_ENV) or str(BENCH_JSON_DEFAULT)
-            with open(path, "w") as handle:
-                json.dump(expr_payload, handle, indent=2, sort_keys=True)
-            terminalreporter.write_line(f"Benchmark series written to {path}")
-        if dag_payload:
-            path = os.environ.get(BENCH_DAG_JSON_ENV) or str(BENCH_DAG_JSON_DEFAULT)
-            with open(path, "w") as handle:
-                json.dump(dag_payload, handle, indent=2, sort_keys=True)
-            terminalreporter.write_line(f"DAG scheduling series written to {path}")
+                        if not (figure.startswith("DAG") or figure.startswith("CACHE"))}
+        _write_series(terminalreporter, expr_payload, BENCH_JSON_ENV,
+                      BENCH_JSON_DEFAULT, "Benchmark")
+        _write_series(terminalreporter, dag_payload, BENCH_DAG_JSON_ENV,
+                      BENCH_DAG_JSON_DEFAULT, "DAG scheduling")
+        _write_series(terminalreporter, cache_payload, BENCH_CACHE_JSON_ENV,
+                      BENCH_CACHE_JSON_DEFAULT, "Job-cache")
 
 
 @pytest.fixture

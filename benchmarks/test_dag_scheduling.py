@@ -215,7 +215,9 @@ def test_dag_wide_fanout(benchmark, series, count, tmp_path, series_recorder,
     series_recorder.record(FIGURE_WIDE, series, count, benchmark.stats.stats.mean)
 
 
-DIAMOND_COUNTS = [3]
+# Three sizes per series so BENCH_dag.json records growth curves, not single
+# points (the scatter×subworkflow series below likewise).
+DIAMOND_COUNTS = [1, 2, 3]
 
 
 @pytest.mark.parametrize("diamonds", DIAMOND_COUNTS)
@@ -233,7 +235,7 @@ def test_dag_deep_diamonds(benchmark, series, diamonds, tmp_path, series_recorde
     series_recorder.record(FIGURE_DIAMOND, series, diamonds, benchmark.stats.stats.mean)
 
 
-NESTED_WIDTHS = [6]
+NESTED_WIDTHS = [2, 4, 6]
 
 
 @pytest.mark.parametrize("width", NESTED_WIDTHS)

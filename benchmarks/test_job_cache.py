@@ -1,0 +1,151 @@
+"""Job-cache benchmarks: warm re-runs vs cold runs on one shared store.
+
+The compiled-expression pipeline (PR 2) and the event-driven scheduler (PR 3)
+removed the runner-side overheads; what remains per job is the job *body* —
+subprocess spawn, staging IO, recomputation.  The content-addressed job cache
+(`repro.cwl.jobcache`) removes that too for repeated invocations: a warm
+re-run restores outputs by hardlink staging instead of executing.
+
+Two workloads, re-run warm against the store their cold run populated:
+
+* **fig2** — the Figure-2 expression workload (`capitalize_js.cwl`) at
+  growing word counts.  The warm path skips command-line construction (the
+  cache key proves it unchanged), so even the 1024-word JS evaluation
+  disappears from the warm series.
+* **DAG wide fan-out** — the PR 3 scheduler workload (N independent sleeping
+  steps); warm re-runs collapse to manifest reads + hardlinks.
+
+Both run on the **toil** engine (job store + batch system, the heaviest
+baseline), plus a *reference-engine* warm series driven off the toil-warmed
+store to demonstrate cross-engine sharing.  The acceptance bar — warm ≥ 5×
+faster than cold at the largest size, with ``cache_stats`` hits equal to the
+job count and bit-identical outputs — is asserted by the shape checks below.
+
+Series land in ``BENCH_cache.json`` (figures prefixed ``CACHE``; see
+``conftest.pytest_terminal_summary``), uploaded by CI next to the other
+BENCH artifacts.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import api
+from repro.cwl.loader import load_document
+from repro.cwl.runtime import RuntimeContext
+from repro.imaging.synthetic import word_corpus
+from test_dag_scheduling import wide_fanout_workflow
+
+FIGURE_FIG2 = "CACHE fig2 warm vs cold (toil): runtime [s] vs words"
+FIGURE_DAG = "CACHE DAG wide fan-out warm vs cold (toil): runtime [s] vs steps"
+
+WORD_COUNTS = [128, 1024]
+FANOUT_COUNTS = [4, 12]
+WARM_ROUNDS = 3
+DELAY = 0.05
+MAX_WORKERS = 4
+
+
+def file_bytes(value) -> bytes:
+    with open(value["path"], "rb") as handle:
+        return handle.read()
+
+
+def timed(session, process, order):
+    start = time.perf_counter()
+    result = session.run(process, dict(order))
+    return time.perf_counter() - start, result
+
+
+def cold_and_warm(tmp_path, process, order, expected_jobs, engine="toil"):
+    """One cold run populating a fresh store, then ``WARM_ROUNDS`` warm runs.
+
+    Returns ``(cold_seconds, best_warm_seconds, store_dir)``; asserts the
+    cache accounting and output parity along the way.
+    """
+    store = tmp_path / "store"
+    workdir = tmp_path / "wd"
+    workdir.mkdir(parents=True, exist_ok=True)
+    options = dict(cache_dir=str(store), max_workers=MAX_WORKERS,
+                   runtime_context=RuntimeContext(basedir=str(workdir)))
+    if engine == "toil":
+        options["job_store_dir"] = str(workdir / "jobstore")
+    with api.Session(engine=engine, **options) as session:
+        cold_s, cold = timed(session, process, order)
+        assert cold.cache_stats["misses"] == cold.jobs_run == expected_jobs
+        warm_times = []
+        for _ in range(WARM_ROUNDS):
+            warm_s, warm = timed(session, process, order)
+            warm_times.append(warm_s)
+        assert warm.cache_stats == {"hits": expected_jobs, "misses": 0}
+        for key, value in cold.outputs.items():
+            if isinstance(value, dict) and "path" in value:
+                assert file_bytes(warm.outputs[key]) == file_bytes(value)
+    return cold_s, min(warm_times), store
+
+
+@pytest.mark.parametrize("words", WORD_COUNTS)
+def test_cache_fig2_warm_vs_cold(words, tmp_path, cwl_dir, series_recorder):
+    message = " ".join(word_corpus(words, seed=42))
+    cold_s, warm_s, store = cold_and_warm(
+        tmp_path, str(cwl_dir / "capitalize_js.cwl"), {"message": message},
+        expected_jobs=1)
+    series_recorder.record(FIGURE_FIG2, "toil cold", words, cold_s)
+    series_recorder.record(FIGURE_FIG2, "toil warm", words, warm_s)
+
+    # Cross-engine: the toil-populated store is warm for the reference engine.
+    xwork = tmp_path / "xref"
+    xwork.mkdir()
+    start = time.perf_counter()
+    cross = api.run(str(cwl_dir / "capitalize_js.cwl"), {"message": message},
+                    engine="reference", cache_dir=str(store),
+                    runtime_context=RuntimeContext(basedir=str(xwork)))
+    series_recorder.record(FIGURE_FIG2, "reference warm (toil store)", words,
+                           time.perf_counter() - start)
+    assert cross.cache_stats == {"hits": 1, "misses": 0}
+
+
+@pytest.mark.parametrize("count", FANOUT_COUNTS)
+def test_cache_dag_fanout_warm_vs_cold(count, tmp_path, series_recorder):
+    doc = load_document(wide_fanout_workflow(count))
+    cold_s, warm_s, _store = cold_and_warm(
+        tmp_path, doc, {"delay": DELAY}, expected_jobs=count)
+    series_recorder.record(FIGURE_DAG, "toil cold", count, cold_s)
+    series_recorder.record(FIGURE_DAG, "toil warm", count, warm_s)
+
+
+# ------------------------------------------------------------- shape checks
+
+
+def _point(series_recorder, figure, series, x):
+    return series_recorder.points.get(figure, {}).get((series, x))
+
+
+def test_cache_shape_fig2_warm_5x_faster(series_recorder):
+    """Acceptance: the warm 1024-word fig2 re-run beats its cold run ≥5× on
+    the toil engine."""
+    largest = WORD_COUNTS[-1]
+    cold = _point(series_recorder, FIGURE_FIG2, "toil cold", largest)
+    warm = _point(series_recorder, FIGURE_FIG2, "toil warm", largest)
+    if cold is None or warm is None:
+        pytest.skip("fig2 cache series were not measured")
+    assert warm * 5 <= cold, (
+        f"warm fig2 re-run ({warm:.4f}s) should be at least 5x faster than "
+        f"the cold run ({cold:.4f}s) at {largest} words"
+    )
+
+
+def test_cache_shape_dag_warm_5x_faster(series_recorder):
+    """Acceptance: the warm wide-fan-out re-run beats its cold run ≥5× on the
+    toil engine."""
+    largest = FANOUT_COUNTS[-1]
+    cold = _point(series_recorder, FIGURE_DAG, "toil cold", largest)
+    warm = _point(series_recorder, FIGURE_DAG, "toil warm", largest)
+    if cold is None or warm is None:
+        pytest.skip("DAG cache series were not measured")
+    assert warm * 5 <= cold, (
+        f"warm fan-out re-run ({warm:.4f}s) should be at least 5x faster than "
+        f"the cold run ({cold:.4f}s) at {largest} steps"
+    )

@@ -27,6 +27,7 @@ runtime context is accepted.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from typing import Any, Dict, Optional
@@ -35,11 +36,39 @@ from repro.api.engine import Engine, EngineError, register_engine
 from repro.api.events import EventRecorder, ExecutionHooks
 from repro.api.plan import describe_workflow
 from repro.api.result import ExecutionResult
+from repro.cwl.jobcache import JobCache, resolve_job_cache
 from repro.cwl.runners.base import BaseRunner
 from repro.cwl.runners.reference import ReferenceRunner
 from repro.cwl.runners.toil.runner import ToilStyleRunner
 from repro.cwl.runtime import RuntimeContext
 from repro.cwl.schema import CommandLineTool, Process, Workflow
+
+
+def _context_with_cache(runtime_context: Optional[RuntimeContext],
+                        cache_dir: Optional[str],
+                        job_cache: Optional[bool]) -> Optional[RuntimeContext]:
+    """Fold engine-level ``cache_dir=`` / ``job_cache=`` options into a context.
+
+    Lets every engine (and therefore ``Session(engine, cache_dir=...)`` /
+    ``api.run(..., cache_dir=...)``) expose the job cache without callers
+    having to build a :class:`RuntimeContext` themselves.
+    """
+    if cache_dir is None and job_cache is None:
+        return runtime_context
+    context = runtime_context if runtime_context is not None else RuntimeContext()
+    overrides: Dict[str, Any] = {}
+    if cache_dir is not None:
+        overrides["cache_dir"] = os.fspath(cache_dir)
+    if job_cache is not None:
+        overrides["job_cache"] = job_cache
+    return context.child(**overrides)
+
+
+def _event_cache_stats(recorder: EventRecorder) -> Dict[str, int]:
+    """Exact hit/miss counts from the per-job end events of one execution."""
+    hits = sum(1 for e in recorder.events if e.kind == "end" and e.cache == "hit")
+    misses = sum(1 for e in recorder.events if e.kind == "end" and e.cache == "miss")
+    return {"hits": hits, "misses": misses}
 
 
 class RunnerEngine(Engine):
@@ -63,6 +92,16 @@ class RunnerEngine(Engine):
             self._runner = self._make_runner()
         return self._runner
 
+    def close(self) -> None:
+        """Release runner state; reaps scratch directories the context tracked.
+
+        :meth:`RuntimeContext.close` is idempotent and safe under concurrent
+        close, so racing ``Session.close`` / ``__exit__`` paths are fine.
+        """
+        runner, self._runner = self._runner, None
+        if runner is not None:
+            runner.runtime_context.close()
+
     def execute(self, process, job_order: Dict[str, Any],
                 hooks: Optional[ExecutionHooks] = None) -> ExecutionResult:
         process = self.load_process(process)
@@ -74,6 +113,7 @@ class RunnerEngine(Engine):
                 runner_result = runner.run(process, dict(job_order or {}))
             finally:
                 runner.hooks = None
+            cache_enabled = runner.runtime_context.job_cache_dir() is not None
         return ExecutionResult(
             outputs=runner_result.outputs,
             status=runner_result.status,
@@ -83,6 +123,7 @@ class RunnerEngine(Engine):
             events=recorder.events,
             details=dict(runner_result.details),
             plan=_plan_for(process),
+            cache_stats=_event_cache_stats(recorder) if cache_enabled else None,
         )
 
 
@@ -93,8 +134,10 @@ class ReferenceEngine(RunnerEngine):
 
     def __init__(self, runtime_context: Optional[RuntimeContext] = None,
                  parallel: bool = False, max_workers: int = 8,
-                 validate: bool = True) -> None:
+                 validate: bool = True, cache_dir: Optional[str] = None,
+                 job_cache: Optional[bool] = None) -> None:
         super().__init__()
+        runtime_context = _context_with_cache(runtime_context, cache_dir, job_cache)
         self._options = dict(runtime_context=runtime_context, parallel=parallel,
                              max_workers=max_workers, validate=validate)
 
@@ -112,8 +155,11 @@ class ToilEngine(RunnerEngine):
                  runtime_context: Optional[RuntimeContext] = None,
                  parallel: bool = True, max_workers: int = 8,
                  import_outputs: bool = True, validate: bool = True,
-                 destroy_job_store_on_close: Optional[bool] = None) -> None:
+                 destroy_job_store_on_close: Optional[bool] = None,
+                 cache_dir: Optional[str] = None,
+                 job_cache: Optional[bool] = None) -> None:
         super().__init__()
+        runtime_context = _context_with_cache(runtime_context, cache_dir, job_cache)
         self._options = dict(job_store_dir=job_store_dir, batch_system=batch_system,
                              runtime_context=runtime_context, parallel=parallel,
                              max_workers=max_workers, import_outputs=import_outputs,
@@ -137,9 +183,10 @@ class ToilEngine(RunnerEngine):
         asked via ``destroy_job_store_on_close=True`` — so context-managed
         sessions never leak stores or batch-system threads between runs.
         """
-        if self._runner is not None:
-            self._runner.close(destroy_job_store=self._destroy_job_store)  # type: ignore[attr-defined]
-            self._runner = None
+        runner, self._runner = self._runner, None
+        if runner is not None:
+            runner.close(destroy_job_store=self._destroy_job_store)  # type: ignore[attr-defined]
+            runner.runtime_context.close()
 
 
 class ParslEngine(Engine):
@@ -154,9 +201,19 @@ class ParslEngine(Engine):
 
     name = "parsl"
 
-    def __init__(self, config: Any = None, outdir: Optional[str] = None) -> None:
+    def __init__(self, config: Any = None, outdir: Optional[str] = None,
+                 cache_dir: Optional[str] = None,
+                 job_cache: Optional[bool] = None) -> None:
         self._config = config
         self._outdir = outdir
+        #: The shared job cache, resolved with the same tri-state rules the
+        #: runner engines apply through RuntimeContext (``cache_dir=`` names
+        #: the store, ``job_cache=True`` opts into the default store,
+        #: ``REPRO_JOBCACHE_DIR`` opts in from the environment,
+        #: ``job_cache=False`` forces caching off).
+        store_dir = RuntimeContext(job_cache=job_cache,
+                                   cache_dir=cache_dir).job_cache_dir()
+        self._job_cache: Optional[JobCache] = resolve_job_cache(store_dir)
         self._started = False
         self._loaded_here = False
         self._kernel_lock = threading.Lock()
@@ -215,6 +272,11 @@ class ParslEngine(Engine):
                 "(CommandLineTool or Workflow expected)"
             )
         jobs_run = sum(1 for e in recorder.events if e.kind == "start")
+        # Counted from this execution's own per-job events (the store and its
+        # counters are shared process-wide, so a counter delta would absorb
+        # concurrent executions' traffic).
+        cache_stats = _event_cache_stats(recorder) if self._job_cache is not None \
+            else None
         return ExecutionResult(
             outputs=outputs,
             status="success",
@@ -223,23 +285,33 @@ class ParslEngine(Engine):
             wall_time_s=time.perf_counter() - start,
             events=recorder.events,
             plan=_plan_for(process),
+            cache_stats=cache_stats,
         )
 
     def _run_tool(self, tool: CommandLineTool, job_order: Dict[str, Any],
                   recorder: EventRecorder) -> Dict[str, Any]:
         from repro.core.runner import run_tool_with_parsl
 
-        with recorder.observing(tool.id or "tool"):
-            return run_tool_with_parsl(
+        cache_note: Dict[str, str] = {}
+        token = recorder.job_started(tool.id or "tool")
+        try:
+            outputs = run_tool_with_parsl(
                 tool=tool, job_order=job_order, config=None,
                 outdir=self._outdir, cleanup=False,
+                job_cache=self._job_cache, cache_note=cache_note,
             )
+        except Exception as exc:
+            recorder.job_finished(token, ok=False, error=str(exc))
+            raise
+        recorder.job_finished(token, cache=cache_note.get("cache"))
+        return outputs
 
     def _run_workflow(self, workflow: Workflow, job_order: Dict[str, Any],
                       recorder: EventRecorder) -> Dict[str, Any]:
         from repro.core.workflow_bridge import CWLWorkflowBridge
 
-        bridge = CWLWorkflowBridge(workflow, job_observer=recorder)
+        bridge = CWLWorkflowBridge(workflow, job_observer=recorder,
+                                   job_cache=self._job_cache)
         outputs = bridge.run(job_order)
         return {key: _normalise_output(value) for key, value in outputs.items()}
 

@@ -30,6 +30,10 @@ class JobEvent:
     error: Optional[str] = None
     #: Wall-clock seconds between start and end (set on "end" events).
     duration_s: Optional[float] = None
+    #: Job-cache outcome on "end" events: ``"hit"`` (outputs restored from
+    #: the content-addressed store), ``"miss"`` (executed and stored), or
+    #: ``None`` when caching was off or the job kind is uncacheable.
+    cache: Optional[str] = None
 
 
 @dataclass
@@ -72,7 +76,8 @@ class EventRecorder:
         return _ActiveJob(job=job, started_at=time.perf_counter())
 
     def job_finished(self, token: _ActiveJob, ok: bool = True,
-                     error: Optional[str] = None) -> None:
+                     error: Optional[str] = None,
+                     cache: Optional[str] = None) -> None:
         event = JobEvent(
             job=token.job,
             kind="end",
@@ -80,6 +85,7 @@ class EventRecorder:
             ok=ok,
             error=error,
             duration_s=time.perf_counter() - token.started_at,
+            cache=cache,
         )
         with self._lock:
             self.events.append(event)

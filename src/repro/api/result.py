@@ -35,10 +35,18 @@ class ExecutionResult:
     #: The workflow dataflow plan (``WorkflowGraph.describe()`` — nodes, edges,
     #: critical path) when a Workflow was executed; ``None`` for single tools.
     plan: Optional[Dict[str, Any]] = None
+    #: Job-cache accounting for this execution — ``{"hits": ..., "misses": ...}``
+    #: (runner engines count exactly from per-job events; the Parsl engines
+    #: report the store's counter delta) — or ``None`` when caching was off.
+    cache_stats: Optional[Dict[str, int]] = None
 
     def __getitem__(self, key: str) -> Any:
         """Convenience indexing straight into :attr:`outputs`."""
         return self.outputs[key]
+
+    def cache_hits(self) -> int:
+        """Number of jobs restored from the job cache (0 when caching is off)."""
+        return int((self.cache_stats or {}).get("hits", 0))
 
     def job_names(self) -> List[str]:
         """Names of the jobs that ran, in start order."""

@@ -56,7 +56,15 @@ class ExecutionHandle:
 
 
 class Session:
-    """Run CWL processes through one engine with one calling convention."""
+    """Run CWL processes through one engine with one calling convention.
+
+    Engine options pass through by keyword — most notably
+    ``Session(engine, cache_dir=...)`` attaches the content-addressed job
+    cache (:mod:`repro.cwl.jobcache`) on *any* engine: repeated runs of
+    identical tool invocations restore their outputs from the store (zero-copy
+    hardlink staging) instead of re-executing, per-job events carry
+    ``cache="hit"|"miss"`` and each result reports ``cache_stats``.
+    """
 
     def __init__(self, engine: Union[str, Engine] = "reference",
                  hooks: Optional[ExecutionHooks] = None,

@@ -29,11 +29,13 @@ from __future__ import annotations
 
 import functools
 import os
+import shlex
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.core.inline_python import InlinePythonEvaluator, extract_inline_python, is_python_expression
 from repro.cwl.command_line import build_command_line, fill_in_defaults
 from repro.cwl.errors import InputValidationError, ValidationException
+from repro.cwl.jobcache import JobCache, resolve_job_cache
 from repro.cwl.loader import load_tool
 from repro.cwl.schema import CommandLineTool
 from repro.cwl.types import build_file_value, coerce_file_inputs, matches
@@ -43,7 +45,7 @@ from repro.parsl.data_provider.files import File
 from repro.parsl.dataflow.dflow import DataFlowKernel, DataFlowKernelLoader
 from repro.parsl.dataflow.futures import AppFuture, DataFuture
 
-__all__ = ["CWLApp", "cwl_tool_command"]
+__all__ = ["CWLApp", "cwl_tool_command", "cached_bash_executor"]
 
 
 def cwl_tool_command(tool_raw: Dict[str, Any], source_path: Optional[str],
@@ -54,6 +56,14 @@ def cwl_tool_command(tool_raw: Dict[str, Any], source_path: Optional[str],
     already replaced DataFutures with Files by the time this runs), rebuilds the
     tool model, runs InlinePython validation, evaluates InlinePython arguments,
     and returns the command line string for the bash executor to run.
+
+    With a job cache attached (``cwl_cache_dir`` in the app kwargs — inputs
+    are concrete on the execution side, which is what makes this the right
+    place for the workflow bridge's cache check), a hit restores the cached
+    output files into the working directory and returns a trivial command
+    that merely replays the recorded stdout/stderr, so the tool's own
+    subprocess never runs; a miss leaves instructions in ``cwl_cache_ctx``
+    for :func:`cached_bash_executor` to ingest the results afterwards.
     """
     from repro.cwl.loader import load_document  # local import: runs inside workers
 
@@ -72,6 +82,22 @@ def cwl_tool_command(tool_raw: Dict[str, Any], source_path: Optional[str],
     from repro.cwl.runtime import RuntimeContext
 
     runtime = RuntimeContext().with_resources(tool).runtime_object(os.getcwd(), os.getcwd())
+
+    cache_dir = _parsl_kwargs.get("cwl_cache_dir")
+    cache_ctx = _parsl_kwargs.get("cwl_cache_ctx")
+    cache_note = _parsl_kwargs.get("cwl_cache_note")
+    if cache_dir:
+        from repro.cwl.jobcache import get_job_cache, job_key
+
+        cache = get_job_cache(cache_dir)
+        key = job_key(tool, job_order, cores=runtime["cores"], ram_mb=runtime["ram"])
+        entry = cache.lookup(key)
+        if isinstance(cache_note, dict):
+            cache_note["cache"] = "hit" if entry is not None else "miss"
+        if entry is not None:
+            return _cache_hit_command(cache, entry)
+        if isinstance(cache_ctx, dict):
+            cache_ctx.update(cache_dir=cache_dir, key=key, outdir=os.getcwd())
 
     # The parsl path always uses the compiled pipeline — this call is the
     # switch: build_command_line/collect_output pick up tool.compiled.  The
@@ -115,6 +141,89 @@ def _to_cwl_value(value: Any) -> Any:
     return value
 
 
+def _cache_hit_command(cache: JobCache, entry: Any) -> str:
+    """Restore a cached invocation into the cwd; return its replay command.
+
+    Output files are copy-staged (the cwd is shared, and a later run may
+    rewrite them in place); the recorded stdout/stderr are *not* staged —
+    the bash executor opens and truncates those redirections itself, so the
+    replay command regenerates them by ``cat``-ing the stored bodies.  The
+    recorded exit code is replayed too, so a tool whose non-zero exit the
+    executor would reject behaves identically warm and cold.
+    """
+    outdir = os.getcwd()
+    stdout_name = entry.stream_name("stdout")
+    stderr_name = entry.stream_name("stderr")
+    cache.restore(entry, outdir,
+                  exclude=tuple(name for name in (stdout_name, stderr_name) if name),
+                  prefer_copy=True)
+    replay: List[str] = []
+    stdout_body = cache.cas_body(entry, stdout_name) if stdout_name else None
+    stderr_body = cache.cas_body(entry, stderr_name) if stderr_name else None
+    if stdout_body:
+        replay.append(f"cat {shlex.quote(stdout_body)}")
+    if stderr_body:
+        replay.append(f"cat {shlex.quote(stderr_body)} 1>&2")
+    if entry.exit_code:
+        replay.append(f"exit {int(entry.exit_code)}")
+    return "; ".join(replay) or ":"
+
+
+def cached_bash_executor(func: Any, *args: Any, **kwargs: Any) -> int:
+    """Bash-app executor wrapper that ingests results into the job cache.
+
+    Runs the standard :func:`remote_side_bash_executor` with a mutable
+    ``cwl_cache_ctx`` injected for :func:`cwl_tool_command`; when the body
+    reports a cache miss (and the command then succeeded), the declared
+    output files plus the stdout/stderr redirections are stored under the
+    job's key, warming the store for every engine that shares it.
+    """
+    ctx: Dict[str, Any] = {}
+    kwargs = dict(kwargs)
+    kwargs["cwl_cache_ctx"] = ctx
+    stdout_spec = kwargs.get("stdout")
+    stderr_spec = kwargs.get("stderr")
+    declared_outputs = list(kwargs.get("outputs") or [])
+
+    exit_code = remote_side_bash_executor(func, *args, **kwargs)
+
+    if ctx.get("key"):
+        try:
+            _store_bridge_results(ctx, declared_outputs, stdout_spec, stderr_spec,
+                                  exit_code)
+        except Exception:  # caching must never fail a successful job
+            pass
+    return exit_code
+
+
+def _store_bridge_results(ctx: Dict[str, Any], declared_outputs: List[Any],
+                          stdout_spec: Any, stderr_spec: Any,
+                          exit_code: int) -> None:
+    from repro.cwl.jobcache import relative_to_outdir
+
+    cache = resolve_job_cache(ctx["cache_dir"])
+    outdir = ctx["outdir"]
+
+    def spec_path(spec: Any) -> Optional[str]:
+        if spec is None:
+            return None
+        path = os.fspath(spec[0] if isinstance(spec, tuple) else spec)
+        return path if os.path.isabs(path) else os.path.join(outdir, path)
+
+    paths = [f.filepath if hasattr(f, "filepath") else os.fspath(f)
+             for f in declared_outputs]
+    stdout_path = spec_path(stdout_spec)
+    stderr_path = spec_path(stderr_spec)
+    for stream in (stdout_path, stderr_path):
+        if stream and os.path.isfile(stream):
+            paths.append(stream)
+
+    cache.store_files(ctx["key"], outdir, paths,
+                      stdout_name=relative_to_outdir(stdout_path, outdir),
+                      stderr_name=relative_to_outdir(stderr_path, outdir),
+                      exit_code=exit_code)
+
+
 class CWLApp:
     """A CWL CommandLineTool callable as a Parsl app."""
 
@@ -124,6 +233,7 @@ class CWLApp:
         data_flow_kernel: Optional[DataFlowKernel] = None,
         executors: Union[str, Sequence[str], None] = "all",
         validate_document: bool = True,
+        job_cache: Union[None, bool, str, JobCache] = None,
     ) -> None:
         if isinstance(cwl_file, CommandLineTool):
             self.tool = cwl_file
@@ -139,6 +249,14 @@ class CWLApp:
 
             precompile_process(self.tool)
         self.data_flow_kernel = data_flow_kernel
+        #: Content-addressed result reuse (see :mod:`repro.cwl.jobcache`); the
+        #: probe runs on the execution side, where upstream futures are
+        #: concrete, so chained/bridged apps cache correctly too.  The
+        #: hit/miss outcome travels back through an in-process note dict, so
+        #: on process-based executors (ProcessPoolExecutor, HTEX) results are
+        #: still cached and restored, but the submit side cannot observe the
+        #: outcome: ``JobEvent.cache`` / ``cache_stats`` read as no caching.
+        self.job_cache: Optional[JobCache] = resolve_job_cache(job_cache)
         self.executor_label = executors if isinstance(executors, str) or executors is None \
             else (executors[0] if executors else "all")
         if self.executor_label is None:
@@ -226,11 +344,20 @@ class CWLApp:
             app_kwargs["stderr"] = stderr_path
         if output_files:
             app_kwargs["outputs"] = output_files
+        executor_fn = remote_side_bash_executor
+        cache_note: Optional[Dict[str, str]] = None
+        if self.job_cache is not None:
+            app_kwargs["cwl_cache_dir"] = self.job_cache.cache_dir
+            # Per-call outcome channel: filled execution-side, read off the
+            # future by the workflow bridge to tag its per-job end events.
+            cache_note = {}
+            app_kwargs["cwl_cache_note"] = cache_note
+            executor_fn = cached_bash_executor
 
         body = functools.partial(cwl_tool_command, self.tool.raw, self.cwl_path)
         functools.update_wrapper(body, cwl_tool_command)
         body.__name__ = self.__name__  # type: ignore[attr-defined]
-        wrapped = functools.partial(remote_side_bash_executor, body)
+        wrapped = functools.partial(executor_fn, body)
         functools.update_wrapper(wrapped, body)
 
         future = dfk.submit(
@@ -246,6 +373,8 @@ class CWLApp:
         for (name, _file_obj), data_future in zip(named_outputs, future.outputs):
             named.setdefault(name, data_future)
         future.cwl_outputs = named  # type: ignore[attr-defined]
+        if cache_note is not None:
+            future.cwl_cache_note = cache_note  # type: ignore[attr-defined]
         return future
 
     # ----------------------------------------------------------------- helpers

@@ -5,20 +5,28 @@ returns the CWL output object, which is also what the ``parsl-cwl`` command
 line prints.  The function manages the DataFlowKernel lifecycle only when it
 loaded the kernel itself, so it can be embedded in a larger Parsl program that
 already called :func:`repro.parsl.load`.
+
+With a job cache attached (``job_cache=``), the invocation is fingerprinted on
+the submission side — the inputs are concrete here, unlike in the workflow
+bridge — and a hit restores the cached files and collects outputs without
+touching Parsl (or even loading a DataFlowKernel) at all; a miss executes
+normally and then ingests the produced files, so the next run of any engine
+sharing the store is warm.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.core.cwl_app import CWLApp
 from repro.core.yaml_config import load_yaml_config
+from repro.cwl.jobcache import JobCache, job_key, relative_to_outdir, resolve_job_cache
 from repro.cwl.loader import load_tool
 from repro.cwl.outputs import collect_outputs
 from repro.cwl.runtime import RuntimeContext
 from repro.cwl.schema import CommandLineTool
-from repro.cwl.types import value_to_path
+from repro.cwl.types import is_directory_value, is_file_value, value_to_path
 from repro.parsl.config import Config
 from repro.parsl.dataflow.dflow import DataFlowKernelLoader
 from repro.parsl.errors import NoDataFlowKernelError
@@ -33,6 +41,8 @@ def run_tool_with_parsl(
     config: Union[None, str, os.PathLike, Config] = None,
     outdir: Optional[str] = None,
     cleanup: Optional[bool] = None,
+    job_cache: Union[None, bool, str, JobCache] = None,
+    cache_note: Optional[Dict[str, str]] = None,
 ) -> Dict[str, Any]:
     """Execute ``tool`` with the given ``job_order`` on Parsl.
 
@@ -53,8 +63,30 @@ def run_tool_with_parsl(
     cleanup:
         Whether to shut down the DataFlowKernel afterwards.  Defaults to True
         exactly when this call loaded the kernel itself.
+    job_cache:
+        A :class:`~repro.cwl.jobcache.JobCache`, a store directory, ``True``
+        for the default store, or ``None``/``False`` for no caching.
+    cache_note:
+        Optional dict the call annotates with ``{"cache": "hit"|"miss"}``
+        (used by the unified API to tag the per-job event).
     """
     job_order = dict(job_order or {})
+    tool_doc = tool if isinstance(tool, CommandLineTool) else load_tool(tool)
+    cache = resolve_job_cache(job_cache)
+
+    cache_key: Optional[str] = None
+    if cache is not None:
+        cwl_order = _cwl_job_order(tool_doc, job_order)
+        resources = RuntimeContext().with_resources(tool_doc)
+        cache_key = job_key(tool_doc, cwl_order,
+                            cores=resources.cores, ram_mb=resources.ram_mb)
+        entry = cache.lookup(cache_key)
+        if entry is not None:
+            if cache_note is not None:
+                cache_note["cache"] = "hit"
+            return _restore_cached(cache, entry, tool_doc, cwl_order, outdir)
+        if cache_note is not None:
+            cache_note["cache"] = "miss"
 
     loaded_here = False
     if config is not None:
@@ -72,14 +104,13 @@ def run_tool_with_parsl(
         cleanup = loaded_here
 
     try:
-        tool_doc = tool if isinstance(tool, CommandLineTool) else load_tool(tool)
         app = CWLApp(tool_doc)
         future = app(**job_order)
         future.result()
 
         outdir = outdir or os.getcwd()
-        stdout_path = future.stdout
-        stderr_path = future.stderr
+        stdout_path = _absolute(future.stdout, outdir)
+        stderr_path = _absolute(future.stderr, outdir)
         # The parsl engine always uses the compiled-expression pipeline: the
         # CWLApp constructor precompiled the tool, and collect_outputs' default
         # evaluator picks up the pinned templates from app.tool.compiled.
@@ -87,15 +118,81 @@ def run_tool_with_parsl(
         outputs = collect_outputs(
             app.tool,
             outdir=outdir,
-            stdout_path=_absolute(stdout_path, outdir),
-            stderr_path=_absolute(stderr_path, outdir),
-            job_order=_cwl_job_order(app, job_order),
+            stdout_path=stdout_path,
+            stderr_path=stderr_path,
+            job_order=_cwl_job_order(app.tool, job_order),
             runtime=runtime,
         )
+        if cache is not None and cache_key is not None:
+            try:
+                _store_collected(cache, cache_key, outdir, outputs,
+                                 stdout_path, stderr_path)
+            except Exception:
+                # A full/read-only store must never fail a job that succeeded.
+                logger.warning("could not store %s in the cache at %s",
+                               tool_doc.id, cache.cache_dir, exc_info=True)
         return outputs
     finally:
         if cleanup:
             DataFlowKernelLoader.clear()
+
+
+def _restore_cached(cache: JobCache, entry: Any, tool_doc: CommandLineTool,
+                    cwl_order: Dict[str, Any], outdir: Optional[str]) -> Dict[str, Any]:
+    """Stage a cached invocation into ``outdir`` and re-collect its outputs.
+
+    Copy-staged (not hardlinked) because the default outdir is the shared
+    working directory, whose files may later be rewritten in place.
+    """
+    from repro.cwl.expressions.compiler import precompile_process
+
+    outdir = outdir or os.getcwd()
+    cache.restore(entry, outdir, prefer_copy=True)
+    precompile_process(tool_doc)
+    stdout_name = entry.stream_name("stdout")
+    stderr_name = entry.stream_name("stderr")
+    runtime = RuntimeContext().with_resources(tool_doc).runtime_object(outdir, outdir)
+    return collect_outputs(
+        tool_doc,
+        outdir=outdir,
+        stdout_path=os.path.join(outdir, stdout_name) if stdout_name else None,
+        stderr_path=os.path.join(outdir, stderr_name) if stderr_name else None,
+        job_order=cwl_order,
+        runtime=runtime,
+    )
+
+
+def _store_collected(cache: JobCache, key: str, outdir: str,
+                     outputs: Dict[str, Any],
+                     stdout_path: Optional[str],
+                     stderr_path: Optional[str]) -> None:
+    """Ingest the files a collected output object references, plus streams."""
+    paths = _output_file_paths(outputs)
+    for stream in (stdout_path, stderr_path):
+        if stream and os.path.isfile(stream):
+            paths.append(stream)
+    cache.store_files(
+        key, outdir, paths,
+        stdout_name=relative_to_outdir(stdout_path, outdir),
+        stderr_name=relative_to_outdir(stderr_path, outdir),
+    )
+
+
+def _output_file_paths(value: Any, into: Optional[List[str]] = None) -> List[str]:
+    """Every File/Directory path referenced by an output object."""
+    paths = [] if into is None else into
+    if is_file_value(value) or is_directory_value(value):
+        try:
+            paths.append(value_to_path(value))
+        except Exception:
+            pass
+    elif isinstance(value, list):
+        for item in value:
+            _output_file_paths(item, paths)
+    elif isinstance(value, dict):
+        for item in value.values():
+            _output_file_paths(item, paths)
+    return paths
 
 
 def _absolute(path: Optional[str], base: str) -> Optional[str]:
@@ -104,13 +201,13 @@ def _absolute(path: Optional[str], base: str) -> Optional[str]:
     return path if os.path.isabs(path) else os.path.join(base, path)
 
 
-def _cwl_job_order(app: CWLApp, job_order: Dict[str, Any]) -> Dict[str, Any]:
+def _cwl_job_order(tool: CommandLineTool, job_order: Dict[str, Any]) -> Dict[str, Any]:
     """Rebuild the CWL-side job order (File values as dictionaries) for output collection."""
     from repro.cwl.command_line import fill_in_defaults
     from repro.cwl.types import build_file_value, coerce_file_inputs
 
     rebuilt: Dict[str, Any] = {}
-    for param in app.tool.inputs:
+    for param in tool.inputs:
         if param.id not in job_order:
             continue
         value = job_order[param.id]
@@ -118,4 +215,4 @@ def _cwl_job_order(app: CWLApp, job_order: Dict[str, Any]) -> Dict[str, Any]:
             rebuilt[param.id] = build_file_value(os.fspath(value))
         else:
             rebuilt[param.id] = coerce_file_inputs(value)
-    return fill_in_defaults(app.tool.inputs, rebuilt)
+    return fill_in_defaults(tool.inputs, rebuilt)

@@ -64,7 +64,8 @@ class CWLWorkflowBridge:
     def __init__(self, workflow: Union[str, os.PathLike, Workflow],
                  data_flow_kernel: Optional[DataFlowKernel] = None,
                  validate: bool = True,
-                 job_observer: Optional[Any] = None) -> None:
+                 job_observer: Optional[Any] = None,
+                 job_cache: Optional[Any] = None) -> None:
         if isinstance(workflow, Workflow):
             self.workflow = workflow
         else:
@@ -83,6 +84,12 @@ class CWLWorkflowBridge:
         #: is submitted and, once :meth:`run` has resolved all outputs, when
         #: each step future finished.
         self.job_observer = job_observer
+        #: Shared content-addressed job cache (see :mod:`repro.cwl.jobcache`);
+        #: handed to every step's :class:`CWLApp`, whose execution-side probe
+        #: is where upstream futures are concrete enough to fingerprint.
+        from repro.cwl.jobcache import resolve_job_cache
+
+        self.job_cache = resolve_job_cache(job_cache)
         self._pending_observations: List[tuple] = []
         self._apps: Dict[str, CWLApp] = {}
 
@@ -249,8 +256,10 @@ class CWLWorkflowBridge:
             return
         for future, token in pending:
             exception = future.exception()
+            note = getattr(future, "cwl_cache_note", None) or {}
             observer.job_finished(token, ok=exception is None,
-                                  error=str(exception) if exception else None)
+                                  error=str(exception) if exception else None,
+                                  cache=note.get("cache"))
 
     def _app_for(self, node: GraphNode) -> CWLApp:
         if node.id in self._apps:
@@ -271,7 +280,8 @@ class CWLWorkflowBridge:
             )
         if not isinstance(process, CommandLineTool):
             raise WorkflowException(f"step {step.id!r} does not resolve to a CommandLineTool")
-        app = CWLApp(process, data_flow_kernel=self.data_flow_kernel)
+        app = CWLApp(process, data_flow_kernel=self.data_flow_kernel,
+                     job_cache=self.job_cache)
         self._apps[node.id] = app
         return app
 

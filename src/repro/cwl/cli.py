@@ -87,7 +87,7 @@ def _split_known_args(argv: Sequence[str]) -> Tuple[List[str], List[str]]:
     i = 0
     argv = list(argv)
     option_with_value = {"--outdir", "--max-workers", "--jobStore", "--batchSystem", "--nodes",
-                         "--cores-per-node"}
+                         "--cores-per-node", "--cachedir"}
     while i < len(argv):
         token = argv[i]
         if token.startswith("--") and positionals >= 1:
@@ -104,6 +104,20 @@ def _split_known_args(argv: Sequence[str]) -> Tuple[List[str], List[str]]:
     return known, overrides
 
 
+def _finalise_outputs(outputs: Dict[str, Any], outdir: Optional[str]) -> Dict[str, Any]:
+    """Collect final output files into ``--outdir`` (zero-copy staging).
+
+    Mirrors ``cwltool``: with an ``--outdir``, every output File/Directory is
+    staged into it — hardlinked where the filesystem allows, copied otherwise
+    — and the printed output object points at the staged copies.
+    """
+    if not outdir:
+        return outputs
+    from repro.cwl.outputs import stage_outputs
+
+    return stage_outputs(outputs, outdir)
+
+
 def cwltool_main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``repro-cwltool``."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -116,6 +130,8 @@ def cwltool_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--parallel", action="store_true", help="run independent jobs concurrently")
     parser.add_argument("--outdir", default=None, help="directory for final outputs")
     parser.add_argument("--max-workers", type=int, default=8)
+    parser.add_argument("--cachedir", dest="cache_dir", default=None,
+                        help="reuse tool results through the job cache at this directory")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(known)
 
@@ -124,14 +140,16 @@ def cwltool_main(argv: Optional[Sequence[str]] = None) -> int:
 
         process = load_document(args.document)
         job_order = parse_job_order(args.job_order, overrides)
-        runtime_context = RuntimeContext(outdir=args.outdir, basedir=args.outdir)
+        runtime_context = RuntimeContext(outdir=args.outdir, basedir=args.outdir,
+                                         cache_dir=args.cache_dir)
         with Session(engine="reference", runtime_context=runtime_context,
                      parallel=args.parallel, max_workers=args.max_workers) as session:
             result = session.run(process, job_order)
+        outputs = _finalise_outputs(result.outputs, args.outdir)
     except Exception as exc:  # CLI boundary: report and return failure
         print(f"repro-cwltool: error: {exc}", file=sys.stderr)
         return 1
-    print(dump_json(result.outputs))
+    print(dump_json(outputs))
     if not args.quiet:
         print(f"Final process status is {result.status}", file=sys.stderr)
     return 0
@@ -153,6 +171,8 @@ def toil_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--max-workers", type=int, default=8)
     parser.add_argument("--nodes", type=int, default=3, help="simulated cluster size for slurm")
     parser.add_argument("--cores-per-node", type=int, default=48)
+    parser.add_argument("--cachedir", dest="cache_dir", default=None,
+                        help="reuse tool results through the job cache at this directory")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(known)
 
@@ -163,7 +183,8 @@ def toil_main(argv: Optional[Sequence[str]] = None) -> int:
 
         process = load_document(args.document)
         job_order = parse_job_order(args.job_order, overrides)
-        runtime_context = RuntimeContext(outdir=args.outdir, basedir=args.outdir)
+        runtime_context = RuntimeContext(outdir=args.outdir, basedir=args.outdir,
+                                         cache_dir=args.cache_dir)
         if args.batchSystem == "slurm":
             from repro.cluster.nodes import NodeInventory
             from repro.cluster.scheduler import SimulatedSlurmCluster
@@ -176,13 +197,14 @@ def toil_main(argv: Optional[Sequence[str]] = None) -> int:
         with Session(engine="toil", job_store_dir=args.jobStore, batch_system=batch,
                      runtime_context=runtime_context, max_workers=args.max_workers) as session:
             result = session.run(process, job_order)
+        outputs = _finalise_outputs(result.outputs, args.outdir)
     except Exception as exc:
         print(f"repro-toil-cwl-runner: error: {exc}", file=sys.stderr)
         return 1
     finally:
         if cluster is not None:
             cluster.shutdown()
-    print(dump_json(result.outputs))
+    print(dump_json(outputs))
     if not args.quiet:
         print(f"Final process status is {result.status}", file=sys.stderr)
     return 0

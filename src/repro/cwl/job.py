@@ -35,6 +35,9 @@ class JobResult:
     outdir: str
     stdout_path: Optional[str] = None
     stderr_path: Optional[str] = None
+    #: True when the result was restored from the job cache instead of
+    #: executing the subprocess (see :mod:`repro.cwl.jobcache`).
+    cache_hit: bool = False
 
 
 @dataclass
@@ -108,8 +111,46 @@ class CommandLineJob:
 
     # -------------------------------------------------------------- execution
 
+    def cached_result(self) -> Optional[JobResult]:
+        """Probe the job cache without executing anything; restore on a hit.
+
+        Lets runners short-circuit *before* entering their dispatch machinery
+        (the Toil-like runner skips the batch-system round trip entirely).
+        A hit implies this exact invocation previously validated and executed
+        successfully, so input validation is not repeated.  A miss is not
+        counted here — the :meth:`execute` that follows records it.
+        """
+        cache = self.runtime_context.get_job_cache()
+        if cache is None:
+            return None
+        from repro.cwl.jobcache import job_key
+
+        context = self.runtime_context.with_resources(self.tool)
+        key = job_key(self.tool, self.job_order,
+                      cores=context.cores, ram_mb=context.ram_mb,
+                      extra_env=context.env)
+        entry = cache.lookup(key, record=False)
+        if entry is None:
+            return None
+        cache.record_hit()
+        outdir = self.runtime_context.make_job_dir(
+            name=(self.tool.id or "tool").replace("/", "_") or "tool"
+        )
+        tmpdir = self.runtime_context.make_tmpdir()
+        runtime = context.runtime_object(outdir, tmpdir)
+        return self._restore_from_cache(cache, entry, outdir, tmpdir, runtime)
+
     def execute(self, outdir: Optional[str] = None) -> JobResult:
-        """Run the tool as a subprocess and collect its outputs."""
+        """Run the tool as a subprocess and collect its outputs.
+
+        With the job cache enabled (see
+        :meth:`~repro.cwl.runtime.RuntimeContext.get_job_cache`), a previous
+        invocation with the same tool document, input contents, environment
+        and granted resources is *restored* — its files hardlinked into this
+        job's fresh working directory — and the subprocess never runs; output
+        collection still executes against the restored files, so hits and
+        misses flow through identical collection code.
+        """
         outdir = outdir or self.runtime_context.make_job_dir(
             name=(self.tool.id or "tool").replace("/", "_") or "tool"
         )
@@ -122,6 +163,18 @@ class CommandLineJob:
             raise InputValidationError(
                 f"job order for tool {self.tool.id!r} is invalid: " + "; ".join(problems)
             )
+
+        cache = self.runtime_context.get_job_cache()
+        cache_key: Optional[str] = None
+        if cache is not None:
+            from repro.cwl.jobcache import job_key
+
+            cache_key = job_key(self.tool, self.job_order,
+                                cores=runtime["cores"], ram_mb=runtime["ram"],
+                                extra_env=self.runtime_context.env)
+            entry = cache.lookup(cache_key)
+            if entry is not None:
+                return self._restore_from_cache(cache, entry, outdir, tmpdir, runtime)
 
         evaluator = self.make_evaluator()
         parts = build_command_line(self.tool, self.job_order, runtime, evaluator)
@@ -169,6 +222,25 @@ class CommandLineJob:
             evaluator=evaluator,
             compute_checksum=self.runtime_context.compute_checksum,
         )
+        cacheable = not any(name and os.path.isabs(name)
+                            for name in (parts.stdout, parts.stderr))
+        if cache is not None and cache_key is not None and cacheable:
+            from repro.cwl.jobcache import canonical_command
+
+            try:
+                cache.store_outdir(
+                    cache_key, outdir,
+                    stdout_name=parts.stdout, stderr_name=parts.stderr,
+                    exit_code=exit_code,
+                    command=canonical_command(parts.argv, parts.stdin, parts.stdout,
+                                              parts.stderr, parts.environment,
+                                              outdir=outdir, tmpdir=tmpdir,
+                                              job_order=self.job_order),
+                )
+            except Exception:
+                # A full/read-only store must never fail a job that succeeded.
+                logger.warning("could not store job %s in the cache at %s",
+                               self.tool.id, cache.cache_dir, exc_info=True)
         self.runtime_context.cleanup_dir(tmpdir)
         return JobResult(
             outputs=outputs,
@@ -177,4 +249,39 @@ class CommandLineJob:
             outdir=outdir,
             stdout_path=stdout_path,
             stderr_path=stderr_path,
+        )
+
+    def _restore_from_cache(self, cache, entry, outdir: str, tmpdir: str,
+                            runtime: Dict[str, Any]) -> JobResult:
+        """Stage a cached invocation into ``outdir`` and re-collect its outputs.
+
+        Skips command-line construction entirely (the key proves the resolved
+        command would be identical), which is what makes warm re-runs of
+        expression-heavy tools near-constant time.
+        """
+        logger.debug("job cache hit for %s (key %s)", self.tool.id, entry.key)
+        cache.restore(entry, outdir)
+        stdout_name = entry.stream_name("stdout")
+        stderr_name = entry.stream_name("stderr")
+        stdout_path = os.path.join(outdir, stdout_name) if stdout_name else None
+        stderr_path = os.path.join(outdir, stderr_name) if stderr_name else None
+        outputs = collect_outputs(
+            self.tool,
+            outdir=outdir,
+            stdout_path=stdout_path,
+            stderr_path=stderr_path,
+            job_order=self.job_order,
+            runtime=runtime,
+            evaluator=self.make_evaluator(),
+            compute_checksum=self.runtime_context.compute_checksum,
+        )
+        self.runtime_context.cleanup_dir(tmpdir)
+        return JobResult(
+            outputs=outputs,
+            exit_code=entry.exit_code,
+            command=list(entry.command.get("argv") or []),
+            outdir=outdir,
+            stdout_path=stdout_path,
+            stderr_path=stderr_path,
+            cache_hit=True,
         )

@@ -1,0 +1,600 @@
+"""Content-addressed job cache + zero-copy staging.
+
+Every CommandLineTool invocation is assigned a deterministic **job key**
+derived from
+
+* the canonicalized tool document (which covers ``baseCommand``,
+  ``arguments``, every binding, the output spec and the requirements),
+* the canonicalized job order, with every input ``File`` / ``Directory``
+  replaced by its *content* fingerprint (path-independent),
+* the runtime context's extra environment variables, and
+* the granted ``$(runtime.cores)`` / ``$(runtime.ram)`` resources.
+
+A persistent on-disk store maps that key to the files the job produced.  On a
+**hit** the files are restored into a fresh output directory with
+hardlink-with-copy-fallback staging (:func:`stage_file` — zero-copy on the
+same filesystem) and the subprocess never runs; output *collection* re-runs
+against the restored files, so cached results flow through exactly the same
+code path as cold ones.  On a **miss** the job executes normally and its
+output directory is ingested into the store — again by hardlinking.
+
+The store is shared by all four engines (``reference``, ``toil``, ``parsl``,
+``parsl-workflow``): the key is computed from engine-independent data, so a
+workflow warmed by one engine is warm for the others.
+
+Store layout (everything under one ``cache_dir``)::
+
+    cache_dir/
+      entries/<job key>.json     one manifest per cached invocation
+      cas/<sha1>                 content-addressed file bodies (hardlinked)
+
+Manifests are written atomically (tmp + ``os.replace``) and the CAS is
+add-only, so concurrent scatter shards — or concurrent sessions — can share
+one store without corrupting it: the worst case is two writers racing to
+create identical content, and whoever loses simply finds the file already
+present.  The manifest additionally records the job's *resolved command line*
+(canonicalized: scratch-directory and input paths replaced by stable
+placeholders) and folds it into the reported ``fingerprint``; the command
+line is fully determined by the key's components, which is what lets a warm
+run skip rebuilding it.
+
+Known caveats (shared with cwltool's ``--cachedir`` and Parsl's app
+memoizer): restored files are hardlinks, so a consumer that *mutates* an
+output in place would corrupt the store — CWL tools treat outputs as
+immutable; and a tool that is non-deterministic or depends on un-fingerprinted
+ambient state (time, network) will happily replay its first recorded run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.utils.hashing import hash_file, hash_obj
+from repro.utils.logging_config import get_logger
+
+logger = get_logger("cwl.jobcache")
+
+#: Environment variable that both names the default store location and —
+#: because setting it counts as opting in — enables the cache for engines
+#: left at their ``job_cache=None`` default.
+CACHE_DIR_ENV = "REPRO_JOBCACHE_DIR"
+
+MANIFEST_VERSION = 1
+
+
+def default_cache_dir() -> str:
+    """The store location used when caching is enabled without a ``cache_dir``."""
+    configured = os.environ.get(CACHE_DIR_ENV)
+    if configured:
+        return configured
+    try:
+        tag = f"uid{os.getuid()}"
+    except AttributeError:  # pragma: no cover - non-POSIX
+        tag = "shared"
+    return os.path.join(tempfile.gettempdir(), f"repro-jobcache-{tag}")
+
+
+# --------------------------------------------------------------------- staging
+
+
+def stage_file(source: str, destination: str, overwrite: bool = True,
+               prefer_copy: bool = False) -> str:
+    """Stage ``source`` at ``destination``: hardlink, falling back to a copy.
+
+    The zero-copy primitive shared by the job cache, the Toil-like job store
+    and final output collection.  Returns ``"link"`` or ``"copy"`` (or
+    ``"kept"`` when the destination existed and ``overwrite`` is false).
+    Overwrites are atomic: the replacement is prepared under a temporary name
+    in the destination directory and ``os.replace``d into place, so readers
+    never observe a half-staged file.
+
+    ``prefer_copy=True`` skips the hardlink attempt — used whenever either
+    side of the transfer lives in a *shared* directory whose files may later
+    be rewritten in place (a hardlink would alias that rewrite into the other
+    side).
+    """
+    source = os.fspath(source)
+    destination = os.fspath(destination)
+    parent = os.path.dirname(os.path.abspath(destination))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+
+    if not overwrite and os.path.exists(destination):
+        return "kept"
+
+    if not prefer_copy and not os.path.exists(destination):
+        try:
+            os.link(source, destination)
+            return "link"
+        except FileExistsError:
+            if not overwrite:
+                return "kept"
+        except OSError:
+            pass  # cross-device, FS without hardlinks, odd sources: copy below
+
+    tmp = os.path.join(
+        parent, f".stage-{os.getpid()}-{threading.get_ident()}-{os.path.basename(destination)}"
+    )
+    try:
+        try:
+            if prefer_copy:
+                raise OSError("copy requested")
+            os.link(source, tmp)
+            how = "link"
+        except OSError:
+            shutil.copy2(source, tmp)
+            how = "copy"
+        os.replace(tmp, destination)
+    finally:
+        if os.path.exists(tmp):
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+    return how
+
+
+# ---------------------------------------------------------------- fingerprints
+
+#: Content-hash memo keyed by (realpath, size, mtime_ns): warm re-runs hash
+#: each distinct input file once per content change, not once per job.
+_FILE_HASH_MEMO: Dict[Tuple[str, int, int], str] = {}
+_FILE_HASH_LOCK = threading.Lock()
+
+
+def file_fingerprint(path: str) -> str:
+    """The sha1 of the file's *content*, memoized on (path, size, mtime)."""
+    real = os.path.realpath(path)
+    stat = os.stat(real)
+    memo_key = (real, stat.st_size, stat.st_mtime_ns)
+    with _FILE_HASH_LOCK:
+        cached = _FILE_HASH_MEMO.get(memo_key)
+    if cached is not None:
+        return cached
+    digest = hash_file(real).split("$", 1)[1]
+    with _FILE_HASH_LOCK:
+        _FILE_HASH_MEMO[memo_key] = digest
+    return digest
+
+
+def directory_fingerprint(path: str) -> str:
+    """A stable fingerprint of a directory tree (names + file contents)."""
+    entries: List[Tuple[str, str]] = []
+    for root, dirs, files in os.walk(path):
+        dirs.sort()
+        rel_root = os.path.relpath(root, path)
+        for name in sorted(files):
+            full = os.path.join(root, name)
+            rel = os.path.normpath(os.path.join(rel_root, name))
+            try:
+                entries.append((rel, file_fingerprint(full)))
+            except OSError:
+                entries.append((rel, "unreadable"))
+        if not files and not dirs:
+            entries.append((os.path.normpath(rel_root), "emptydir"))
+    return hash_obj(tuple(entries), algorithm="sha1")
+
+
+def tool_fingerprint(tool: Any) -> str:
+    """Canonical fingerprint of a tool document, pinned on the tool instance.
+
+    Hashes the raw normalised document (dict order independent via
+    :func:`~repro.utils.hashing.hash_obj`), which covers the command
+    template, bindings, requirements *and* the output spec.
+    """
+    pinned = getattr(tool, "_jobcache_doc_fp", None)
+    if pinned is not None:
+        return pinned
+    raw = getattr(tool, "raw", None) or {}
+    fingerprint = hash_obj(raw, algorithm="sha1")
+    try:
+        tool._jobcache_doc_fp = fingerprint
+    except Exception:  # pragma: no cover - slotted/frozen tool stand-ins
+        pass
+    return fingerprint
+
+
+def _canonical_value(value: Any) -> Any:
+    """Replace File/Directory values with content identities, recursively."""
+    if isinstance(value, dict):
+        cls = value.get("class")
+        if cls == "File":
+            path = value.get("path")
+            if path and os.path.exists(path):
+                identity = file_fingerprint(path)
+            elif value.get("checksum"):
+                identity = str(value["checksum"]).split("$", 1)[-1]
+            elif value.get("contents") is not None:
+                identity = hash_obj(value["contents"], algorithm="sha1")
+            else:
+                identity = f"missing:{path!r}"
+            return ("File", value.get("basename") or os.path.basename(path or ""), identity)
+        if cls == "Directory":
+            path = value.get("path")
+            if path and os.path.isdir(path):
+                identity = directory_fingerprint(path)
+            else:
+                identity = f"missing:{path!r}"
+            return ("Directory", value.get("basename") or os.path.basename(path or ""), identity)
+        return tuple(sorted((k, _canonical_value(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical_value(item) for item in value)
+    return value
+
+
+def job_key(tool: Any, job_order: Dict[str, Any], *, cores: int, ram_mb: int,
+            extra_env: Optional[Dict[str, str]] = None) -> str:
+    """The deterministic cache key of one CommandLineTool invocation.
+
+    ``None``-valued job-order entries are dropped so that an omitted optional
+    input and an explicit ``null`` fingerprint identically (they produce the
+    same command line).
+    """
+    canonical_order = tuple(sorted(
+        (key, _canonical_value(value))
+        for key, value in job_order.items() if value is not None
+    ))
+    payload = (
+        tool_fingerprint(tool),
+        canonical_order,
+        tuple(sorted((extra_env or {}).items())),
+        int(cores),
+        int(ram_mb),
+    )
+    return hash_obj(payload, algorithm="sha1")
+
+
+def canonical_command(argv: List[str], stdin: Optional[str], stdout: Optional[str],
+                      stderr: Optional[str], environment: Dict[str, str],
+                      outdir: str, tmpdir: Optional[str],
+                      job_order: Dict[str, Any]) -> Dict[str, Any]:
+    """The resolved command line with run-specific paths canonicalized.
+
+    Scratch directories become ``$OUTDIR`` / ``$TMPDIR`` and each input
+    File/Directory path becomes ``$INPUT[<content-hash>]``, so the recorded
+    command is stable across re-runs that only differ in where they staged
+    their data.  Folded into the manifest's ``fingerprint``.
+    """
+    substitutions: List[Tuple[str, str]] = []
+
+    def collect(value: Any) -> None:
+        if isinstance(value, dict):
+            cls = value.get("class")
+            path = value.get("path")
+            if cls in ("File", "Directory") and path:
+                identity = _canonical_value(value)[-1]
+                substitutions.append((str(path), f"$INPUT[{identity}]"))
+                return
+            for item in value.values():
+                collect(item)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                collect(item)
+
+    collect(job_order)
+    if outdir:
+        substitutions.append((outdir, "$OUTDIR"))
+    if tmpdir:
+        substitutions.append((tmpdir, "$TMPDIR"))
+    # Longest-first so nested paths resolve deterministically.
+    substitutions.sort(key=lambda pair: len(pair[0]), reverse=True)
+
+    def canon(token: Optional[str]) -> Optional[str]:
+        if token is None:
+            return None
+        for concrete, placeholder in substitutions:
+            token = token.replace(concrete, placeholder)
+        return token
+
+    return {
+        "argv": [canon(token) for token in argv],
+        "stdin": canon(stdin),
+        "stdout": canon(stdout),
+        "stderr": canon(stderr),
+        "environment": {name: canon(value) for name, value in sorted(environment.items())},
+    }
+
+
+# ----------------------------------------------------------------------- store
+
+
+@dataclass
+class CacheEntry:
+    """One validated manifest loaded from the store."""
+
+    key: str
+    fingerprint: str
+    files: Dict[str, Dict[str, Any]]    # relpath -> {"cas": id, "size": bytes}
+    dirs: List[str]                     # empty directories to recreate
+    streams: Dict[str, Optional[str]]   # "stdout"/"stderr" -> relpath (or None)
+    exit_code: int = 0
+    command: Dict[str, Any] = field(default_factory=dict)
+
+    def stream_name(self, which: str) -> Optional[str]:
+        return self.streams.get(which)
+
+
+@dataclass
+class CacheStats:
+    """Monotonic per-store counters (snapshot with :meth:`as_dict`)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    restored_files: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "restored_files": self.restored_files}
+
+
+class JobCache:
+    """Persistent content-addressed store of CommandLineTool results."""
+
+    def __init__(self, cache_dir: str) -> None:
+        self.cache_dir = os.path.abspath(cache_dir)
+        self.entries_dir = os.path.join(self.cache_dir, "entries")
+        self.cas_dir = os.path.join(self.cache_dir, "cas")
+        os.makedirs(self.entries_dir, exist_ok=True)
+        os.makedirs(self.cas_dir, exist_ok=True)
+        self.stats = CacheStats()
+        self._stats_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ lookup
+
+    def _entry_path(self, key: str) -> str:
+        return os.path.join(self.entries_dir, f"{key}.json")
+
+    def _cas_path(self, cas_id: str) -> str:
+        return os.path.join(self.cas_dir, cas_id)
+
+    def lookup(self, key: str, record: bool = True) -> Optional[CacheEntry]:
+        """Load and validate the manifest for ``key``; records hit/miss stats.
+
+        A manifest whose CAS bodies have gone missing (a partially deleted
+        store) is treated as a miss, so the entry is transparently re-created
+        by the run that follows.
+        """
+        entry = self._load_entry(key)
+        if record:
+            with self._stats_lock:
+                if entry is None:
+                    self.stats.misses += 1
+                else:
+                    self.stats.hits += 1
+        return entry
+
+    def record_hit(self) -> None:
+        """Count a hit whose lookup ran with ``record=False`` (probe pattern)."""
+        with self._stats_lock:
+            self.stats.hits += 1
+
+    def _load_entry(self, key: str) -> Optional[CacheEntry]:
+        path = self._entry_path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if data.get("version") != MANIFEST_VERSION:
+            return None
+        files = dict(data.get("files") or {})
+        for spec in files.values():
+            body = self._cas_path(spec.get("cas", ""))
+            # A missing or truncated body (e.g. a shared file later rewritten
+            # in place) invalidates the whole entry rather than replaying it.
+            try:
+                if os.path.getsize(body) != int(spec.get("size", -1)):
+                    logger.debug("cache entry %s has a stale CAS body %s", key, body)
+                    return None
+            except OSError:
+                logger.debug("cache entry %s refers to missing CAS body %s", key, body)
+                return None
+        return CacheEntry(
+            key=key,
+            fingerprint=data.get("fingerprint", key),
+            files=files,
+            dirs=list(data.get("dirs") or []),
+            streams=dict(data.get("streams") or {}),
+            exit_code=int(data.get("exit_code", 0)),
+            command=dict(data.get("command") or {}),
+        )
+
+    # ----------------------------------------------------------------- restore
+
+    def restore(self, entry: CacheEntry, outdir: str,
+                exclude: Tuple[str, ...] = (),
+                prefer_copy: bool = False) -> None:
+        """Stage every cached file of ``entry`` into ``outdir``.
+
+        Zero-copy (hardlink) by default; pass ``prefer_copy=True`` when
+        ``outdir`` is a *shared* directory whose files may later be rewritten
+        in place, which would otherwise alias into the store.
+        """
+        os.makedirs(outdir, exist_ok=True)
+        excluded = {os.path.normpath(rel) for rel in exclude if rel}
+        for rel in entry.dirs:
+            os.makedirs(os.path.join(outdir, rel), exist_ok=True)
+        restored = 0
+        for rel, spec in entry.files.items():
+            if os.path.normpath(rel) in excluded:
+                continue
+            stage_file(self._cas_path(spec["cas"]), os.path.join(outdir, rel),
+                       prefer_copy=prefer_copy)
+            restored += 1
+        with self._stats_lock:
+            self.stats.restored_files += restored
+
+    def cas_body(self, entry: CacheEntry, rel: str) -> Optional[str]:
+        """Absolute CAS path of the body cached for ``rel``, if any."""
+        spec = entry.files.get(os.path.normpath(rel)) if rel else None
+        return self._cas_path(spec["cas"]) if spec else None
+
+    # ------------------------------------------------------------------- store
+
+    def ingest_file(self, path: str, prefer_copy: bool = False) -> Dict[str, Any]:
+        """Add one file body to the CAS; returns its ``{"cas", "size"}`` spec.
+
+        Hardlinked (zero-copy) by default; ``prefer_copy=True`` for files in
+        shared directories that may later be rewritten in place.
+        """
+        cas_id = file_fingerprint(path)
+        destination = self._cas_path(cas_id)
+        size = os.path.getsize(path)
+        if not os.path.exists(destination):
+            stage_file(path, destination, overwrite=False, prefer_copy=prefer_copy)
+        return {"cas": cas_id, "size": size}
+
+    def store_outdir(self, key: str, outdir: str, *,
+                     stdout_name: Optional[str] = None,
+                     stderr_name: Optional[str] = None,
+                     exit_code: int = 0,
+                     command: Optional[Dict[str, Any]] = None) -> CacheEntry:
+        """Snapshot a job's entire (private) output directory under ``key``."""
+        files: Dict[str, Dict[str, Any]] = {}
+        empty_dirs: List[str] = []
+        for root, dirs, names in os.walk(outdir):
+            rel_root = os.path.relpath(root, outdir)
+            for name in names:
+                full = os.path.join(root, name)
+                if not os.path.isfile(full):
+                    continue  # sockets/fifos are not cacheable
+                rel = os.path.normpath(os.path.join(rel_root, name))
+                files[rel] = self.ingest_file(full)
+            if not names and not dirs and rel_root != ".":
+                empty_dirs.append(os.path.normpath(rel_root))
+        return self._write_entry(key, files, empty_dirs,
+                                 stdout_name=stdout_name, stderr_name=stderr_name,
+                                 exit_code=exit_code, command=command)
+
+    def store_files(self, key: str, outdir: str, paths: List[str], *,
+                    stdout_name: Optional[str] = None,
+                    stderr_name: Optional[str] = None,
+                    exit_code: int = 0,
+                    command: Optional[Dict[str, Any]] = None,
+                    prefer_copy: bool = True) -> Optional[CacheEntry]:
+        """Store an explicit file list (used where the outdir is shared).
+
+        Paths outside ``outdir`` cannot be expressed as store-relative names,
+        and non-regular-file paths (a Directory output, a vanished file)
+        cannot be represented by this file-list form at all; either way the
+        job is simply not cached (returns ``None``) rather than cached
+        incompletely — a partial entry would make the warm run diverge from
+        the cold one.  Defaults to copy-ingestion because a shared
+        directory's files may later be rewritten in place.
+        """
+        outdir = os.path.abspath(outdir)
+        files: Dict[str, Dict[str, Any]] = {}
+        for path in paths:
+            full = os.path.abspath(path)
+            if not os.path.isfile(full):
+                logger.debug("not caching %s: output %s is not a regular file", key, full)
+                return None
+            rel = os.path.relpath(full, outdir)
+            if rel.startswith(".."):
+                logger.debug("not caching %s: output %s escapes the job directory", key, full)
+                return None
+            files[os.path.normpath(rel)] = self.ingest_file(full, prefer_copy=prefer_copy)
+        return self._write_entry(key, files, [],
+                                 stdout_name=stdout_name, stderr_name=stderr_name,
+                                 exit_code=exit_code, command=command)
+
+    def _write_entry(self, key: str, files: Dict[str, Dict[str, Any]],
+                     dirs: List[str], *,
+                     stdout_name: Optional[str], stderr_name: Optional[str],
+                     exit_code: int, command: Optional[Dict[str, Any]]) -> CacheEntry:
+        fingerprint = hash_obj((key, command or {}), algorithm="sha1")
+        manifest = {
+            "version": MANIFEST_VERSION,
+            "key": key,
+            "fingerprint": fingerprint,
+            "files": files,
+            "dirs": dirs,
+            "streams": {"stdout": stdout_name, "stderr": stderr_name},
+            "exit_code": exit_code,
+            "command": command or {},
+            "created_at": time.time(),
+        }
+        path = self._entry_path(key)
+        tmp = f"{path}.{os.getpid()}-{threading.get_ident()}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+        os.replace(tmp, path)
+        with self._stats_lock:
+            self.stats.stores += 1
+        return CacheEntry(key=key, fingerprint=fingerprint, files=files, dirs=dirs,
+                          streams={"stdout": stdout_name, "stderr": stderr_name},
+                          exit_code=exit_code, command=command or {})
+
+    # ------------------------------------------------------------------- admin
+
+    def snapshot(self) -> Dict[str, int]:
+        """A point-in-time copy of the counters (thread-safe)."""
+        with self._stats_lock:
+            return self.stats.as_dict()
+
+    def entry_count(self) -> int:
+        try:
+            return sum(1 for name in os.listdir(self.entries_dir) if name.endswith(".json"))
+        except OSError:
+            return 0
+
+    def clear(self) -> None:
+        """Drop every entry and CAS body (the store directory itself remains)."""
+        for directory in (self.entries_dir, self.cas_dir):
+            shutil.rmtree(directory, ignore_errors=True)
+            os.makedirs(directory, exist_ok=True)
+
+    def __repr__(self) -> str:
+        return f"<JobCache {self.cache_dir!r} {self.snapshot()}>"
+
+
+# -------------------------------------------------------- process-wide handles
+
+_CACHES: Dict[str, JobCache] = {}
+_CACHES_LOCK = threading.Lock()
+
+
+def get_job_cache(cache_dir: Optional[str] = None) -> JobCache:
+    """The process-wide :class:`JobCache` for ``cache_dir`` (created on demand).
+
+    Keyed by real path so every engine — and every thread — pointing at the
+    same store shares one instance and therefore one set of statistics.
+    """
+    directory = os.path.realpath(cache_dir or default_cache_dir())
+    with _CACHES_LOCK:
+        cache = _CACHES.get(directory)
+        if cache is None:
+            cache = JobCache(directory)
+            _CACHES[directory] = cache
+        return cache
+
+
+def resolve_job_cache(candidate: Any) -> Optional[JobCache]:
+    """Coerce ``True`` / a directory path / a :class:`JobCache` / ``None``."""
+    if candidate is None or candidate is False:
+        return None
+    if isinstance(candidate, JobCache):
+        return candidate
+    if candidate is True:
+        return get_job_cache(None)
+    return get_job_cache(os.fspath(candidate))
+
+
+def relative_to_outdir(path: Optional[str], outdir: str) -> Optional[str]:
+    """``path`` as an outdir-relative name, or ``None`` when it escapes it.
+
+    Shared by the store-ingestion paths (manifest stream names must be
+    store-relative).  Both operands are absolutized first.
+    """
+    if not path:
+        return None
+    rel = os.path.relpath(os.path.abspath(path), os.path.abspath(outdir))
+    return None if rel.startswith("..") else rel

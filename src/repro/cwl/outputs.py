@@ -21,8 +21,9 @@ from typing import Any, Dict, List, Optional
 
 from repro.cwl.errors import OutputCollectionError
 from repro.cwl.expressions.evaluator import ExpressionEvaluator
+from repro.cwl.jobcache import stage_file
 from repro.cwl.schema import CommandLineTool, CommandOutputParameter
-from repro.cwl.types import build_file_value
+from repro.cwl.types import build_directory_value, build_file_value, is_directory_value, is_file_value
 
 
 def _glob_in(outdir: str, pattern: str) -> List[str]:
@@ -114,6 +115,53 @@ def collect_output(
             f"required output {param.id!r} matched no files (glob={binding.glob!r}) in {outdir}"
         )
     return matched_value
+
+
+def stage_outputs(outputs: Dict[str, Any], destination: str,
+                  compute_checksum: bool = False) -> Dict[str, Any]:
+    """Restage every File/Directory of an output object into ``destination``.
+
+    The final-output analogue of ``cwltool --outdir``: each referenced file is
+    staged with the shared hardlink-with-copy-fallback helper
+    (:func:`repro.cwl.jobcache.stage_file` — zero-copy on the same
+    filesystem, never a ``shutil.copy`` when a link suffices) and the value's
+    ``path``/``location`` are rewritten to the staged copy.  Values whose
+    source no longer exists are passed through unchanged.  Returns a new
+    output object; the input is not mutated.
+    """
+
+    def restage(value: Any) -> Any:
+        if is_file_value(value):
+            source = value.get("path")
+            if not source or not os.path.isfile(source):
+                return value
+            target = os.path.join(destination, value.get("basename") or
+                                  os.path.basename(source))
+            stage_file(source, target)
+            staged = build_file_value(target, compute_checksum=compute_checksum)
+            staged.update({k: v for k, v in value.items() if k not in staged})
+            return staged
+        if is_directory_value(value):
+            source = value.get("path")
+            if not source or not os.path.isdir(source):
+                return value
+            target = os.path.join(destination, value.get("basename") or
+                                  os.path.basename(source))
+            for root, _dirs, names in os.walk(source):
+                rel = os.path.relpath(root, source)
+                os.makedirs(os.path.normpath(os.path.join(target, rel)), exist_ok=True)
+                for name in names:
+                    stage_file(os.path.join(root, name),
+                               os.path.normpath(os.path.join(target, rel, name)))
+            return build_directory_value(target, listing="listing" in value)
+        if isinstance(value, list):
+            return [restage(item) for item in value]
+        if isinstance(value, dict):
+            return {key: restage(item) for key, item in value.items()}
+        return value
+
+    os.makedirs(destination, exist_ok=True)
+    return {key: restage(value) for key, value in outputs.items()}
 
 
 def collect_outputs(

@@ -17,6 +17,7 @@ paper's contribution.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
@@ -56,6 +57,18 @@ class BaseRunner(ABC):
         #: see :class:`repro.api.events.EventRecorder`).  Set by the unified
         #: API engines; may be called from worker threads.
         self.hooks = None
+        #: Per-thread side channel through which ``run_tool`` implementations
+        #: annotate the *current* job's end event (e.g. cache hit/miss).  A
+        #: thread-local works because ``_observed`` and the ``run_tool`` it
+        #: wraps always share a thread, even when the actual execution is
+        #: delegated elsewhere (the Toil batch system).
+        self._job_meta = threading.local()
+
+    def note_job_meta(self, **meta: Any) -> None:
+        """Record metadata for the job currently observed on this thread."""
+        current = getattr(self._job_meta, "value", None) or {}
+        current.update(meta)
+        self._job_meta.value = current
 
     # ------------------------------------------------------------------ public
 
@@ -102,12 +115,15 @@ class BaseRunner(ABC):
         if hooks is None:
             return method(process, job_order, runtime_context)
         token = hooks.job_started(process.id or type(process).__name__)
+        self._job_meta.value = None
         try:
             outputs = method(process, job_order, runtime_context)
         except Exception as exc:
             hooks.job_finished(token, ok=False, error=str(exc))
             raise
-        hooks.job_finished(token)
+        meta = getattr(self._job_meta, "value", None) or {}
+        self._job_meta.value = None
+        hooks.job_finished(token, cache=meta.get("cache"))
         return outputs
 
     # ------------------------------------------------------------- per-process

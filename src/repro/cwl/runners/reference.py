@@ -58,6 +58,8 @@ class ReferenceRunner(BaseRunner):
             runtime_context=runtime_context,
         )
         result = job.execute()
+        if runtime_context.job_cache_dir() is not None:
+            self.note_job_meta(cache="hit" if result.cache_hit else "miss")
         return result.outputs
 
     def run_workflow(self, workflow: Workflow, job_order: Dict[str, Any],

@@ -27,6 +27,7 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.cwl.jobcache import stage_file
 from repro.utils.hashing import hash_file
 from repro.utils.ids import RunIdGenerator
 
@@ -59,6 +60,24 @@ class FileJobStore:
         os.makedirs(self.files_dir, exist_ok=True)
         self._ids = RunIdGenerator(start=1)
         self._lock = threading.Lock()
+        # State counts are maintained incrementally (one scan on open for
+        # restartability) so stats() stays O(1) however many jobs a
+        # long-lived session accumulates.  Unreadable job documents (e.g.
+        # truncated by a crash) are skipped, not fatal.
+        self._state_counts: Dict[str, int] = {}
+        self._file_count = 0
+        for entry in sorted(os.listdir(self.jobs_dir)):
+            if not entry.endswith(".json"):
+                continue
+            try:
+                state = self.load_job(entry[:-5]).state
+            except Exception:
+                continue
+            self._state_counts[state] = self._state_counts.get(state, 0) + 1
+        try:
+            self._file_count = len(os.listdir(self.files_dir))
+        except OSError:
+            self._file_count = 0
 
     # ----------------------------------------------------------------- jobs
 
@@ -73,12 +92,17 @@ class FileJobStore:
         job = StoredJob(job_id=job_id, name=name,
                         requirements=requirements or {}, payload=payload or {})
         self._write(job)
+        with self._lock:
+            self._state_counts[job.state] = self._state_counts.get(job.state, 0) + 1
         return job
 
     def update_job(self, job: StoredJob, state: Optional[str] = None,
                    error: Optional[str] = None) -> StoredJob:
         """Persist a state change."""
-        if state is not None:
+        if state is not None and state != job.state:
+            with self._lock:
+                self._state_counts[job.state] = self._state_counts.get(job.state, 1) - 1
+                self._state_counts[state] = self._state_counts.get(state, 0) + 1
             job.state = state
         if error is not None:
             job.error = error
@@ -99,10 +123,18 @@ class FileJobStore:
         return jobs
 
     def delete_job(self, job_id: str) -> None:
+        state: Optional[str] = None
+        try:
+            state = self.load_job(job_id).state
+        except Exception:
+            pass  # corrupt documents are still deletable
         try:
             os.unlink(self._job_path(job_id))
         except FileNotFoundError:
-            pass
+            return
+        if state is not None:
+            with self._lock:
+                self._state_counts[state] = self._state_counts.get(state, 1) - 1
 
     def _write(self, job: StoredJob) -> None:
         path = self._job_path(job.job_id)
@@ -114,20 +146,29 @@ class FileJobStore:
     # ---------------------------------------------------------------- files
 
     def import_file(self, path: str) -> str:
-        """Copy ``path`` into the store; returns the store file id."""
+        """Import ``path`` into the store; returns the store file id.
+
+        Zero-copy: the content-addressed store entry is a hardlink to the
+        produced file whenever the filesystem allows it, with a copy as the
+        fallback (see :func:`repro.cwl.jobcache.stage_file`).
+        """
         checksum = hash_file(path).split("$", 1)[1]
         basename = os.path.basename(path)
         file_id = f"{checksum[:16]}-{basename}"
         destination = os.path.join(self.files_dir, file_id)
         if not os.path.exists(destination):
-            shutil.copy2(path, destination)
+            # stage_file reports "kept" when a concurrent importer won the
+            # race, so exactly one of the racers counts the new file.
+            if stage_file(path, destination, overwrite=False) != "kept":
+                with self._lock:
+                    self._file_count += 1
         return file_id
 
     def export_file(self, file_id: str, destination: str) -> str:
-        """Copy a stored file out of the store to ``destination``."""
+        """Stage a stored file out of the store to ``destination`` (hardlink,
+        copy fallback)."""
         source = os.path.join(self.files_dir, file_id)
-        os.makedirs(os.path.dirname(os.path.abspath(destination)) or ".", exist_ok=True)
-        shutil.copy2(source, destination)
+        stage_file(source, destination)
         return destination
 
     def file_path(self, file_id: str) -> str:
@@ -139,11 +180,16 @@ class FileJobStore:
     # ------------------------------------------------------------- lifecycle
 
     def stats(self) -> Dict[str, int]:
-        """Counts of jobs per state plus stored file count (used in tests)."""
-        counts: Dict[str, int] = {}
-        for job in self.list_jobs():
-            counts[job.state] = counts.get(job.state, 0) + 1
-        counts["files"] = len(os.listdir(self.files_dir))
+        """Counts of jobs per state plus stored file count.
+
+        Served from incrementally maintained counters — constant time, where
+        the previous implementation re-read every job document on each call
+        (a growing per-run cost in long-lived sessions).
+        """
+        with self._lock:
+            counts = {state: count for state, count in self._state_counts.items()
+                      if count > 0}
+            counts["files"] = self._file_count
         return counts
 
     def destroy(self) -> None:

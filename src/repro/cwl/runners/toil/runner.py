@@ -80,17 +80,34 @@ class ToilStyleRunner(BaseRunner):
             requirements=self._job_requirements(tool),
             payload={"inputs": _summarise_job_order(job_order)},
         )
+        job = CommandLineJob(
+            tool=tool,
+            # Copy-on-write view instead of deepcopy: scatter loops issue
+            # this per job, and the leaves never needed copying.
+            job_order=job_order_view(job_order),
+            runtime_context=runtime_context,
+        )
+
+        cache_enabled = runtime_context.job_cache_dir() is not None
+        if cache_enabled:
+            # Probe the job cache before issuing: a hit restores the outputs
+            # without the batch-system round trip (Toil likewise reuses
+            # job-store results without rescheduling the job).
+            cached = job.cached_result()
+            if cached is not None:
+                if self.import_outputs:
+                    self._import_output_files(cached.outputs)
+                self.job_store.update_job(stored, state="done")
+                self.note_job_meta(cache="hit")
+                return cached.outputs
+
+        cache_outcome: Dict[str, str] = {}
 
         def payload() -> Dict[str, Any]:
             self.job_store.update_job(stored, state="running")
-            job = CommandLineJob(
-                tool=tool,
-                # Copy-on-write view instead of deepcopy: scatter loops issue
-                # this per job, and the leaves never needed copying.
-                job_order=job_order_view(job_order),
-                runtime_context=runtime_context,
-            )
             result = job.execute()
+            if cache_enabled:
+                cache_outcome["cache"] = "hit" if result.cache_hit else "miss"
             if self.import_outputs:
                 self._import_output_files(result.outputs)
             return result.outputs
@@ -104,6 +121,8 @@ class ToilStyleRunner(BaseRunner):
             self.job_store.update_job(stored, state="failed", error=str(exc))
             raise
         self.job_store.update_job(stored, state="done")
+        if cache_outcome:
+            self.note_job_meta(**cache_outcome)
         return outputs
 
     def run_workflow(self, workflow: Workflow, job_order: Dict[str, Any],

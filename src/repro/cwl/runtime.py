@@ -4,7 +4,8 @@ The CWL ``runtime`` object exposed to expressions describes where a job runs
 (output and temporary directories) and what resources it was granted (cores,
 RAM).  :class:`RuntimeContext` carries the same information plus runner-level
 policy (whether to compute checksums, whether to relocate outputs, base
-directories for new working directories).
+directories for new working directories, whether to reuse results through the
+content-addressed job cache).
 """
 
 from __future__ import annotations
@@ -12,8 +13,9 @@ from __future__ import annotations
 import os
 import shutil
 import tempfile
+import threading
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Set
 
 
 @dataclass
@@ -47,6 +49,24 @@ class RuntimeContext:
     #: runner leaves it off (its per-evaluation cost model is what Figure 2
     #: measures).  Set ``True``/``False`` to force either mode on any engine.
     compile_expressions: Optional[bool] = None
+    #: Reuse CommandLineTool results through the content-addressed job cache
+    #: (:mod:`repro.cwl.jobcache`).  Tri-state like ``compile_expressions``:
+    #: ``None`` enables the cache exactly when a store was named — via
+    #: :attr:`cache_dir` or the ``REPRO_JOBCACHE_DIR`` environment variable —
+    #: ``True`` forces it on (using the default store when none was named)
+    #: and ``False`` forces it off regardless of :attr:`cache_dir`.
+    job_cache: Optional[bool] = None
+    #: Directory of the job-cache store (shared freely between engines,
+    #: sessions and processes).  ``None`` falls back to ``REPRO_JOBCACHE_DIR``
+    #: or a per-user directory under the system temp dir.
+    cache_dir: Optional[str] = None
+    #: Scratch directories this context created, removed by :meth:`close`.
+    _scratch_dirs: Set[str] = field(default_factory=set, repr=False, compare=False)
+    #: Parent directories this context itself had to create for staging;
+    #: pruned (when empty) by :meth:`cleanup_dir` / :meth:`close`.
+    _created_parents: Set[str] = field(default_factory=set, repr=False, compare=False)
+    _teardown_lock: threading.Lock = field(default_factory=threading.Lock,
+                                           repr=False, compare=False)
 
     def ensure_outdir(self) -> str:
         """Create (if needed) and return the output directory."""
@@ -58,12 +78,24 @@ class RuntimeContext:
     def make_job_dir(self, name: str = "job") -> str:
         """Create a fresh working directory for one job."""
         base = self.basedir or tempfile.gettempdir()
-        os.makedirs(base, exist_ok=True)
+        if not os.path.isdir(base):
+            os.makedirs(base, exist_ok=True)
+            with self._teardown_lock:
+                self._created_parents.add(os.path.abspath(base))
         return tempfile.mkdtemp(prefix=f"cwl-{name}-", dir=base)
 
     def make_tmpdir(self) -> str:
-        """Create a fresh scratch directory for one job."""
-        return tempfile.mkdtemp(prefix=self.tmpdir_prefix or "cwl-tmp-")
+        """Create a fresh scratch directory for one job (tracked for teardown)."""
+        prefix = self.tmpdir_prefix or "cwl-tmp-"
+        parent = os.path.dirname(prefix)
+        if parent and not os.path.isdir(parent):
+            os.makedirs(parent, exist_ok=True)
+            with self._teardown_lock:
+                self._created_parents.add(os.path.abspath(parent))
+        path = tempfile.mkdtemp(prefix=prefix)
+        with self._teardown_lock:
+            self._scratch_dirs.add(path)
+        return path
 
     def runtime_object(self, outdir: str, tmpdir: str) -> Dict[str, Any]:
         """The ``runtime`` dictionary exposed to expressions for one job."""
@@ -77,7 +109,12 @@ class RuntimeContext:
         }
 
     def child(self, **overrides: Any) -> "RuntimeContext":
-        """A copy of this context with selected fields replaced."""
+        """A copy of this context with selected fields replaced.
+
+        Children share the parent's scratch-dir tracking (and its lock), so a
+        single :meth:`close` on any of them tears the whole family down —
+        exactly once, however many threads race to do it.
+        """
         return replace(self, **overrides)
 
     def with_resources(self, process: Any) -> "RuntimeContext":
@@ -102,9 +139,90 @@ class RuntimeContext:
             return self
         return self.child(cores=cores, ram_mb=ram)
 
+    # ------------------------------------------------------------- job cache
+
+    def job_cache_dir(self) -> Optional[str]:
+        """The resolved store directory, or ``None`` when caching is off.
+
+        Tri-state resolution: ``job_cache=False`` always disables;
+        ``job_cache=True`` always enables (default store when no
+        :attr:`cache_dir`); ``job_cache=None`` enables exactly when a store
+        was named via :attr:`cache_dir` or ``REPRO_JOBCACHE_DIR``.
+        """
+        from repro.cwl.jobcache import CACHE_DIR_ENV, default_cache_dir
+
+        if self.job_cache is False:
+            return None
+        if self.cache_dir:
+            return self.cache_dir
+        if self.job_cache:
+            return default_cache_dir()
+        return os.environ.get(CACHE_DIR_ENV) or None
+
+    def get_job_cache(self):
+        """The shared :class:`~repro.cwl.jobcache.JobCache`, or ``None``."""
+        directory = self.job_cache_dir()
+        if directory is None:
+            return None
+        from repro.cwl.jobcache import get_job_cache
+
+        return get_job_cache(directory)
+
+    # --------------------------------------------------------------- teardown
+
     def cleanup_dir(self, path: str) -> None:
-        """Best-effort removal of a scratch directory."""
+        """Best-effort removal of a scratch directory.
+
+        Unlike a bare ``shutil.rmtree(..., ignore_errors=True)``, this also
+        prunes the now-empty staging *parents* this context created for the
+        directory (e.g. a ``tmpdir_prefix`` or ``basedir`` parent), so a
+        closed context leaves no empty directory skeletons behind.
+        """
         shutil.rmtree(path, ignore_errors=True)
+        with self._teardown_lock:
+            self._scratch_dirs.discard(path)
+        self._prune_empty_parents(os.path.dirname(os.path.abspath(path)))
+
+    def _prune_empty_parents(self, directory: str) -> None:
+        """Remove ``directory`` and its ancestors while they are empty dirs
+        that this context itself created."""
+        while directory:
+            with self._teardown_lock:
+                if directory not in self._created_parents:
+                    return
+            try:
+                os.rmdir(directory)
+            except OSError:
+                return  # not empty (or already gone from another closer)
+            with self._teardown_lock:
+                self._created_parents.discard(directory)
+            directory = os.path.dirname(directory)
+
+    def close(self) -> None:
+        """Remove every scratch directory this context created.
+
+        Idempotent and safe under concurrent close: each directory is claimed
+        under the lock before removal, so two racing closers never tear down
+        (or double-report) the same path, and a second :meth:`close` finds
+        nothing left to do.
+        """
+        while True:
+            with self._teardown_lock:
+                if not self._scratch_dirs:
+                    break
+                path = self._scratch_dirs.pop()
+            shutil.rmtree(path, ignore_errors=True)
+            self._prune_empty_parents(os.path.dirname(os.path.abspath(path)))
+        # Claimed-parent cleanup for contexts that made parents but no scratch
+        # dirs survived to prune them.
+        with self._teardown_lock:
+            parents = sorted(self._created_parents, key=len, reverse=True)
+            self._created_parents.clear()
+        for parent in parents:
+            try:
+                os.rmdir(parent)
+            except OSError:
+                pass
 
 
 def _as_positive_int(value: Any, default: int) -> int:

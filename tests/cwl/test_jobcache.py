@@ -1,0 +1,281 @@
+"""Unit tests for the content-addressed job cache (repro.cwl.jobcache)."""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import os
+import threading
+
+import pytest
+
+from repro.cwl.jobcache import (
+    JobCache,
+    file_fingerprint,
+    get_job_cache,
+    job_key,
+    resolve_job_cache,
+    stage_file,
+)
+from repro.cwl.loader import load_document, load_tool
+from repro.cwl.runtime import RuntimeContext
+
+
+def echo_tool(message_default: str = "hi", stdout: str = "out.txt") -> dict:
+    return {
+        "class": "CommandLineTool",
+        "baseCommand": "echo",
+        "inputs": {"message": {"type": "string", "default": message_default,
+                               "inputBinding": {"position": 1}}},
+        "outputs": {"out": "stdout"},
+        "stdout": stdout,
+    }
+
+
+# ----------------------------------------------------------------- stage_file
+
+
+def test_stage_file_hardlinks_on_same_filesystem(tmp_path):
+    source = tmp_path / "src.txt"
+    source.write_text("payload")
+    destination = tmp_path / "nested" / "dst.txt"
+    how = stage_file(str(source), str(destination))
+    assert how == "link"
+    assert destination.read_text() == "payload"
+    assert os.stat(source).st_ino == os.stat(destination).st_ino
+
+
+def test_stage_file_prefer_copy_never_links(tmp_path):
+    source = tmp_path / "src.txt"
+    source.write_text("payload")
+    destination = tmp_path / "dst.txt"
+    how = stage_file(str(source), str(destination), prefer_copy=True)
+    assert how == "copy"
+    assert destination.read_text() == "payload"
+    assert os.stat(source).st_ino != os.stat(destination).st_ino
+
+
+def test_stage_file_overwrite_replaces_and_kept_preserves(tmp_path):
+    source = tmp_path / "src.txt"
+    source.write_text("new")
+    destination = tmp_path / "dst.txt"
+    destination.write_text("old")
+    assert stage_file(str(source), str(destination), overwrite=False) == "kept"
+    assert destination.read_text() == "old"
+    stage_file(str(source), str(destination))
+    assert destination.read_text() == "new"
+
+
+# ----------------------------------------------------------------- fingerprints
+
+
+def test_file_fingerprint_tracks_content_not_path(tmp_path):
+    a = tmp_path / "a.txt"
+    b = tmp_path / "b.txt"
+    a.write_text("same content")
+    b.write_text("same content")
+    assert file_fingerprint(str(a)) == file_fingerprint(str(b))
+    b.write_text("different content")
+    assert file_fingerprint(str(a)) != file_fingerprint(str(b))
+
+
+def test_job_key_stable_across_processes_and_orderings(tmp_path):
+    tool = load_tool(echo_tool())
+    again = load_tool(echo_tool())
+    key_one = job_key(tool, {"a": 1, "b": 2}, cores=1, ram_mb=1024)
+    key_two = job_key(again, {"b": 2, "a": 1}, cores=1, ram_mb=1024)
+    assert key_one == key_two
+
+
+def test_job_key_treats_none_as_omitted(tmp_path):
+    tool = load_tool(echo_tool())
+    explicit = job_key(tool, {"message": "x", "opt": None}, cores=1, ram_mb=1024)
+    omitted = job_key(tool, {"message": "x"}, cores=1, ram_mb=1024)
+    assert explicit == omitted
+
+
+def test_job_key_invalidates_on_tool_document_edit():
+    key_one = job_key(load_tool(echo_tool()), {"message": "x"}, cores=1, ram_mb=1024)
+    key_two = job_key(load_tool(echo_tool(stdout="other.txt")), {"message": "x"},
+                      cores=1, ram_mb=1024)
+    assert key_one != key_two
+
+
+def test_job_key_invalidates_on_input_file_content_change(tmp_path):
+    tool = load_tool(echo_tool())
+    data = tmp_path / "input.txt"
+    data.write_text("v1")
+    order = {"message": "x",
+             "extra": {"class": "File", "path": str(data), "basename": "input.txt"}}
+    key_one = job_key(tool, order, cores=1, ram_mb=1024)
+    data.write_text("v2")
+    key_two = job_key(tool, order, cores=1, ram_mb=1024)
+    assert key_one != key_two
+
+
+def test_job_key_ignores_input_file_location(tmp_path):
+    """Same content at a different path fingerprints identically."""
+    tool = load_tool(echo_tool())
+    (tmp_path / "a").mkdir(), (tmp_path / "b").mkdir()
+    one, two = tmp_path / "a" / "f.txt", tmp_path / "b" / "f.txt"
+    one.write_text("identical"), two.write_text("identical")
+    key_one = job_key(tool, {"f": {"class": "File", "path": str(one), "basename": "f.txt"}},
+                      cores=1, ram_mb=1024)
+    key_two = job_key(tool, {"f": {"class": "File", "path": str(two), "basename": "f.txt"}},
+                      cores=1, ram_mb=1024)
+    assert key_one == key_two
+
+
+def test_job_key_invalidates_on_runtime_resources_and_env():
+    tool = load_tool(echo_tool())
+    base = job_key(tool, {"message": "x"}, cores=1, ram_mb=1024)
+    assert job_key(tool, {"message": "x"}, cores=4, ram_mb=1024) != base
+    assert job_key(tool, {"message": "x"}, cores=1, ram_mb=2048) != base
+    assert job_key(tool, {"message": "x"}, cores=1, ram_mb=1024,
+                   extra_env={"MODE": "fast"}) != base
+
+
+# ---------------------------------------------------------------------- store
+
+
+def test_store_and_restore_roundtrip(tmp_path):
+    cache = JobCache(str(tmp_path / "store"))
+    outdir = tmp_path / "job"
+    (outdir / "sub").mkdir(parents=True)
+    (outdir / "result.txt").write_text("result body")
+    (outdir / "sub" / "nested.txt").write_text("nested body")
+
+    cache.store_outdir("k1", str(outdir), stdout_name="result.txt")
+    entry = cache.lookup("k1")
+    assert entry is not None and entry.stream_name("stdout") == "result.txt"
+
+    restored = tmp_path / "restored"
+    cache.restore(entry, str(restored))
+    assert (restored / "result.txt").read_text() == "result body"
+    assert (restored / "sub" / "nested.txt").read_text() == "nested body"
+    # Zero-copy: the restored file shares its inode with the CAS body.
+    cas_body = cache.cas_body(entry, "result.txt")
+    assert os.stat(cas_body).st_ino == os.stat(restored / "result.txt").st_ino
+    assert cache.snapshot()["hits"] == 1
+
+
+def test_lookup_miss_and_stats(tmp_path):
+    cache = JobCache(str(tmp_path / "store"))
+    assert cache.lookup("nope") is None
+    assert cache.snapshot() == {"hits": 0, "misses": 1, "stores": 0, "restored_files": 0}
+
+
+def test_truncated_cas_body_invalidates_entry(tmp_path):
+    cache = JobCache(str(tmp_path / "store"))
+    outdir = tmp_path / "job"
+    outdir.mkdir()
+    (outdir / "out.txt").write_text("full body here")
+    entry = cache.store_outdir("k1", str(outdir))
+    # Simulate an in-place rewrite of a hardlinked body.
+    with open(cache.cas_body(entry, "out.txt"), "w") as handle:
+        handle.write("x")
+    assert cache.lookup("k1") is None
+
+
+def test_store_files_refuses_paths_outside_outdir(tmp_path):
+    cache = JobCache(str(tmp_path / "store"))
+    outside = tmp_path / "outside.txt"
+    outside.write_text("not cacheable")
+    assert cache.store_files("k1", str(tmp_path / "job"), [str(outside)]) is None
+    assert cache.lookup("k1", record=False) is None
+
+
+def test_get_job_cache_shares_instances_per_directory(tmp_path):
+    one = get_job_cache(str(tmp_path / "store"))
+    two = get_job_cache(str(tmp_path / "store"))
+    other = get_job_cache(str(tmp_path / "elsewhere"))
+    assert one is two and one is not other
+    assert resolve_job_cache(one) is one
+    assert resolve_job_cache(None) is None
+    assert resolve_job_cache(False) is None
+
+
+def test_concurrent_writers_one_store_no_corruption(tmp_path):
+    """Concurrent scatter shards storing and reading the same keys must never
+    corrupt the store: every lookup sees either a miss or a fully valid entry."""
+    cache = JobCache(str(tmp_path / "store"))
+    sources = []
+    for index in range(8):
+        outdir = tmp_path / f"job{index}"
+        outdir.mkdir()
+        (outdir / "shard.txt").write_text(f"shard body {index % 4}")
+        sources.append(str(outdir))
+
+    def worker(index: int) -> str:
+        key = f"key{index % 4}"
+        cache.store_outdir(key, sources[index], stdout_name="shard.txt")
+        entry = cache.lookup(key)
+        assert entry is not None
+        restored = tmp_path / f"restored-{index}-{threading.get_ident()}"
+        cache.restore(entry, str(restored))
+        return (restored / "shard.txt").read_text()
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+        results = list(pool.map(worker, range(8)))
+    for index, body in enumerate(results):
+        assert body == f"shard body {index % 4}"
+    # Manifests stayed valid JSON throughout.
+    for name in os.listdir(cache.entries_dir):
+        with open(os.path.join(cache.entries_dir, name)) as handle:
+            json.load(handle)
+
+
+# ---------------------------------------------------- RuntimeContext tri-state
+
+
+def test_runtime_context_job_cache_tristate(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_JOBCACHE_DIR", raising=False)
+    assert RuntimeContext().job_cache_dir() is None
+    assert RuntimeContext(cache_dir=str(tmp_path)).job_cache_dir() == str(tmp_path)
+    assert RuntimeContext(cache_dir=str(tmp_path), job_cache=False).job_cache_dir() is None
+    assert RuntimeContext(job_cache=True).job_cache_dir() is not None
+    monkeypatch.setenv("REPRO_JOBCACHE_DIR", str(tmp_path / "env-store"))
+    assert RuntimeContext().job_cache_dir() == str(tmp_path / "env-store")
+    assert RuntimeContext(job_cache=False).job_cache_dir() is None
+
+
+def test_workflow_scatter_shards_share_one_store(tmp_path):
+    """End-to-end: a scattered workflow's concurrent shards populate one store
+    cold and all hit warm (reference runner, parallel pool)."""
+    from repro import api
+
+    doc = {
+        "cwlVersion": "v1.2", "class": "Workflow",
+        "requirements": [{"class": "ScatterFeatureRequirement"}],
+        "inputs": {"messages": "string[]"},
+        "outputs": {"outs": {"type": "File[]", "outputSource": "shout/out"}},
+        "steps": {
+            "shout": {
+                "run": {
+                    "class": "CommandLineTool", "baseCommand": "echo",
+                    "inputs": {"message": {"type": "string",
+                                           "inputBinding": {"position": 1}}},
+                    "outputs": {"out": "stdout"}, "stdout": "shout.txt",
+                },
+                "scatter": "message",
+                "in": {"message": "messages"},
+                "out": ["out"],
+            },
+        },
+    }
+    store = tmp_path / "store"
+    messages = [f"msg {i}" for i in range(6)]
+    order = {"messages": messages}
+
+    def run():
+        return api.run(load_document(dict(doc)), dict(order), engine="reference",
+                       parallel=True, max_workers=4, cache_dir=str(store),
+                       runtime_context=RuntimeContext(basedir=str(tmp_path / "wd")))
+
+    cold = run()
+    assert cold.cache_stats == {"hits": 0, "misses": len(messages)}
+    warm = run()
+    assert warm.cache_stats == {"hits": len(messages), "misses": 0}
+    for cold_file, warm_file in zip(cold.outputs["outs"], warm.outputs["outs"]):
+        with open(cold_file["path"], "rb") as a, open(warm_file["path"], "rb") as b:
+            assert a.read() == b.read()

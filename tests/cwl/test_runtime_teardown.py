@@ -1,0 +1,83 @@
+"""RuntimeContext scratch-directory teardown (idempotent, parent-pruning)."""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from repro.cwl.runtime import RuntimeContext
+
+
+def test_cleanup_dir_removes_scratch_and_created_parents(tmp_path):
+    staging = tmp_path / "staging" / "deep"
+    context = RuntimeContext(tmpdir_prefix=str(staging / "tmp-"))
+    scratch = context.make_tmpdir()
+    assert os.path.isdir(scratch) and str(scratch).startswith(str(staging))
+
+    context.cleanup_dir(scratch)
+    assert not os.path.exists(scratch)
+    # The empty staging parent the context itself created is pruned too
+    # (a bare rmtree(..., ignore_errors=True) used to leave it behind).
+    assert not os.path.exists(staging)
+
+
+def test_cleanup_dir_keeps_nonempty_and_foreign_parents(tmp_path):
+    staging = tmp_path / "staging"
+    context = RuntimeContext(tmpdir_prefix=str(staging / "tmp-"))
+    scratch = context.make_tmpdir()
+    keeper = staging / "keep.txt"
+    keeper.write_text("still needed")
+
+    context.cleanup_dir(scratch)
+    assert not os.path.exists(scratch)
+    assert keeper.exists()
+
+    # A parent this context did NOT create is never pruned, even when empty.
+    foreign = tmp_path / "pre-existing"
+    foreign.mkdir()
+    other = RuntimeContext(tmpdir_prefix=str(foreign / "tmp-"))
+    other.cleanup_dir(other.make_tmpdir())
+    assert foreign.exists()
+
+
+def test_close_reaps_all_tracked_scratch_dirs(tmp_path):
+    context = RuntimeContext(tmpdir_prefix=str(tmp_path / "stage" / "tmp-"))
+    dirs = [context.make_tmpdir() for _ in range(4)]
+    context.close()
+    assert not any(os.path.exists(d) for d in dirs)
+    assert not (tmp_path / "stage").exists()
+
+
+def test_close_is_idempotent(tmp_path):
+    context = RuntimeContext(tmpdir_prefix=str(tmp_path / "stage" / "tmp-"))
+    context.make_tmpdir()
+    context.close()
+    context.close()  # second close: nothing left, no error
+
+
+def test_close_safe_under_concurrent_close(tmp_path):
+    context = RuntimeContext(tmpdir_prefix=str(tmp_path / "stage" / "tmp-"))
+    dirs = [context.make_tmpdir() for _ in range(32)]
+    errors = []
+
+    def closer():
+        try:
+            context.close()
+        except Exception as exc:  # pragma: no cover - the assertion target
+            errors.append(exc)
+
+    threads = [threading.Thread(target=closer) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    assert not any(os.path.exists(d) for d in dirs)
+
+
+def test_child_contexts_share_teardown_tracking(tmp_path):
+    parent = RuntimeContext(tmpdir_prefix=str(tmp_path / "stage" / "tmp-"))
+    child = parent.child(cores=4)
+    scratch = child.make_tmpdir()
+    parent.close()
+    assert not os.path.exists(scratch)
