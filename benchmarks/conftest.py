@@ -160,6 +160,18 @@ def engine_session():
         session.close()
 
 
+@pytest.fixture(scope="session")
+def conformance_corpus():
+    """The declarative conformance corpus, loaded once per benchmark session.
+
+    Shared with the differential-matrix benchmark so corpus parsing cost is
+    paid once, exactly like the tests/conformance tier does.
+    """
+    from repro.testing.corpus import load_corpus
+
+    return load_corpus()
+
+
 @pytest.fixture
 def image_workload(tmp_path_factory):
     """Factory: generate N synthetic images and return the CWL job order for them."""

@@ -1,0 +1,38 @@
+"""Differential-matrix overhead: what one conformance case costs per config.
+
+Runs one scatter-workflow corpus case through the engine × cache matrix the
+conformance harness uses, records per-configuration wall time (figure
+``CONF_matrix``) and asserts the differential contract itself — zero
+divergences — so the benchmark doubles as a conformance smoke check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.matrix import matrix_configs
+from repro.testing.differential import run_case
+
+
+@pytest.fixture
+def scatter_case(conformance_corpus):
+    return next(case for case in conformance_corpus
+                if case.id == "wf_scatter_dotproduct")
+
+
+def test_conformance_matrix_cost_per_config(scatter_case, series_recorder,
+                                            tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    configs = matrix_configs(engines=("reference", "toil", "parsl"),
+                             cache_modes=("off", "warm"))
+    outcome = run_case(scatter_case, configs, str(tmp_path / "matrix"))
+    assert outcome.passed, "\n".join(outcome.divergences)
+
+    for config_outcome in outcome.outcomes:
+        run = config_outcome.run
+        if run.result is None:
+            continue
+        series_recorder.record("CONF_matrix", run.config.engine,
+                               run.config.cache, run.result.wall_time_s)
+        if run.config.engine in ("reference", "toil") and run.config.cache == "warm":
+            assert run.cache_hits() > 0, run.config.label

@@ -24,6 +24,10 @@ DataFlowKernel:
   :class:`~repro.cwl.graph.WorkflowGraph` IR and return its node/edge/
   critical-path summary without executing anything (also attached to every
   workflow result as :attr:`ExecutionResult.plan`).
+* :func:`run_matrix` / :class:`MatrixConfig` — execute one process across
+  the engine × cache × compiled-expression matrix with per-run isolation
+  and canonicalised (engine-independent) outputs; the execution backbone of
+  the conformance harness in :mod:`repro.testing`.
 
 Quickstart::
 
@@ -48,6 +52,16 @@ from repro.api.engine import (
     resolve_engine_name,
 )
 from repro.api.events import ExecutionHooks, JobEvent
+from repro.api.matrix import (
+    CACHE_MODES,
+    ENGINE_ORDER,
+    REFERENCE_CONFIG,
+    MatrixConfig,
+    MatrixRun,
+    matrix_configs,
+    run_config,
+    run_matrix,
+)
 from repro.api.plan import ExecutionPlan, plan
 from repro.api.result import ExecutionResult
 from repro.api.session import ExecutionHandle, Session, run, submit
@@ -56,6 +70,8 @@ from repro.api.session import ExecutionHandle, Session, run, submit
 from repro.api import engines as _builtin_engines  # noqa: F401  (side effect)
 
 __all__ = [
+    "CACHE_MODES",
+    "ENGINE_ORDER",
     "Engine",
     "EngineError",
     "ExecutionHandle",
@@ -63,13 +79,19 @@ __all__ = [
     "ExecutionPlan",
     "ExecutionResult",
     "JobEvent",
+    "MatrixConfig",
+    "MatrixRun",
+    "REFERENCE_CONFIG",
     "Session",
     "UnknownEngineError",
     "get_engine",
     "list_engines",
+    "matrix_configs",
     "plan",
     "register_engine",
     "resolve_engine_name",
     "run",
+    "run_config",
+    "run_matrix",
     "submit",
 ]

@@ -203,9 +203,15 @@ class ParslEngine(Engine):
 
     def __init__(self, config: Any = None, outdir: Optional[str] = None,
                  cache_dir: Optional[str] = None,
-                 job_cache: Optional[bool] = None) -> None:
+                 job_cache: Optional[bool] = None,
+                 compile_expressions: Optional[bool] = None) -> None:
         self._config = config
         self._outdir = outdir
+        #: Tri-state expression-pipeline switch (``None`` = the Parsl
+        #: engines' compiled default, ``False`` = uncached evaluators like
+        #: the reference runner) — mirrors
+        #: ``RuntimeContext.compile_expressions`` on the runner engines.
+        self._compile_expressions = compile_expressions
         #: The shared job cache, resolved with the same tri-state rules the
         #: runner engines apply through RuntimeContext (``cache_dir=`` names
         #: the store, ``job_cache=True`` opts into the default store,
@@ -299,6 +305,7 @@ class ParslEngine(Engine):
                 tool=tool, job_order=job_order, config=None,
                 outdir=self._outdir, cleanup=False,
                 job_cache=self._job_cache, cache_note=cache_note,
+                compile_expressions=self._compile_expressions,
             )
         except Exception as exc:
             recorder.job_finished(token, ok=False, error=str(exc))
@@ -311,7 +318,8 @@ class ParslEngine(Engine):
         from repro.core.workflow_bridge import CWLWorkflowBridge
 
         bridge = CWLWorkflowBridge(workflow, job_observer=recorder,
-                                   job_cache=self._job_cache)
+                                   job_cache=self._job_cache,
+                                   compile_expressions=self._compile_expressions)
         outputs = bridge.run(job_order)
         return {key: _normalise_output(value) for key, value in outputs.items()}
 

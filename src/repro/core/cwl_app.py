@@ -99,13 +99,20 @@ def cwl_tool_command(tool_raw: Dict[str, Any], source_path: Optional[str],
         if isinstance(cache_ctx, dict):
             cache_ctx.update(cache_dir=cache_dir, key=key, outdir=os.getcwd())
 
-    # The parsl path always uses the compiled pipeline — this call is the
+    # The parsl path defaults to the compiled pipeline — this call is the
     # switch: build_command_line/collect_output pick up tool.compiled.  The
     # shared library scope and template cache are process-wide, so repeated
-    # invocations of the same tool in one worker skip all parsing.
-    from repro.cwl.expressions.compiler import precompile_process
+    # invocations of the same tool in one worker skip all parsing.  With
+    # ``cwl_compile_expressions: False`` in the app kwargs (the conformance
+    # matrix's uncompiled leg) expressions go through a fresh uncached
+    # evaluator instead, exactly like the reference runner.
+    uncompiled_evaluator = None
+    if _parsl_kwargs.get("cwl_compile_expressions", True) is False:
+        uncompiled_evaluator = _uncompiled_evaluator(tool)
+    else:
+        from repro.cwl.expressions.compiler import precompile_process
 
-    precompile_process(tool)
+        precompile_process(tool)
 
     inline_python = extract_inline_python(tool)
     evaluator: Optional[InlinePythonEvaluator] = None
@@ -128,8 +135,44 @@ def cwl_tool_command(tool_raw: Dict[str, Any], source_path: Optional[str],
                 rewritten.append(argument)
         tool.arguments = rewritten
 
-    parts = build_command_line(tool, job_order, runtime)
-    return parts.joined()
+    parts = build_command_line(tool, job_order, runtime, uncompiled_evaluator)
+    command = parts.joined()
+    # The runners pass EnvVarRequirement variables through the subprocess
+    # environment; the bash executor runs with a fixed environment, so the
+    # variables are exported in-shell instead (sorted for determinism).
+    if parts.environment:
+        exports = "; ".join(
+            f"export {name}={shlex.quote(str(value))}"
+            for name, value in sorted(parts.environment.items()))
+        command = f"{exports}; {command}"
+    # The bash executor only wires stdout/stderr redirections; a ``stdin:``
+    # field must become part of the shell command itself or the tool would
+    # silently read from the worker's inherited stdin (a conformance
+    # divergence the stdin corpus cases guard).
+    if parts.stdin:
+        command += f" < {shlex.quote(parts.stdin)}"
+    # The executor treats any non-zero exit as failure; tools that declare
+    # additional successCodes remap them to 0 in-shell so the Parsl path
+    # accepts exactly the exits the runners accept.
+    success_codes = tuple(tool.success_codes or (0,))
+    if set(success_codes) != {0}:
+        allowed = " ".join(str(int(code)) for code in success_codes)
+        # Strict mapping both ways: a permitted code exits 0, and a code
+        # outside successCodes fails even when it is 0 (the runners raise
+        # JobFailure for exit 0 when 0 is not permitted).
+        command = (f"{command}; __cwl_ec=$?; for __cwl_ok in {allowed}; do "
+                   f"[ \"$__cwl_ec\" -eq \"$__cwl_ok\" ] && exit 0; done; "
+                   f"[ \"$__cwl_ec\" -eq 0 ] && exit 1; exit $__cwl_ec")
+    return command
+
+
+def _uncompiled_evaluator(tool: CommandLineTool):
+    """A fresh cwltool-style evaluator honouring the tool's expressionLib."""
+    from repro.cwl.expressions.evaluator import ExpressionEvaluator
+
+    js_req = tool.get_requirement("InlineJavascriptRequirement")
+    expression_lib = list(js_req.get("expressionLib", [])) if js_req else []
+    return ExpressionEvaluator(expression_lib=expression_lib, js_enabled=True)
 
 
 def _to_cwl_value(value: Any) -> Any:
@@ -148,8 +191,9 @@ def _cache_hit_command(cache: JobCache, entry: Any) -> str:
     rewrite them in place); the recorded stdout/stderr are *not* staged —
     the bash executor opens and truncates those redirections itself, so the
     replay command regenerates them by ``cat``-ing the stored bodies.  The
-    recorded exit code is replayed too, so a tool whose non-zero exit the
-    executor would reject behaves identically warm and cold.
+    replay itself always exits 0: entries are only ever stored for
+    successful invocations, so a recorded non-zero code is necessarily one
+    the tool permits via ``successCodes``.
     """
     outdir = os.getcwd()
     stdout_name = entry.stream_name("stdout")
@@ -164,8 +208,11 @@ def _cache_hit_command(cache: JobCache, entry: Any) -> str:
         replay.append(f"cat {shlex.quote(stdout_body)}")
     if stderr_body:
         replay.append(f"cat {shlex.quote(stderr_body)} 1>&2")
-    if entry.exit_code:
-        replay.append(f"exit {int(entry.exit_code)}")
+    # Every store site runs only after a *successful* invocation (failed
+    # jobs are never ingested), so a hit is a recorded success by
+    # construction and the replay always exits 0 — whether the entry records
+    # a permitted non-zero code (runner-written, successCodes) or the
+    # post-remap 0 this path's own executor observed.
     return "; ".join(replay) or ":"
 
 
@@ -234,6 +281,7 @@ class CWLApp:
         executors: Union[str, Sequence[str], None] = "all",
         validate_document: bool = True,
         job_cache: Union[None, bool, str, JobCache] = None,
+        compile_expressions: Optional[bool] = None,
     ) -> None:
         if isinstance(cwl_file, CommandLineTool):
             self.tool = cwl_file
@@ -241,8 +289,13 @@ class CWLApp:
         else:
             self.cwl_path = os.fspath(cwl_file)
             self.tool = load_tool(self.cwl_path)
+        #: Tri-state like :attr:`repro.cwl.runtime.RuntimeContext.compile_expressions`:
+        #: ``None``/``True`` use the compiled pipeline (the Parsl default),
+        #: ``False`` evaluates every expression with a fresh uncached engine.
+        self.compile_expressions = compile_expressions is not False
         if validate_document:
             ensure_valid(self.tool)
+        if validate_document and self.compile_expressions:
             # Validate-time compilation: submission-side expression use (static
             # glob prediction, output collection) reuses the pinned templates.
             from repro.cwl.expressions.compiler import precompile_process
@@ -332,12 +385,21 @@ class CWLApp:
             cwl_inputs[param.id] = self._convert_input(value, wants_file=param.type.is_file)
         self._validate_concrete_inputs(cwl_inputs)
 
-        stdout_path = stdout_override or self.tool.stdout
-        stderr_path = stderr_override or self.tool.stderr
+        # stdout:/stderr: may be expressions; anything whose referenced
+        # inputs are concrete at submission time is evaluated here, so the
+        # redirection lands on the *evaluated* file name exactly as it does
+        # under the runner engines.
+        job_for_defaults = fill_in_defaults(self.tool.inputs, dict(cwl_inputs))
+        stdout_path = stdout_override or self._resolve_static_std(
+            self.tool.stdout, job_for_defaults)
+        stderr_path = stderr_override or self._resolve_static_std(
+            self.tool.stderr, job_for_defaults)
         named_outputs = self._predict_output_files(cwl_inputs, stdout_path, stderr_path)
         output_files = [file_obj for _name, file_obj in named_outputs]
 
         app_kwargs: Dict[str, Any] = {"cwl_inputs": cwl_inputs}
+        if not self.compile_expressions:
+            app_kwargs["cwl_compile_expressions"] = False
         if stdout_path:
             app_kwargs["stdout"] = stdout_path
         if stderr_path:
@@ -438,6 +500,30 @@ class CWLApp:
                 if resolved is not None and not any(ch in resolved for ch in "*?["):
                     predicted.append((param.id, File(resolved)))
         return predicted
+
+    def _resolve_static_std(self, spec: Optional[str],
+                            job_order: Dict[str, Any]) -> Optional[str]:
+        """Evaluate a ``stdout:``/``stderr:`` file-name template if possible.
+
+        Literals pass through; single ``$(inputs.x)`` references resolve like
+        static globs; richer templates (``$(inputs.text).txt``) are evaluated
+        with whatever inputs are already concrete.  Unresolvable specs (e.g.
+        referencing an upstream future) fall back to the raw string — the
+        pre-existing behaviour.
+        """
+        if spec is None or ("$(" not in spec and "${" not in spec):
+            return spec
+        resolved = self._resolve_static_glob(spec, job_order)
+        if resolved is not None:
+            return resolved
+        concrete = {key: _to_cwl_value(value) for key, value in job_order.items()
+                    if not isinstance(value, DataFuture)}
+        try:
+            evaluated = _uncompiled_evaluator(self.tool).evaluate(
+                spec, {"inputs": concrete, "runtime": {}, "self": None})
+        except Exception:
+            return spec
+        return str(evaluated) if evaluated is not None else spec
 
     @staticmethod
     def _resolve_static_glob(pattern: str, job_order: Dict[str, Any]) -> Optional[str]:

@@ -19,7 +19,7 @@ from __future__ import annotations
 import os
 from typing import Any, Dict, List, Optional, Union
 
-from repro.core.cwl_app import CWLApp
+from repro.core.cwl_app import CWLApp, _uncompiled_evaluator
 from repro.core.yaml_config import load_yaml_config
 from repro.cwl.jobcache import JobCache, job_key, relative_to_outdir, resolve_job_cache
 from repro.cwl.loader import load_tool
@@ -43,6 +43,7 @@ def run_tool_with_parsl(
     cleanup: Optional[bool] = None,
     job_cache: Union[None, bool, str, JobCache] = None,
     cache_note: Optional[Dict[str, str]] = None,
+    compile_expressions: Optional[bool] = None,
 ) -> Dict[str, Any]:
     """Execute ``tool`` with the given ``job_order`` on Parsl.
 
@@ -69,10 +70,21 @@ def run_tool_with_parsl(
     cache_note:
         Optional dict the call annotates with ``{"cache": "hit"|"miss"}``
         (used by the unified API to tag the per-job event).
+    compile_expressions:
+        Tri-state: ``None``/``True`` use the compiled-expression pipeline
+        (the Parsl default); ``False`` evaluates expressions with fresh
+        uncached engines, like the reference runner (the conformance
+        matrix's uncompiled leg).
     """
     job_order = dict(job_order or {})
     tool_doc = tool if isinstance(tool, CommandLineTool) else load_tool(tool)
     cache = resolve_job_cache(job_cache)
+    # This path ingests exactly the files the collected output object
+    # references; an outputEval may reduce matched files to a plain value, so
+    # such tools cannot round-trip through the submission-side store (the
+    # runner engines still cache them — they ingest the whole job outdir).
+    if cache is not None and not _parsl_cacheable(tool_doc):
+        cache = None
 
     cache_key: Optional[str] = None
     if cache is not None:
@@ -104,16 +116,17 @@ def run_tool_with_parsl(
         cleanup = loaded_here
 
     try:
-        app = CWLApp(tool_doc)
+        app = CWLApp(tool_doc, compile_expressions=compile_expressions)
         future = app(**job_order)
         future.result()
 
         outdir = outdir or os.getcwd()
         stdout_path = _absolute(future.stdout, outdir)
         stderr_path = _absolute(future.stderr, outdir)
-        # The parsl engine always uses the compiled-expression pipeline: the
-        # CWLApp constructor precompiled the tool, and collect_outputs' default
-        # evaluator picks up the pinned templates from app.tool.compiled.
+        # By default collect_outputs' evaluator picks up the pinned templates
+        # the CWLApp constructor compiled onto the tool; with
+        # compile_expressions=False an explicit uncached evaluator is used
+        # instead.
         runtime = RuntimeContext().with_resources(app.tool).runtime_object(outdir, outdir)
         outputs = collect_outputs(
             app.tool,
@@ -122,6 +135,7 @@ def run_tool_with_parsl(
             stderr_path=stderr_path,
             job_order=_cwl_job_order(app.tool, job_order),
             runtime=runtime,
+            evaluator=None if app.compile_expressions else _uncompiled_evaluator(app.tool),
         )
         if cache is not None and cache_key is not None:
             try:
@@ -135,6 +149,15 @@ def run_tool_with_parsl(
     finally:
         if cleanup:
             DataFlowKernelLoader.clear()
+
+
+def _parsl_cacheable(tool: CommandLineTool) -> bool:
+    """Whether every declared output survives a referenced-files-only store."""
+    return not any(
+        param.output_binding is not None
+        and param.output_binding.output_eval is not None
+        for param in tool.outputs
+    )
 
 
 def _restore_cached(cache: JobCache, entry: Any, tool_doc: CommandLineTool,

@@ -33,7 +33,7 @@ import os
 from typing import Any, Dict, List, Optional, Union
 
 from repro.core.cwl_app import CWLApp
-from repro.cwl.errors import UnsupportedRequirement, WorkflowException
+from repro.cwl.errors import InputValidationError, UnsupportedRequirement, WorkflowException
 from repro.cwl.expressions.compiler import CompiledEvaluator
 from repro.cwl.expressions.evaluator import needs_expression_evaluation
 from repro.cwl.graph import (
@@ -65,7 +65,8 @@ class CWLWorkflowBridge:
                  data_flow_kernel: Optional[DataFlowKernel] = None,
                  validate: bool = True,
                  job_observer: Optional[Any] = None,
-                 job_cache: Optional[Any] = None) -> None:
+                 job_cache: Optional[Any] = None,
+                 compile_expressions: Optional[bool] = None) -> None:
         if isinstance(workflow, Workflow):
             self.workflow = workflow
         else:
@@ -90,6 +91,10 @@ class CWLWorkflowBridge:
         from repro.cwl.jobcache import resolve_job_cache
 
         self.job_cache = resolve_job_cache(job_cache)
+        #: Tri-state expression-pipeline switch handed to every step's
+        #: :class:`CWLApp` (``False`` = fresh uncached evaluators end to end,
+        #: the conformance matrix's uncompiled leg).
+        self.compile_expressions = compile_expressions is not False
         self._pending_observations: List[tuple] = []
         self._apps: Dict[str, CWLApp] = {}
 
@@ -97,8 +102,11 @@ class CWLWorkflowBridge:
 
     def submit(self, job_order: Dict[str, Any]) -> Dict[str, Any]:
         """Submit every graph node and return workflow outputs as futures/values."""
+        # InputValidationError (a WorkflowException) classifies as "invalid",
+        # matching the runner engines' job-order validation failures — the
+        # conformance exit-class contract for missing workflow inputs.
         values: Dict[str, Any] = seed_workflow_inputs(self.workflow, job_order,
-                                                      error=WorkflowException)
+                                                      error=InputValidationError)
         skipped_scopes: List[str] = []
 
         def is_skipped(scope: str) -> bool:
@@ -281,7 +289,8 @@ class CWLWorkflowBridge:
         if not isinstance(process, CommandLineTool):
             raise WorkflowException(f"step {step.id!r} does not resolve to a CommandLineTool")
         app = CWLApp(process, data_flow_kernel=self.data_flow_kernel,
-                     job_cache=self.job_cache)
+                     job_cache=self.job_cache,
+                     compile_expressions=self.compile_expressions)
         self._apps[node.id] = app
         return app
 
@@ -323,8 +332,14 @@ class CWLWorkflowBridge:
             else:
                 concrete_inputs[key] = value
         # The bridge is a long-lived engine: submission-time expressions go
-        # through the compiled pipeline (parse-once template cache).
-        evaluator = CompiledEvaluator(js_enabled=True)
+        # through the compiled pipeline (parse-once template cache) unless
+        # the uncompiled leg was requested.
+        if self.compile_expressions:
+            evaluator = CompiledEvaluator(js_enabled=True)
+        else:
+            from repro.cwl.expressions.evaluator import ExpressionEvaluator
+
+            evaluator = ExpressionEvaluator(js_enabled=True)
         return evaluator.evaluate(expression, {"inputs": concrete_inputs, "self": self_value,
                                                "runtime": {}})
 

@@ -1,0 +1,147 @@
+"""Canonical, engine-independent form of CWL output objects.
+
+Every engine resolves File outputs to *different* absolute paths (per-job
+working directories, the Parsl cwd, the Toil job store) and decorates them
+with different extras (``jobStoreFileID``, ``dirname``, cached ``contents``).
+For conformance and differential testing two executions count as equivalent
+when their outputs agree on the *content-addressed core*: class, basename,
+size and checksum for files (recursively for directories and
+``secondaryFiles``), exact values for everything else.
+
+:func:`canonical_value` / :func:`canonical_outputs` reduce real execution
+outputs to that core; :func:`expected_value` converts the compact form used
+by conformance corpus YAML (where a File may be written as ``{class: File,
+contents: "..."}``) into the same shape, so expected and actual outputs are
+directly comparable with ``==``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional
+
+from repro.cwl.types import is_directory_value, is_file_value, value_to_path
+from repro.utils.hashing import hash_bytes, hash_file
+
+#: File-value keys that carry engine- or path-dependent detail and are
+#: dropped from the canonical form.
+_DROPPED_FILE_KEYS = {
+    "path", "location", "dirname", "nameroot", "nameext", "contents",
+    "jobStoreFileID",
+}
+
+
+def canonical_value(value: Any) -> Any:
+    """Reduce one output value to its engine-independent core.
+
+    Files become ``{"class", "basename", "size", "checksum"}`` (checksum
+    computed from the file on disk when the engine did not already record
+    one); directories become their basename plus a canonicalised, listed
+    content; lists and plain dicts recurse; scalars pass through.
+    """
+    if is_file_value(value):
+        return _canonical_file(value)
+    if is_directory_value(value):
+        return _canonical_directory(value)
+    if isinstance(value, list):
+        return [canonical_value(item) for item in value]
+    if isinstance(value, dict):
+        return {key: canonical_value(item) for key, item in sorted(value.items())}
+    return value
+
+
+def canonical_outputs(outputs: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """Canonicalise a whole CWL output object (output id -> value)."""
+    return {key: canonical_value(value) for key, value in (outputs or {}).items()}
+
+
+def _canonical_file(value: Dict[str, Any]) -> Dict[str, Any]:
+    canonical: Dict[str, Any] = {"class": "File"}
+    path: Optional[str] = None
+    try:
+        path = value_to_path(value)
+    except Exception:
+        path = None
+    basename = value.get("basename")
+    if basename is None and path:
+        basename = os.path.basename(path)
+    canonical["basename"] = basename
+
+    size = value.get("size")
+    checksum = value.get("checksum")
+    if path and os.path.isfile(path):
+        if size is None:
+            size = os.stat(path).st_size
+        if checksum is None:
+            checksum = hash_file(path)
+    canonical["size"] = size
+    canonical["checksum"] = checksum
+
+    if "secondaryFiles" in value:
+        canonical["secondaryFiles"] = [canonical_value(item)
+                                       for item in value["secondaryFiles"] or []]
+    for key, item in sorted(value.items()):
+        if key in canonical or key in _DROPPED_FILE_KEYS or key == "class":
+            continue
+        canonical[key] = canonical_value(item)
+    return canonical
+
+
+def _canonical_directory(value: Dict[str, Any]) -> Dict[str, Any]:
+    canonical: Dict[str, Any] = {"class": "Directory",
+                                 "basename": value.get("basename")}
+    listing = value.get("listing")
+    if listing is None:
+        path = value.get("path")
+        if path and os.path.isdir(path):
+            listing = []
+            for name in sorted(os.listdir(path)):
+                full = os.path.join(path, name)
+                if os.path.isdir(full):
+                    listing.append({"class": "Directory", "path": full,
+                                    "basename": name})
+                else:
+                    listing.append({"class": "File", "path": full,
+                                    "basename": name})
+    canonical["listing"] = sorted(
+        (canonical_value(item) for item in listing or []),
+        key=lambda item: str(item.get("basename", "")) if isinstance(item, dict) else str(item),
+    )
+    return canonical
+
+
+def expected_value(spec: Any) -> Any:
+    """Convert a corpus-YAML expected value into canonical form.
+
+    The corpus writes file expectations by *content*::
+
+        output: {class: File, basename: hello.txt, contents: "hi\\n"}
+
+    which converts to the same ``{class, basename, size, checksum}`` shape
+    :func:`canonical_value` produces for real outputs.  Specs that already
+    carry ``size``/``checksum`` pass through; everything else recurses.
+    """
+    if isinstance(spec, dict) and spec.get("class") == "File":
+        expected: Dict[str, Any] = {"class": "File",
+                                    "basename": spec.get("basename")}
+        if "contents" in spec and ("size" not in spec or "checksum" not in spec):
+            body = str(spec["contents"]).encode("utf-8")
+            expected["size"] = spec.get("size", len(body))
+            expected["checksum"] = spec.get("checksum", hash_bytes(body))
+        else:
+            expected["size"] = spec.get("size")
+            expected["checksum"] = spec.get("checksum")
+        if "secondaryFiles" in spec:
+            expected["secondaryFiles"] = [expected_value(item)
+                                          for item in spec["secondaryFiles"] or []]
+        return expected
+    if isinstance(spec, dict) and spec.get("class") == "Directory":
+        return {"class": "Directory", "basename": spec.get("basename"),
+                "listing": sorted((expected_value(item) for item in spec.get("listing") or []),
+                                  key=lambda item: str(item.get("basename", ""))
+                                  if isinstance(item, dict) else str(item))}
+    if isinstance(spec, list):
+        return [expected_value(item) for item in spec]
+    if isinstance(spec, dict):
+        return {key: expected_value(item) for key, item in sorted(spec.items())}
+    return spec

@@ -57,3 +57,81 @@ class OutputCollectionError(WorkflowException):
 
 class InputValidationError(WorkflowException):
     """A job order does not satisfy the tool's input schema (or a ``validate:`` rule)."""
+
+
+# --------------------------------------------------------------------- classes
+#
+# The conformance/differential harness (:mod:`repro.testing`) compares *how*
+# executions fail across engines, not just whether they fail.  Two levels:
+#
+# * :func:`error_class` — the most specific stable class name of an exception
+#   (``"JobFailure"``, ``"UnsupportedRequirement"``, ...), independent of the
+#   engine that raised it.
+# * :func:`exit_class` — the coarse conformance outcome every engine must
+#   agree on.  Different engines legitimately raise different exception
+#   *types* for the same condition (a non-zero tool exit is a
+#   :class:`JobFailure` from the runners but a Parsl ``BashExitFailure`` from
+#   the bridge); the exit class is the normalisation that makes them
+#   comparable.
+
+#: The coarse conformance outcomes of :func:`exit_class`.
+EXIT_CLASSES = (
+    "success",          # produced outputs
+    "permanentFail",    # a tool command exited with a non-permitted code
+    "invalid",          # document or job order rejected before execution
+    "unsupported",      # feature outside the engine's supported subset
+    "expressionError",  # an embedded expression failed to parse or evaluate
+    "outputError",      # declared outputs could not be collected
+    "workflowError",    # any other runtime workflow failure
+    "error",            # anything else (engine/internal errors)
+)
+
+
+def unwrap_failure(exc: BaseException) -> BaseException:
+    """Peel engine-level wrappers down to the root failure.
+
+    Parsl resolves a task whose *dependency* failed with a ``DependencyError``
+    carrying the underlying exceptions; conformance comparisons care about the
+    original failure, so the first dependent exception is followed
+    recursively.
+    """
+    dependents = getattr(exc, "dependent_exceptions", None)
+    if dependents:
+        return unwrap_failure(dependents[0])
+    return exc
+
+
+def error_class(exc: BaseException) -> str:
+    """The most specific stable class name for ``exc``.
+
+    For errors defined in this module the class name itself is the stable
+    label; for anything else (engine-specific exceptions) the type name is
+    returned unchanged.
+    """
+    return type(unwrap_failure(exc)).__name__
+
+
+def exit_class(exc: Optional[BaseException]) -> str:
+    """Normalise an execution failure to its engine-independent outcome.
+
+    ``None`` (no failure) maps to ``"success"``.  See :data:`EXIT_CLASSES`.
+    """
+    if exc is None:
+        return "success"
+    exc = unwrap_failure(exc)
+    # Parsl-side classes, named here rather than imported so this module never
+    # depends on repro.parsl.
+    parsl_name = type(exc).__name__
+    if isinstance(exc, JobFailure) or parsl_name == "BashExitFailure":
+        return "permanentFail"
+    if isinstance(exc, UnsupportedRequirement):
+        return "unsupported"
+    if isinstance(exc, ExpressionError):
+        return "expressionError"
+    if isinstance(exc, OutputCollectionError) or parsl_name == "MissingOutputs":
+        return "outputError"
+    if isinstance(exc, (ValidationException, InputValidationError)):
+        return "invalid"
+    if isinstance(exc, WorkflowException):
+        return "workflowError"
+    return "error"

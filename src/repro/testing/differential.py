@@ -1,0 +1,197 @@
+"""Differential execution of one case across the configuration matrix.
+
+The oracle is :data:`repro.api.REFERENCE_CONFIG` — the cwltool-fidelity
+reference runner, cache off, uncached expressions.  Every other
+configuration must either
+
+* succeed with **deep-equal canonical outputs** (checksums, sizes,
+  basenames, ``secondaryFiles`` — see :mod:`repro.cwl.canonical`), or
+* fail with the **same exit class** the reference failed with, or
+* fail exactly as the case's per-engine ``overrides`` say it must
+  (legitimately unsupported paths, e.g. scattered subworkflows on the
+  Parsl bridge).
+
+Anything else is a divergence, recorded per configuration on the
+:class:`CaseOutcome`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.api.matrix import REFERENCE_CONFIG, MatrixConfig, MatrixRun, run_config
+from repro.cwl.canonical import expected_value
+from repro.testing.corpus import CaseExpectation, ConformanceCase, materialize_job_order
+from repro.testing.generator import GeneratedWorkflow
+
+
+@dataclass
+class ConfigOutcome:
+    """One configuration's verdict for one case."""
+
+    run: MatrixRun
+    #: ``None`` when the configuration conformed; otherwise what diverged.
+    divergence: Optional[str] = None
+
+    @property
+    def passed(self) -> bool:
+        return self.divergence is None
+
+    def describe(self) -> Dict[str, Any]:
+        description = self.run.describe()
+        description["passed"] = self.passed
+        if self.divergence is not None:
+            description["divergence"] = self.divergence
+        return description
+
+
+@dataclass
+class CaseOutcome:
+    """Every configuration's verdict for one case."""
+
+    case_id: str
+    origin: str  # "corpus" | "generated"
+    outcomes: List[ConfigOutcome] = field(default_factory=list)
+    #: Configurations skipped because the engine cannot run the document class.
+    skipped: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(outcome.passed for outcome in self.outcomes)
+
+    @property
+    def divergences(self) -> List[str]:
+        return [f"{outcome.run.config.label}: {outcome.divergence}"
+                for outcome in self.outcomes if outcome.divergence]
+
+
+def run_case(case: ConformanceCase, configs: Sequence[MatrixConfig],
+             workdir: str, max_workers: int = 4) -> CaseOutcome:
+    """Run one corpus case under every applicable configuration."""
+    workdir = os.path.abspath(workdir)
+    job = materialize_job_order(case.job, os.path.join(workdir, "inputs"))
+    engines = case.applicable_engines()
+
+    outcome = CaseOutcome(case_id=case.id, origin="corpus")
+    baseline = run_config(case.process, job, REFERENCE_CONFIG,
+                          os.path.join(workdir, "reference-baseline"),
+                          max_workers=max_workers)
+    outcome.outcomes.append(ConfigOutcome(
+        run=baseline,
+        divergence=_check_expectation(baseline, case.expectation_for("reference")),
+    ))
+
+    for index, config in enumerate(configs):
+        if config.engine not in engines:
+            outcome.skipped.append(config.label)
+            continue
+        if config == REFERENCE_CONFIG:
+            continue  # already ran as the baseline
+        run = run_config(case.process, job, config,
+                         os.path.join(workdir, f"{index:03d}"),
+                         max_workers=max_workers)
+        outcome.outcomes.append(ConfigOutcome(
+            run=run,
+            divergence=_verdict(run, baseline, case.expectation_for(config.engine)),
+        ))
+    return outcome
+
+
+def run_generated(generated: GeneratedWorkflow, configs: Sequence[MatrixConfig],
+                  workdir: str, max_workers: int = 4) -> CaseOutcome:
+    """Run one generated workflow; the reference engine is the only oracle."""
+    workdir = os.path.abspath(workdir)
+    outcome = CaseOutcome(case_id=generated.id, origin="generated")
+    baseline = run_config(generated.doc, generated.job, REFERENCE_CONFIG,
+                          os.path.join(workdir, "reference-baseline"),
+                          max_workers=max_workers)
+    divergence = None
+    if not baseline.ok:
+        divergence = (f"reference baseline failed: {baseline.exit_class} "
+                      f"({baseline.error})")
+    outcome.outcomes.append(ConfigOutcome(run=baseline, divergence=divergence))
+
+    for index, config in enumerate(configs):
+        if config == REFERENCE_CONFIG:
+            continue
+        run = run_config(generated.doc, generated.job, config,
+                         os.path.join(workdir, f"{index:03d}"),
+                         max_workers=max_workers)
+        outcome.outcomes.append(ConfigOutcome(
+            run=run, divergence=_verdict(run, baseline, CaseExpectation())))
+    return outcome
+
+
+# ---------------------------------------------------------------- comparison
+
+
+def _verdict(run: MatrixRun, baseline: MatrixRun,
+             expectation: CaseExpectation) -> Optional[str]:
+    """Why ``run`` diverges from the oracle (``None`` = it conforms)."""
+    if expectation.failure is not None:
+        return _check_expectation(run, expectation)
+    if run.exit_class != baseline.exit_class:
+        detail = run.error or "produced outputs"
+        return (f"exit class {run.exit_class!r} != reference "
+                f"{baseline.exit_class!r} ({detail})")
+    if not run.ok:
+        return None  # both failed the same way the reference did
+    divergence = deep_compare(baseline.outputs, run.outputs)
+    if divergence is not None:
+        return f"outputs differ from reference at {divergence}"
+    if expectation.outputs is not None:
+        expected = {key: expected_value(value)
+                    for key, value in expectation.outputs.items()}
+        divergence = deep_compare(expected, run.outputs)
+        if divergence is not None:
+            return f"outputs differ from expectation at {divergence}"
+    return None
+
+
+def _check_expectation(run: MatrixRun,
+                       expectation: CaseExpectation) -> Optional[str]:
+    """Check a run directly against a declared expectation."""
+    if expectation.failure is not None:
+        if run.exit_class != expectation.failure:
+            return (f"expected failure class {expectation.failure!r}, got "
+                    f"{run.exit_class!r} ({run.error or 'produced outputs'})")
+        if expectation.match and expectation.match not in (run.error or ""):
+            return (f"failure message {run.error!r} does not contain "
+                    f"{expectation.match!r}")
+        return None
+    if not run.ok:
+        return f"expected success, got {run.exit_class} ({run.error})"
+    if expectation.outputs is not None:
+        expected = {key: expected_value(value)
+                    for key, value in expectation.outputs.items()}
+        divergence = deep_compare(expected, run.outputs)
+        if divergence is not None:
+            return f"outputs differ from expectation at {divergence}"
+    return None
+
+
+def deep_compare(expected: Any, actual: Any, path: str = "$") -> Optional[str]:
+    """First difference between two canonical values (``None`` = equal)."""
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        for key in sorted(set(expected) | set(actual)):
+            if key not in expected:
+                return f"{path}.{key} (unexpected key, value {actual[key]!r})"
+            if key not in actual:
+                return f"{path}.{key} (missing key, expected {expected[key]!r})"
+            difference = deep_compare(expected[key], actual[key], f"{path}.{key}")
+            if difference is not None:
+                return difference
+        return None
+    if isinstance(expected, list) and isinstance(actual, list):
+        if len(expected) != len(actual):
+            return f"{path} (length {len(actual)} != {len(expected)})"
+        for index, (exp, act) in enumerate(zip(expected, actual)):
+            difference = deep_compare(exp, act, f"{path}[{index}]")
+            if difference is not None:
+                return difference
+        return None
+    if expected != actual:
+        return f"{path} ({actual!r} != {expected!r})"
+    return None

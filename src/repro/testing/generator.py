@@ -1,0 +1,283 @@
+"""Seeded, bounded property-based workflow generation.
+
+:func:`generate_workflow` emits a random — but fully deterministic for a
+given seed — CWL Workflow over a small vocabulary of tools:
+
+* ``echo``  — write a string input to a stdout-typed output,
+* ``upcase`` — the same through an ``InlineJavascriptRequirement``
+  expression (``$(inputs.text.toUpperCase())``),
+* ``write`` — write a string to a file *named by another input*
+  (the scatter body: shard outputs stay predictable at submission time),
+* ``cat``  — concatenate upstream File outputs.
+
+Structure is drawn with bounded width and depth: a source layer of
+echo/upcase steps, optionally a dotproduct scatter, optionally a nested
+(non-scattered) subworkflow, then up to ``max_depth - 1`` layers of ``cat``
+steps combining earlier files, optionally a ``when``-guarded sink whose
+guard is a workflow-input boolean.  Everything stays inside the subset all
+four engines support (no scattered subworkflows, no guards over step
+outputs), so the reference engine is a usable oracle for every generated
+case.
+
+Determinism rules (the flakiness guard): every choice flows from one
+``random.Random(seed)``; step and input names are derived from insertion
+counters, never from iteration over sets or dicts; two calls with the same
+seed and bounds produce byte-identical documents and job orders.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+#: Deterministic word pool for generated messages.
+WORDS = (
+    "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf",
+    "hotel", "india", "juliet", "kilo", "lima", "mike", "november",
+    "oscar", "papa", "quebec", "romeo", "sierra", "tango",
+)
+
+#: Default number of generated workflows per conformance run.
+DEFAULT_SUITE_SIZE = 20
+#: Default base seed (suite workflow ``i`` uses ``base_seed + i``).
+DEFAULT_BASE_SEED = 1000
+
+
+@dataclass
+class GeneratedWorkflow:
+    """One generated case: a Workflow document plus its job order."""
+
+    seed: int
+    doc: Dict[str, Any]
+    job: Dict[str, Any]
+    #: Structural features drawn for this seed (for reports/debugging).
+    features: Tuple[str, ...] = ()
+
+    @property
+    def id(self) -> str:
+        return f"gen-{self.seed:05d}"
+
+
+# ------------------------------------------------------------------ tool docs
+
+
+def _echo_tool(stdout_name: str) -> Dict[str, Any]:
+    return {
+        "class": "CommandLineTool",
+        "baseCommand": "echo",
+        "inputs": {"text": {"type": "string", "inputBinding": {"position": 1}}},
+        "outputs": {"out": {"type": "stdout"}},
+        "stdout": stdout_name,
+    }
+
+
+def _upcase_tool(stdout_name: str) -> Dict[str, Any]:
+    return {
+        "class": "CommandLineTool",
+        "baseCommand": "echo",
+        "requirements": [{"class": "InlineJavascriptRequirement"}],
+        "inputs": {"text": {"type": "string"}},
+        "arguments": ["$(inputs.text.toUpperCase())"],
+        "outputs": {"out": {"type": "stdout"}},
+        "stdout": stdout_name,
+    }
+
+
+def _write_tool() -> Dict[str, Any]:
+    """Scatter body: output file named by the scattered ``name`` input."""
+    return {
+        "class": "CommandLineTool",
+        "baseCommand": ["python3", "-c",
+                        "import sys; open(sys.argv[1], 'w').write(sys.argv[2] + '\\n')"],
+        "inputs": {
+            "name": {"type": "string", "inputBinding": {"position": 1}},
+            "word": {"type": "string", "inputBinding": {"position": 2}},
+        },
+        "outputs": {"out": {"type": "File",
+                            "outputBinding": {"glob": "$(inputs.name)"}}},
+    }
+
+
+def _cat_tool(arity: int, stdout_name: str) -> Dict[str, Any]:
+    inputs = {f"f{index}": {"type": "File", "inputBinding": {"position": index + 1}}
+              for index in range(arity)}
+    return {
+        "class": "CommandLineTool",
+        "baseCommand": "cat",
+        "inputs": inputs,
+        "outputs": {"out": {"type": "stdout"}},
+        "stdout": stdout_name,
+    }
+
+
+def _guarded_echo_tool(stdout_name: str) -> Dict[str, Any]:
+    tool = _echo_tool(stdout_name)
+    tool["inputs"]["go"] = {"type": "boolean"}
+    return tool
+
+
+# ------------------------------------------------------------------ generator
+
+
+@dataclass
+class _Builder:
+    rng: random.Random
+    inputs: Dict[str, Any] = field(default_factory=dict)
+    job: Dict[str, Any] = field(default_factory=dict)
+    steps: Dict[str, Any] = field(default_factory=dict)
+    outputs: Dict[str, Any] = field(default_factory=dict)
+    #: ``step/out`` references resolving to a single File.
+    file_refs: List[str] = field(default_factory=list)
+    features: List[str] = field(default_factory=list)
+
+    def phrase(self, words: int) -> str:
+        return " ".join(self.rng.choice(WORDS) for _ in range(words))
+
+    def add_input(self, name: str, cwl_type: str, value: Any) -> str:
+        self.inputs[name] = cwl_type
+        self.job[name] = value
+        return name
+
+    def add_step(self, name: str, step: Dict[str, Any]) -> str:
+        self.steps[name] = step
+        return name
+
+    def expose(self, ref: str, cwl_type: str = "Any") -> None:
+        output_id = f"o{len(self.outputs)}"
+        self.outputs[output_id] = {"type": cwl_type, "outputSource": ref}
+
+
+def generate_workflow(seed: int, *, max_width: int = 3,
+                      max_depth: int = 3) -> GeneratedWorkflow:
+    """Generate one workflow for ``seed`` (bounded width/depth, deterministic)."""
+    if max_width < 1 or max_depth < 1:
+        raise ValueError("max_width and max_depth must be at least 1")
+    builder = _Builder(rng=random.Random(seed))
+    rng = builder.rng
+
+    # --- source layer: echo/upcase steps over workflow string inputs.
+    n_sources = rng.randint(2, max(2, max_width))
+    for index in range(n_sources):
+        step_name = f"s{len(builder.steps)}"
+        text_input = builder.add_input(f"msg{index}", "string",
+                                       builder.phrase(rng.randint(1, 3)))
+        tool = _upcase_tool(f"{step_name}.txt") if rng.random() < 0.4 \
+            else _echo_tool(f"{step_name}.txt")
+        builder.add_step(step_name, {"run": tool, "in": {"text": text_input},
+                                     "out": ["out"]})
+        builder.file_refs.append(f"{step_name}/out")
+        builder.features.append("upcase" if "arguments" in tool else "echo")
+
+    # --- optional dotproduct scatter over generated name/word arrays.
+    if rng.random() < 0.6:
+        step_name = f"s{len(builder.steps)}"
+        shards = rng.randint(2, 3)
+        names = builder.add_input(
+            f"{step_name}_names", "string[]",
+            [f"{step_name}_part{index}.txt" for index in range(shards)])
+        words = builder.add_input(
+            f"{step_name}_words", "string[]",
+            [builder.phrase(1) for _ in range(shards)])
+        builder.add_step(step_name, {
+            "run": _write_tool(), "scatter": ["name", "word"],
+            "scatterMethod": "dotproduct",
+            "in": {"name": names, "word": words}, "out": ["out"],
+        })
+        builder.expose(f"{step_name}/out")
+        builder.features.append("scatter")
+
+    # --- optional nested (non-scattered) subworkflow of echo steps.
+    if max_depth > 1 and rng.random() < 0.6:
+        step_name = f"s{len(builder.steps)}"
+        child_steps = rng.randint(1, 2)
+        child: Dict[str, Any] = {
+            "class": "Workflow",
+            "inputs": {f"m{index}": "string" for index in range(child_steps)},
+            "outputs": {},
+            "steps": {},
+        }
+        mapping: Dict[str, str] = {}
+        for index in range(child_steps):
+            parent_input = builder.add_input(
+                f"{step_name}_m{index}", "string",
+                builder.phrase(rng.randint(1, 2)))
+            mapping[f"m{index}"] = parent_input
+            child_step = f"c{index}"
+            tool = _upcase_tool(f"{step_name}_{child_step}.txt") \
+                if rng.random() < 0.5 else _echo_tool(f"{step_name}_{child_step}.txt")
+            child["steps"][child_step] = {"run": tool, "in": {"text": f"m{index}"},
+                                          "out": ["out"]}
+            child["outputs"][f"w{index}"] = {"type": "File",
+                                             "outputSource": f"{child_step}/out"}
+        builder.add_step(step_name, {"run": child, "in": mapping,
+                                     "out": [f"w{index}" for index in range(child_steps)]})
+        for index in range(child_steps):
+            builder.file_refs.append(f"{step_name}/w{index}")
+        builder.features.append("subworkflow")
+
+    # --- combining layers: cat steps over earlier single-File refs.
+    for _depth in range(1, max_depth):
+        if len(builder.file_refs) < 2 or rng.random() < 0.3:
+            break
+        step_name = f"s{len(builder.steps)}"
+        arity = rng.randint(2, min(3, len(builder.file_refs)))
+        chosen = rng.sample(sorted(builder.file_refs), arity)
+        tool = _cat_tool(arity, f"{step_name}.txt")
+        builder.add_step(step_name, {
+            "run": tool,
+            "in": {f"f{index}": ref for index, ref in enumerate(chosen)},
+            "out": ["out"],
+        })
+        builder.file_refs.append(f"{step_name}/out")
+        builder.features.append("cat")
+
+    # --- optional when-guarded sink over a workflow-input boolean.
+    if rng.random() < 0.5:
+        step_name = f"s{len(builder.steps)}"
+        flag = builder.add_input(f"{step_name}_go", "boolean", rng.random() < 0.5)
+        text_input = next(iter(builder.inputs))  # msg0, deterministically
+        builder.add_step(step_name, {
+            "run": _guarded_echo_tool(f"{step_name}.txt"),
+            "when": "$(inputs.go)",
+            "in": {"go": flag, "text": text_input},
+            "out": ["out"],
+        })
+        builder.expose(f"{step_name}/out")
+        builder.features.append("when")
+
+    # --- expose every file that is still a sink (plus one mid-DAG file).
+    consumed = set()
+    for step in builder.steps.values():
+        consumed.update(source for source in step.get("in", {}).values()
+                        if "/" in str(source))
+    for ref in builder.file_refs:
+        if ref not in consumed:
+            builder.expose(ref, "File")
+    if not builder.outputs:  # every file was consumed: expose the last one
+        builder.expose(builder.file_refs[-1], "File")
+
+    doc = {
+        "cwlVersion": "v1.2",
+        "class": "Workflow",
+        "id": f"generated-{seed}",
+        "requirements": [
+            {"class": "ScatterFeatureRequirement"},
+            {"class": "SubworkflowFeatureRequirement"},
+            {"class": "InlineJavascriptRequirement"},
+        ],
+        "inputs": builder.inputs,
+        "outputs": builder.outputs,
+        "steps": builder.steps,
+    }
+    return GeneratedWorkflow(seed=seed, doc=doc, job=builder.job,
+                             features=tuple(builder.features))
+
+
+def generate_suite(count: int = DEFAULT_SUITE_SIZE, *,
+                   base_seed: int = DEFAULT_BASE_SEED,
+                   max_width: int = 3, max_depth: int = 3) -> List[GeneratedWorkflow]:
+    """``count`` workflows for seeds ``base_seed .. base_seed + count - 1``."""
+    return [generate_workflow(base_seed + offset, max_width=max_width,
+                              max_depth=max_depth)
+            for offset in range(count)]

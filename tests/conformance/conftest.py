@@ -1,0 +1,35 @@
+"""Session-scoped fixtures for the conformance tier.
+
+The corpus and the generated suite are immutable inputs, loaded/generated
+once per session; differential runs get their own tmp dirs per test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testing.corpus import load_corpus
+from repro.testing.generator import generate_suite
+
+#: The generated-suite seed the whole tier pins (the flakiness guard: every
+#: test derives its workflows from this constant, never from time or hash
+#: ordering).
+TIER_SEED = 1000
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """Every corpus case, loaded once."""
+    return load_corpus()
+
+
+@pytest.fixture(scope="session")
+def tier1_corpus():
+    """The fast tier-1 subset."""
+    return load_corpus(tier1_only=True)
+
+
+@pytest.fixture(scope="session")
+def generated_suite():
+    """A small deterministic generated suite shared by the tier."""
+    return generate_suite(4, base_seed=TIER_SEED)

@@ -1,0 +1,89 @@
+"""The property-based workflow generator: determinism, bounds, validity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cwl.graph import build_graph
+from repro.cwl.loader import load_document
+from repro.cwl.validate import ensure_valid
+from repro.testing.generator import (
+    DEFAULT_SUITE_SIZE,
+    GeneratedWorkflow,
+    generate_suite,
+    generate_workflow,
+)
+
+from tests.conformance.conftest import TIER_SEED
+
+
+@pytest.mark.parametrize("seed", [TIER_SEED + offset for offset in range(6)])
+def test_same_seed_same_workflow(seed):
+    """The flakiness guard: byte-identical documents and job orders per seed."""
+    first = generate_workflow(seed)
+    second = generate_workflow(seed)
+    assert first.doc == second.doc
+    assert first.job == second.job
+    assert first.features == second.features
+
+
+def test_different_seeds_differ():
+    suite = generate_suite(10, base_seed=TIER_SEED)
+    docs = [workflow.doc for workflow in suite]
+    assert any(docs[0] != other for other in docs[1:]), \
+        "ten seeds produced ten identical workflows"
+
+
+def test_generated_documents_validate_and_build_graphs(generated_suite):
+    for workflow in generated_suite:
+        process = load_document(dict(workflow.doc))
+        ensure_valid(process)
+        graph = build_graph(process)
+        assert graph.nodes
+
+
+def test_every_step_has_a_declared_source(generated_suite):
+    """Step inputs only reference workflow inputs or upstream step outputs."""
+    for workflow in generated_suite:
+        step_outputs = {f"{name}/{out}"
+                        for name, step in workflow.doc["steps"].items()
+                        for out in step["out"]}
+        for name, step in workflow.doc["steps"].items():
+            for source in step["in"].values():
+                if "/" in str(source):
+                    assert source in step_outputs, (workflow.id, name, source)
+                else:
+                    assert source in workflow.doc["inputs"], (workflow.id, name, source)
+
+
+def test_width_and_depth_are_bounded():
+    for seed in range(TIER_SEED, TIER_SEED + 30):
+        workflow = generate_workflow(seed, max_width=3, max_depth=3)
+        # sources <= 3, scatter <= 1, subworkflow <= 1, cats <= 2, guard <= 1
+        assert len(workflow.doc["steps"]) <= 8
+        for step in workflow.doc["steps"].values():
+            run = step["run"]
+            if run.get("class") == "Workflow":
+                # Nesting stops at one level.
+                assert all(child["run"].get("class") == "CommandLineTool"
+                           for child in run["steps"].values())
+
+
+def test_job_order_satisfies_workflow_inputs(generated_suite):
+    for workflow in generated_suite:
+        assert set(workflow.job) == set(workflow.doc["inputs"])
+
+
+def test_suite_size_and_ids():
+    suite = generate_suite(DEFAULT_SUITE_SIZE)
+    assert len(suite) >= 20  # acceptance: >= 20 generated workflows per CI run
+    ids = [workflow.id for workflow in suite]
+    assert len(set(ids)) == len(ids)
+    assert all(isinstance(workflow, GeneratedWorkflow) for workflow in suite)
+
+
+def test_bounds_are_validated():
+    with pytest.raises(ValueError):
+        generate_workflow(1, max_width=0)
+    with pytest.raises(ValueError):
+        generate_workflow(1, max_depth=0)

@@ -1,0 +1,113 @@
+"""The unsupported-path error contract (previously noted, never asserted).
+
+Scattering over a nested Workflow is supported by the runner engines but is
+a declared unsupported path on the Parsl bridge: both Parsl engines must
+raise :class:`UnsupportedRequirement` — not a generic failure — and the
+message must name the offending step, identically on both engines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import api
+from repro.cwl.errors import UnsupportedRequirement, error_class, exit_class
+from repro.testing.corpus import load_corpus, materialize_job_order
+
+PARSL_ENGINES = ("parsl", "parsl-workflow")
+
+
+@pytest.fixture
+def scattered_subworkflow_case():
+    """The corpus case is the single source of truth for this contract."""
+    corpus = load_corpus()
+    return next(case for case in corpus if case.id == "wf_scattered_subworkflow")
+
+
+@pytest.fixture
+def run_engine(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+
+    def run(engine, process, job_order):
+        options = {}
+        if engine in PARSL_ENGINES:
+            options["config"] = repro.thread_config(
+                max_threads=2, run_dir=str(tmp_path / engine / "runinfo"))
+        return api.run(process, dict(job_order), engine=engine, **options)
+
+    return run
+
+
+def test_runner_engines_run_scattered_subworkflows(
+        scattered_subworkflow_case, run_engine, tmp_path):
+    case = scattered_subworkflow_case
+    job = materialize_job_order(case.job, tmp_path / "inputs")
+    for engine in ("reference", "toil"):
+        result = run_engine(engine, case.process, job)
+        assert [value["basename"] for value in result.outputs["files"]] == \
+            ["sub0.txt", "sub1.txt"]
+
+
+@pytest.mark.parametrize("engine", PARSL_ENGINES)
+def test_parsl_engines_raise_unsupported_with_step_name(
+        scattered_subworkflow_case, run_engine, tmp_path, engine):
+    case = scattered_subworkflow_case
+    job = materialize_job_order(case.job, tmp_path / "inputs")
+    with pytest.raises(UnsupportedRequirement) as excinfo:
+        run_engine(engine, case.process, job)
+    message = str(excinfo.value)
+    assert "'shatter'" in message, "the step name must be in the error"
+    assert "nested Workflow" in message
+    assert error_class(excinfo.value) == "UnsupportedRequirement"
+    assert exit_class(excinfo.value) == "unsupported"
+
+
+def test_both_parsl_engines_raise_the_same_message(
+        scattered_subworkflow_case, run_engine, tmp_path):
+    case = scattered_subworkflow_case
+    job = materialize_job_order(case.job, tmp_path / "inputs")
+    messages = {}
+    for engine in PARSL_ENGINES:
+        with pytest.raises(UnsupportedRequirement) as excinfo:
+            run_engine(engine, case.process, job)
+        messages[engine] = str(excinfo.value)
+    assert messages["parsl"] == messages["parsl-workflow"]
+
+
+def test_scatter_over_future_width_is_unsupported_with_step_name(tmp_path, monkeypatch):
+    """The bridge's other declared unsupported path: scattering over a value
+    that is still a future at submission time."""
+    monkeypatch.chdir(tmp_path)
+    from repro.core.workflow_bridge import CWLWorkflowBridge
+    from repro.cwl.loader import load_document
+
+    echo_list_tool = {
+        "class": "CommandLineTool",
+        "requirements": [{"class": "InlineJavascriptRequirement"}],
+        "baseCommand": "echo",
+        "inputs": {"text": {"type": "string", "inputBinding": {"position": 1}}},
+        "outputs": {"out": {"type": "stdout"}},
+        "stdout": "list.txt",
+    }
+    workflow = {
+        "cwlVersion": "v1.2", "class": "Workflow",
+        "requirements": [{"class": "ScatterFeatureRequirement"}],
+        "inputs": {"text": "string"},
+        "outputs": {"files": {"type": "Any", "outputSource": "use/out"}},
+        "steps": {
+            "produce": {"run": dict(echo_list_tool), "in": {"text": "text"},
+                        "out": ["out"]},
+            "use": {"run": dict(echo_list_tool), "scatter": ["text"],
+                    "in": {"text": "produce/out"},
+                    "out": ["out"]},
+        },
+    }
+    repro.load(repro.thread_config(max_threads=2, run_dir=str(tmp_path / "runinfo")))
+    try:
+        bridge = CWLWorkflowBridge(load_document(workflow))
+        with pytest.raises(UnsupportedRequirement) as excinfo:
+            bridge.run({"text": "seed"})
+        assert "'use'" in str(excinfo.value)
+    finally:
+        repro.clear()

@@ -1,0 +1,106 @@
+"""Output canonicalisation and stable error/exit classes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cwl.canonical import canonical_outputs, canonical_value, expected_value
+from repro.cwl.errors import (
+    EXIT_CLASSES,
+    CWLError,
+    ExpressionError,
+    InputValidationError,
+    JavaScriptError,
+    JobFailure,
+    OutputCollectionError,
+    UnsupportedRequirement,
+    ValidationException,
+    WorkflowException,
+    error_class,
+    exit_class,
+    unwrap_failure,
+)
+from repro.cwl.types import build_file_value
+from repro.parsl.errors import BashExitFailure, DependencyError, MissingOutputs
+from repro.utils.hashing import hash_bytes
+
+
+def test_canonical_file_drops_paths_and_adds_checksum(tmp_path):
+    path = tmp_path / "payload.txt"
+    path.write_text("payload body\n")
+    canonical = canonical_value(build_file_value(str(path)))
+    assert canonical == {
+        "class": "File",
+        "basename": "payload.txt",
+        "size": 13,
+        "checksum": hash_bytes(b"payload body\n"),
+    }
+
+
+def test_canonical_matches_expected_contents_form(tmp_path):
+    path = tmp_path / "payload.txt"
+    path.write_text("payload body\n")
+    actual = canonical_value(build_file_value(str(path)))
+    expected = expected_value({"class": "File", "basename": "payload.txt",
+                               "contents": "payload body\n"})
+    assert actual == expected
+
+
+def test_canonical_recurses_lists_dicts_and_secondary_files(tmp_path):
+    path = tmp_path / "main.txt"
+    path.write_text("main\n")
+    sidecar = tmp_path / "main.idx"
+    sidecar.write_text("idx\n")
+    file_value = build_file_value(str(path))
+    file_value["secondaryFiles"] = [build_file_value(str(sidecar))]
+    canonical = canonical_outputs({"out": [file_value], "n": 3})
+    assert canonical["n"] == 3
+    assert canonical["out"][0]["secondaryFiles"][0]["basename"] == "main.idx"
+
+
+def test_canonical_missing_file_keeps_declared_fields():
+    value = {"class": "File", "path": "/nope/gone.txt", "basename": "gone.txt"}
+    canonical = canonical_value(value)
+    assert canonical["basename"] == "gone.txt"
+    assert canonical["size"] is None and canonical["checksum"] is None
+
+
+def test_canonical_directory_sorts_listing(tmp_path):
+    (tmp_path / "b.txt").write_text("b")
+    (tmp_path / "a.txt").write_text("a")
+    canonical = canonical_value({"class": "Directory", "path": str(tmp_path),
+                                 "basename": tmp_path.name})
+    assert [entry["basename"] for entry in canonical["listing"]] == ["a.txt", "b.txt"]
+
+
+@pytest.mark.parametrize("exc,expected", [
+    (None, "success"),
+    (JobFailure("t", 3), "permanentFail"),
+    (BashExitFailure("app", 3), "permanentFail"),
+    (UnsupportedRequirement("no"), "unsupported"),
+    (ExpressionError("bad"), "expressionError"),
+    (JavaScriptError("bad"), "expressionError"),
+    (OutputCollectionError("none"), "outputError"),
+    (MissingOutputs("app", ["a.txt"]), "outputError"),
+    (ValidationException("doc"), "invalid"),
+    (InputValidationError("order"), "invalid"),
+    (WorkflowException("runtime"), "workflowError"),
+    (CWLError("generic"), "error"),
+    (RuntimeError("anything"), "error"),
+])
+def test_exit_class_normalisation(exc, expected):
+    assert exit_class(exc) == expected
+    assert expected in EXIT_CLASSES
+
+
+def test_dependency_errors_unwrap_to_the_root_failure():
+    root = JobFailure("tool", 9)
+    wrapped = DependencyError([DependencyError([root], 2)], 1)
+    assert unwrap_failure(wrapped) is root
+    assert exit_class(wrapped) == "permanentFail"
+    assert error_class(wrapped) == "JobFailure"
+
+
+def test_error_class_is_the_specific_type_name():
+    assert error_class(InputValidationError("x")) == "InputValidationError"
+    assert error_class(ValueError("x")) == "ValueError"

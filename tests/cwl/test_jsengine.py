@@ -247,3 +247,139 @@ def test_property_array_join_and_length(xs):
     engine = JSEngine(context={"inputs": {"xs": xs}})
     assert engine.evaluate("inputs.xs.length") == len(xs)
     assert engine.evaluate("inputs.xs.join(',')") == ",".join(str(x) for x in xs)
+
+
+# ------------------------------------------- closure backend vs. interpreter
+#
+# The compiled closure backend (repro.cwl.expressions.jsengine.closures) is
+# the default expression pipeline on three of the four engines; it must agree
+# with the uncached tree-walking interpreter on every expression — values
+# *and* thrown-error classes.  Expressions are generated from explicit seeds
+# (no hypothesis shrink state, no hash-order dependence), so a failure
+# reproduces from the seed alone.
+
+from repro.cwl.expressions.jsengine.closures import (  # noqa: E402
+    compile_expression_ast,
+    shared_library_scope,
+)
+from repro.cwl.expressions.jsengine.parser import parse_expression  # noqa: E402
+import random  # noqa: E402
+
+PARITY_CONTEXT = {
+    "inputs": {
+        "s": "the quick Brown fox",
+        "t": "alpha,beta;gamma",
+        "n": 7,
+        "m": -3,
+        "xs": [3, 1, 2, 9],
+        "ws": ["aa", "Bb", "c"],
+    }
+}
+
+
+def closure_evaluate(source, context):
+    """Evaluate ``source`` through the compiled closure backend."""
+    scope = shared_library_scope(())
+    return scope.evaluate(compile_expression_ast(parse_expression(source)),
+                          context)
+
+
+def interpreter_evaluate(source, context):
+    return evaluate_expression(source, context)
+
+
+def _random_number_expr(rng, depth):
+    if depth <= 0:
+        return rng.choice(["inputs.n", "inputs.m", str(rng.randint(0, 9)),
+                           "inputs.xs.length", "inputs.xs[1]",
+                           "inputs.s.length", "parseInt('42')"])
+    a = _random_number_expr(rng, depth - 1)
+    b = _random_number_expr(rng, depth - 1)
+    return rng.choice([
+        f"({a} + {b})", f"({a} - {b})", f"({a} * {b})",
+        f"Math.max({a}, {b})", f"Math.min({a}, {b})", f"Math.floor({a})",
+        f"({_random_bool_expr(rng, 0)} ? {a} : {b})",
+    ])
+
+
+def _random_string_expr(rng, depth):
+    if depth <= 0:
+        return rng.choice(["inputs.s", "inputs.t", "'lit'",
+                           "inputs.ws[0]", "inputs.ws[2]"])
+    a = _random_string_expr(rng, depth - 1)
+    return rng.choice([
+        f"({a} + {_random_string_expr(rng, depth - 1)})",
+        f"{a}.toUpperCase()", f"{a}.toLowerCase()", f"{a}.trim()",
+        f"{a}.slice({rng.randint(0, 3)})",
+        f"{a}.split(',').join('-')",
+        f"{a}.charAt({rng.randint(0, 2)})",
+        f"({a} + {_random_number_expr(rng, 0)})",
+        f"inputs.ws.join({a})",
+    ])
+
+
+def _random_bool_expr(rng, depth):
+    a = _random_number_expr(rng, depth)
+    b = _random_number_expr(rng, depth)
+    return rng.choice([
+        f"({a} < {b})", f"({a} >= {b})", f"({a} == {b})", f"({a} === {b})",
+        f"({a} != {b})", f"!({a} < {b})",
+    ])
+
+
+def generate_parity_expression(rng):
+    kind = rng.choice([_random_number_expr, _random_string_expr,
+                       _random_bool_expr])
+    return kind(rng, rng.randint(1, 3))
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_property_closures_match_interpreter(seed):
+    """Seeded random expressions: both backends agree on value or error class."""
+    rng = random.Random(seed)
+    for _ in range(8):
+        source = generate_parity_expression(rng)
+        try:
+            expected = interpreter_evaluate(source, PARITY_CONTEXT)
+            expected_error = None
+        except Exception as exc:  # noqa: BLE001 — class compared below
+            expected, expected_error = None, type(exc).__name__
+        try:
+            actual = closure_evaluate(source, PARITY_CONTEXT)
+            actual_error = None
+        except Exception as exc:  # noqa: BLE001
+            actual, actual_error = None, type(exc).__name__
+        assert (expected, expected_error) == (actual, actual_error), source
+
+
+THROWING_EXPRESSIONS = [
+    "unknownFunction(1)",
+    "inputs.s.noSuchMethod()",
+    "inputs.missing.deeper.path",
+    "JSON.parse('not json')",
+    "inputs.xs.noSuchMethod(1)",
+]
+
+
+@pytest.mark.parametrize("source", THROWING_EXPRESSIONS)
+def test_throwing_expressions_agree_on_error_class(source):
+    with pytest.raises(Exception) as interpreted:
+        interpreter_evaluate(source, PARITY_CONTEXT)
+    with pytest.raises(Exception) as compiled:
+        closure_evaluate(source, PARITY_CONTEXT)
+    # The contract is *agreement*: both backends raise the same class (most
+    # raise JavaScriptError; JSON.parse leaks the identical JSONDecodeError
+    # from both, which is consistent even if not wrapped).
+    assert type(interpreted.value).__name__ == type(compiled.value).__name__, source
+
+
+def test_closure_library_scope_matches_interpreter_library():
+    """expressionLib helpers agree between the two backends too."""
+    lib = ["function dub(x) { return x + x; }",
+           "var SUFFIX = '!';"]
+    scope = shared_library_scope(tuple(lib))
+    compiled = scope.evaluate(
+        compile_expression_ast(parse_expression("dub(inputs.s) + SUFFIX")),
+        PARITY_CONTEXT)
+    engine = JSEngine(context=PARITY_CONTEXT, expression_lib=lib)
+    assert engine.evaluate("dub(inputs.s) + SUFFIX") == compiled
