@@ -25,9 +25,13 @@ DataFlowKernel:
   critical-path summary without executing anything (also attached to every
   workflow result as :attr:`ExecutionResult.plan`).
 * :func:`run_matrix` / :class:`MatrixConfig` — execute one process across
-  the engine × cache × compiled-expression matrix with per-run isolation
-  and canonicalised (engine-independent) outputs; the execution backbone of
-  the conformance harness in :mod:`repro.testing`.
+  the engine × cache × compiled-expression × faults matrix with per-run
+  isolation and canonicalised (engine-independent) outputs; the execution
+  backbone of the conformance harness in :mod:`repro.testing`.
+* Fault tolerance — :class:`RetryPolicy` (deterministic seeded backoff),
+  per-job ``timeout_s``, ``on_error="continue"`` partial results,
+  :func:`run_with_journal` / :func:`resume` for crash-safe runs, and the
+  seeded fault-injection plans of :mod:`repro.cwl.faults`.
 
 Quickstart::
 
@@ -64,7 +68,10 @@ from repro.api.matrix import (
 )
 from repro.api.plan import ExecutionPlan, plan
 from repro.api.result import ExecutionResult
+from repro.api.resume import resume, resume_info, run_with_journal
 from repro.api.session import ExecutionHandle, Session, run, submit
+from repro.cwl.faults import FaultPlan, FaultSpec, fault_profiles, get_fault_profile
+from repro.cwl.retry import RetryPolicy
 
 # Importing the module registers the built-in engines.
 from repro.api import engines as _builtin_engines  # noqa: F401  (side effect)
@@ -78,20 +85,28 @@ __all__ = [
     "ExecutionHooks",
     "ExecutionPlan",
     "ExecutionResult",
+    "FaultPlan",
+    "FaultSpec",
     "JobEvent",
     "MatrixConfig",
     "MatrixRun",
     "REFERENCE_CONFIG",
+    "RetryPolicy",
     "Session",
     "UnknownEngineError",
+    "fault_profiles",
     "get_engine",
+    "get_fault_profile",
     "list_engines",
     "matrix_configs",
     "plan",
     "register_engine",
     "resolve_engine_name",
+    "resume",
+    "resume_info",
     "run",
     "run_config",
     "run_matrix",
+    "run_with_journal",
     "submit",
 ]

@@ -44,23 +44,27 @@ from repro.cwl.runtime import RuntimeContext
 from repro.cwl.schema import CommandLineTool, Process, Workflow
 
 
-def _context_with_cache(runtime_context: Optional[RuntimeContext],
-                        cache_dir: Optional[str],
-                        job_cache: Optional[bool]) -> Optional[RuntimeContext]:
-    """Fold engine-level ``cache_dir=`` / ``job_cache=`` options into a context.
+def _context_with_options(runtime_context: Optional[RuntimeContext],
+                          cache_dir: Optional[str],
+                          job_cache: Optional[bool],
+                          **extras: Any) -> Optional[RuntimeContext]:
+    """Fold engine-level options into a :class:`RuntimeContext`.
 
     Lets every engine (and therefore ``Session(engine, cache_dir=...)`` /
-    ``api.run(..., cache_dir=...)``) expose the job cache without callers
-    having to build a :class:`RuntimeContext` themselves.
+    ``api.run(..., retry_policy=...)``) expose the job cache and the
+    fault-tolerance layer (``retry_policy``, ``timeout_s``, ``on_error``,
+    ``fault_plan``, ``journal``) without callers having to build a
+    :class:`RuntimeContext` themselves.  ``None``-valued extras mean "keep the
+    context's setting".
     """
-    if cache_dir is None and job_cache is None:
-        return runtime_context
-    context = runtime_context if runtime_context is not None else RuntimeContext()
-    overrides: Dict[str, Any] = {}
+    overrides: Dict[str, Any] = {k: v for k, v in extras.items() if v is not None}
     if cache_dir is not None:
         overrides["cache_dir"] = os.fspath(cache_dir)
     if job_cache is not None:
         overrides["job_cache"] = job_cache
+    if not overrides:
+        return runtime_context
+    context = runtime_context if runtime_context is not None else RuntimeContext()
     return context.child(**overrides)
 
 
@@ -114,6 +118,7 @@ class RunnerEngine(Engine):
             finally:
                 runner.hooks = None
             cache_enabled = runner.runtime_context.job_cache_dir() is not None
+        details = dict(runner_result.details)
         return ExecutionResult(
             outputs=runner_result.outputs,
             status=runner_result.status,
@@ -121,9 +126,11 @@ class RunnerEngine(Engine):
             jobs_run=runner_result.jobs_run,
             wall_time_s=runner_result.wall_time_s,
             events=recorder.events,
-            details=dict(runner_result.details),
+            details=details,
             plan=_plan_for(process),
             cache_stats=_event_cache_stats(recorder) if cache_enabled else None,
+            failures=dict(details.get("failures", {})),
+            node_states=dict(details.get("node_states", {})),
         )
 
 
@@ -135,9 +142,15 @@ class ReferenceEngine(RunnerEngine):
     def __init__(self, runtime_context: Optional[RuntimeContext] = None,
                  parallel: bool = False, max_workers: int = 8,
                  validate: bool = True, cache_dir: Optional[str] = None,
-                 job_cache: Optional[bool] = None) -> None:
+                 job_cache: Optional[bool] = None,
+                 retry_policy: Any = None, timeout_s: Optional[float] = None,
+                 on_error: Optional[str] = None, fault_plan: Any = None,
+                 journal: Any = None) -> None:
         super().__init__()
-        runtime_context = _context_with_cache(runtime_context, cache_dir, job_cache)
+        runtime_context = _context_with_options(
+            runtime_context, cache_dir, job_cache, retry_policy=retry_policy,
+            timeout_s=timeout_s, on_error=on_error, fault_plan=fault_plan,
+            journal=journal)
         self._options = dict(runtime_context=runtime_context, parallel=parallel,
                              max_workers=max_workers, validate=validate)
 
@@ -157,9 +170,15 @@ class ToilEngine(RunnerEngine):
                  import_outputs: bool = True, validate: bool = True,
                  destroy_job_store_on_close: Optional[bool] = None,
                  cache_dir: Optional[str] = None,
-                 job_cache: Optional[bool] = None) -> None:
+                 job_cache: Optional[bool] = None,
+                 retry_policy: Any = None, timeout_s: Optional[float] = None,
+                 on_error: Optional[str] = None, fault_plan: Any = None,
+                 journal: Any = None) -> None:
         super().__init__()
-        runtime_context = _context_with_cache(runtime_context, cache_dir, job_cache)
+        runtime_context = _context_with_options(
+            runtime_context, cache_dir, job_cache, retry_policy=retry_policy,
+            timeout_s=timeout_s, on_error=on_error, fault_plan=fault_plan,
+            journal=journal)
         self._options = dict(job_store_dir=job_store_dir, batch_system=batch_system,
                              runtime_context=runtime_context, parallel=parallel,
                              max_workers=max_workers, import_outputs=import_outputs,
@@ -204,9 +223,22 @@ class ParslEngine(Engine):
     def __init__(self, config: Any = None, outdir: Optional[str] = None,
                  cache_dir: Optional[str] = None,
                  job_cache: Optional[bool] = None,
-                 compile_expressions: Optional[bool] = None) -> None:
+                 compile_expressions: Optional[bool] = None,
+                 retry_policy: Any = None, timeout_s: Optional[float] = None,
+                 on_error: Optional[str] = None, fault_plan: Any = None,
+                 journal: Any = None) -> None:
         self._config = config
         self._outdir = outdir
+        #: Fault-tolerance options, mirroring the runner engines' context
+        #: fields: retries wrap whole tool invocations (cache probe included,
+        #: so injected faults behave identically warm or cold), timeouts are
+        #: enforced in-shell on the execution side, and ``on_error`` governs
+        #: whether a failed workflow step aborts the bridge run.
+        self._retry_policy = retry_policy
+        self._timeout_s = timeout_s
+        self._on_error = on_error or "stop"
+        self._fault_plan = fault_plan
+        self._journal = journal
         #: Tri-state expression-pipeline switch (``None`` = the Parsl
         #: engines' compiled default, ``False`` = uncached evaluators like
         #: the reference runner) — mirrors
@@ -268,8 +300,10 @@ class ParslEngine(Engine):
         recorder = self.recorder_for(hooks)
         self._ensure_kernel()
         start = time.perf_counter()
+        failures: Dict[str, str] = {}
         if isinstance(process, Workflow):
-            outputs = self._run_workflow(process, dict(job_order or {}), recorder)
+            outputs, failures = self._run_workflow(process, dict(job_order or {}),
+                                                   recorder)
         elif isinstance(process, CommandLineTool):
             outputs = self._run_tool(process, dict(job_order or {}), recorder)
         else:
@@ -283,45 +317,80 @@ class ParslEngine(Engine):
         # concurrent executions' traffic).
         cache_stats = _event_cache_stats(recorder) if self._job_cache is not None \
             else None
+        details: Dict[str, Any] = {}
+        if failures:
+            details["failures"] = dict(failures)
         return ExecutionResult(
             outputs=outputs,
-            status="success",
+            status="permanentFail" if failures else "success",
             engine=self.name,
             jobs_run=jobs_run,
             wall_time_s=time.perf_counter() - start,
             events=recorder.events,
+            details=details,
             plan=_plan_for(process),
             cache_stats=cache_stats,
+            failures=failures,
         )
 
     def _run_tool(self, tool: CommandLineTool, job_order: Dict[str, Any],
                   recorder: EventRecorder) -> Dict[str, Any]:
         from repro.core.runner import run_tool_with_parsl
+        from repro.cwl.retry import RetryObservation, execute_with_retries
 
+        job_name = tool.id or "tool"
         cache_note: Dict[str, str] = {}
-        token = recorder.job_started(tool.id or "tool")
-        try:
-            outputs = run_tool_with_parsl(
+        token = recorder.job_started(job_name)
+
+        def attempt(_n: int) -> Dict[str, Any]:
+            cache_note.clear()
+            # The retry loop wraps the whole call — submission-side cache
+            # probe included — so injected faults fire ahead of the probe,
+            # exactly as on the runner engines.
+            return run_tool_with_parsl(
                 tool=tool, job_order=job_order, config=None,
                 outdir=self._outdir, cleanup=False,
                 job_cache=self._job_cache, cache_note=cache_note,
                 compile_expressions=self._compile_expressions,
+                timeout_s=self._timeout_s,
             )
+
+        def on_retry(attempt_no: int, exc: BaseException, delay: float) -> None:
+            recorder.job_retry(token, attempt_no, error=str(exc), delay_s=delay)
+            if self._journal is not None:
+                self._journal.record("retry", job=job_name, attempt=attempt_no,
+                                     error=str(exc), delay_s=delay)
+
+        observation = RetryObservation()
+        try:
+            outputs = execute_with_retries(
+                attempt, policy=self._retry_policy, job=job_name,
+                fault_plan=self._fault_plan, observation=observation,
+                on_retry=on_retry)
         except Exception as exc:
-            recorder.job_finished(token, ok=False, error=str(exc))
+            recorder.job_finished(token, ok=False, error=str(exc),
+                                  attempt=observation.attempt)
             raise
-        recorder.job_finished(token, cache=cache_note.get("cache"))
+        recorder.job_finished(token, cache=cache_note.get("cache"),
+                              attempt=observation.attempt)
         return outputs
 
     def _run_workflow(self, workflow: Workflow, job_order: Dict[str, Any],
-                      recorder: EventRecorder) -> Dict[str, Any]:
+                      recorder: EventRecorder) -> tuple:
         from repro.core.workflow_bridge import CWLWorkflowBridge
 
         bridge = CWLWorkflowBridge(workflow, job_observer=recorder,
                                    job_cache=self._job_cache,
-                                   compile_expressions=self._compile_expressions)
+                                   compile_expressions=self._compile_expressions,
+                                   retry_policy=self._retry_policy,
+                                   fault_plan=self._fault_plan,
+                                   timeout_s=self._timeout_s,
+                                   on_error=self._on_error,
+                                   journal=self._journal)
         outputs = bridge.run(job_order)
-        return {key: _normalise_output(value) for key, value in outputs.items()}
+        failures = {name: str(exc) for name, exc in bridge.failures.items()}
+        return ({key: _normalise_output(value) for key, value in outputs.items()},
+                failures)
 
 
 class ParslWorkflowEngine(ParslEngine):

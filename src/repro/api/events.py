@@ -24,7 +24,7 @@ class JobEvent:
     """One job lifecycle transition observed during an execution."""
 
     job: str
-    kind: str  # "start" or "end"
+    kind: str  # "start", "retry" or "end"
     timestamp: float
     ok: bool = True
     error: Optional[str] = None
@@ -34,14 +34,22 @@ class JobEvent:
     #: the content-addressed store), ``"miss"`` (executed and stored), or
     #: ``None`` when caching was off or the job kind is uncacheable.
     cache: Optional[str] = None
+    #: 1-based execution attempt under the run's
+    #: :class:`~repro.cwl.retry.RetryPolicy`.  On ``"retry"`` events: the
+    #: attempt that just failed; on ``"end"`` events: the attempt that
+    #: produced the outcome (1 when no retry happened).
+    attempt: int = 1
 
 
 @dataclass
 class ExecutionHooks:
-    """User-facing callbacks invoked as jobs start and finish."""
+    """User-facing callbacks invoked as jobs start, retry and finish."""
 
     on_job_start: Optional[HookCallback] = None
     on_job_end: Optional[HookCallback] = None
+    #: Fired once per retry, before the backoff sleep; the event carries the
+    #: failed attempt number and the error that triggered the retry.
+    on_job_retry: Optional[HookCallback] = None
 
 
 @dataclass
@@ -75,9 +83,28 @@ class EventRecorder:
             self.hooks.on_job_start(event)
         return _ActiveJob(job=job, started_at=time.perf_counter())
 
+    def job_retry(self, token: _ActiveJob, attempt: int,
+                  error: Optional[str] = None,
+                  delay_s: Optional[float] = None) -> None:
+        """Record that attempt ``attempt`` of a job failed and will be retried."""
+        event = JobEvent(
+            job=token.job,
+            kind="retry",
+            timestamp=time.time(),
+            ok=False,
+            error=error,
+            duration_s=delay_s,
+            attempt=attempt,
+        )
+        with self._lock:
+            self.events.append(event)
+        if self.hooks and self.hooks.on_job_retry:
+            self.hooks.on_job_retry(event)
+
     def job_finished(self, token: _ActiveJob, ok: bool = True,
                      error: Optional[str] = None,
-                     cache: Optional[str] = None) -> None:
+                     cache: Optional[str] = None,
+                     attempt: int = 1) -> None:
         event = JobEvent(
             job=token.job,
             kind="end",
@@ -86,6 +113,7 @@ class EventRecorder:
             error=error,
             duration_s=time.perf_counter() - token.started_at,
             cache=cache,
+            attempt=attempt,
         )
         with self._lock:
             self.events.append(event)

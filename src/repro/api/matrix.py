@@ -9,7 +9,7 @@ directories) and returns a :class:`MatrixRun` whose outputs are already
 normalised to the engine-independent canonical form of
 :mod:`repro.cwl.canonical`.
 
-A configuration has three axes:
+A configuration has four axes:
 
 ========== ==========================================================
 engine     any registry name (``reference``/``toil``/``parsl``/
@@ -19,6 +19,10 @@ cache      ``"off"`` (job cache disabled), ``"cold"`` (fresh store,
            store, a second run — the one reported — replays from it)
 compiled   ``None`` (engine default), ``True`` (compiled-expression
            pipeline) or ``False`` (fresh uncached evaluators)
+faults     ``None`` (no injection) or the name of a
+           :func:`repro.cwl.faults.fault_profiles` entry — a seeded
+           deterministic fault plan plus the retry policy that rides
+           with it, applied identically to every engine
 ========== ==========================================================
 """
 
@@ -50,6 +54,10 @@ class MatrixConfig:
     engine: str
     cache: str = "off"
     compiled: Optional[bool] = None
+    #: Name of a fault profile (see :func:`repro.cwl.faults.fault_profiles`)
+    #: to inject, or ``None``.  A *name* rather than the plan object keeps
+    #: the config frozen/hashable; the plan is instantiated fresh per run.
+    faults: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.cache not in CACHE_MODES:
@@ -60,7 +68,10 @@ class MatrixConfig:
     def label(self) -> str:
         """Stable human-readable identifier (used in reports and paths)."""
         compiled = {None: "default", True: "on", False: "off"}[self.compiled]
-        return f"{self.engine}/cache={self.cache}/compiled={compiled}"
+        label = f"{self.engine}/cache={self.cache}/compiled={compiled}"
+        if self.faults:
+            label += f"/faults={self.faults}"
+        return label
 
 
 #: The oracle every other configuration is compared against: the
@@ -114,12 +125,14 @@ class MatrixRun:
 def matrix_configs(engines: Sequence[str] = ENGINE_ORDER,
                    cache_modes: Sequence[str] = ("off",),
                    compiled_modes: Sequence[Optional[bool]] = (None,),
+                   fault_modes: Sequence[Optional[str]] = (None,),
                    ) -> List[MatrixConfig]:
-    """The cross product of the three axes, in deterministic order."""
-    return [MatrixConfig(engine, cache, compiled)
+    """The cross product of the four axes, in deterministic order."""
+    return [MatrixConfig(engine, cache, compiled, faults)
             for engine in engines
             for cache in cache_modes
-            for compiled in compiled_modes]
+            for compiled in compiled_modes
+            for faults in fault_modes]
 
 
 def run_config(process: Any, job_order: Optional[Dict[str, Any]],
@@ -219,12 +232,23 @@ def _fresh(value: Any) -> Any:
 def _engine_options(config: MatrixConfig, run_dir: str,
                     cache_dir: Optional[str], max_workers: int) -> Dict[str, Any]:
     options: Dict[str, Any] = {"engine": config.engine}
+    retry_policy = fault_plan = None
+    if config.faults:
+        from repro.cwl.faults import get_fault_profile
+
+        profile = get_fault_profile(config.faults)
+        # A fresh plan per execution: plans record what they injected, and
+        # the prime/report runs of the warm protocol must not share that.
+        fault_plan = profile.make_plan()
+        retry_policy = profile.policy
     if config.engine in ("reference", "toil"):
         options["runtime_context"] = RuntimeContext(
             basedir=run_dir,
             compile_expressions=config.compiled,
             cache_dir=cache_dir,
             job_cache=False if cache_dir is None else None,
+            retry_policy=retry_policy,
+            fault_plan=fault_plan,
         )
         options["max_workers"] = max_workers
         if config.engine == "toil":
@@ -238,6 +262,8 @@ def _engine_options(config: MatrixConfig, run_dir: str,
         options["compile_expressions"] = config.compiled
         options["cache_dir"] = cache_dir
         options["job_cache"] = False if cache_dir is None else None
+        options["retry_policy"] = retry_policy
+        options["fault_plan"] = fault_plan
     else:
         # Custom registered engines: run with their defaults; the cache and
         # compiled axes only apply to engines that understand the options.

@@ -18,9 +18,11 @@ class ExecutionResult:
     ``CWLWorkflowBridge.submit``.
     """
 
-    #: The CWL output object (output id -> value), fully resolved.
+    #: The CWL output object (output id -> value), fully resolved.  Under
+    #: ``on_error="continue"`` outputs poisoned by a failed step are ``None``.
     outputs: Dict[str, Any]
-    #: ``"success"`` — failures raise instead of returning a result.
+    #: ``"success"``, or ``"permanentFail"`` when ``on_error="continue"``
+    #: completed a run with failed steps (on_error="stop" raises instead).
     status: str = "success"
     #: Registry name of the engine that produced this result.
     engine: str = ""
@@ -39,6 +41,13 @@ class ExecutionResult:
     #: (runner engines count exactly from per-job events; the Parsl engines
     #: report the store's counter delta) — or ``None`` when caching was off.
     cache_stats: Optional[Dict[str, int]] = None
+    #: Failed node/step id -> error string (non-empty only under
+    #: ``on_error="continue"``; with ``"stop"`` the first failure raises).
+    failures: Dict[str, str] = field(default_factory=dict)
+    #: Scheduler node states of the last workflow run
+    #: (``pending``/``running``/``done``/``failed``/``skipped``); empty for
+    #: single tools and engines that do not track them.
+    node_states: Dict[str, str] = field(default_factory=dict)
 
     def __getitem__(self, key: str) -> Any:
         """Convenience indexing straight into :attr:`outputs`."""
@@ -51,6 +60,10 @@ class ExecutionResult:
     def job_names(self) -> List[str]:
         """Names of the jobs that ran, in start order."""
         return [e.job for e in self.events if e.kind == "start"]
+
+    def retries(self) -> int:
+        """Total retry events across all jobs (0 without a retry policy)."""
+        return sum(1 for e in self.events if e.kind == "retry")
 
     def summary(self) -> str:
         """One human-readable line (used by CLIs in verbose mode)."""

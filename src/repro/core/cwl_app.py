@@ -42,10 +42,12 @@ from repro.cwl.types import build_file_value, coerce_file_inputs, matches
 from repro.cwl.validate import ensure_valid
 from repro.parsl.apps.bash import remote_side_bash_executor
 from repro.parsl.data_provider.files import File
+from repro.parsl.errors import BashExitFailure
 from repro.parsl.dataflow.dflow import DataFlowKernel, DataFlowKernelLoader
 from repro.parsl.dataflow.futures import AppFuture, DataFuture
 
-__all__ = ["CWLApp", "cwl_tool_command", "cached_bash_executor"]
+__all__ = ["CWLApp", "cwl_tool_command", "cached_bash_executor",
+           "resilient_bash_executor"]
 
 
 def cwl_tool_command(tool_raw: Dict[str, Any], source_path: Optional[str],
@@ -151,6 +153,16 @@ def cwl_tool_command(tool_raw: Dict[str, Any], source_path: Optional[str],
     # divergence the stdin corpus cases guard).
     if parts.stdin:
         command += f" < {shlex.quote(parts.stdin)}"
+    # Wall-clock timeout: the bash executor has no reaping machinery of its
+    # own, so the limit is enforced in-shell with coreutils ``timeout`` (the
+    # sub-shell keeps redirections/exports inside the timed region).  Exit
+    # 124 travels back as BashExitFailure and is mapped to
+    # :class:`~repro.cwl.errors.JobTimeout` by :func:`resilient_bash_executor`,
+    # matching the runner engines' SIGTERM→SIGKILL reap classification.
+    timeout_s = _parsl_kwargs.get("cwl_timeout_s")
+    if timeout_s:
+        command = (f"timeout -k 2 {float(timeout_s):g} /bin/bash -c "
+                   f"{shlex.quote(command)}")
     # The executor treats any non-zero exit as failure; tools that declare
     # additional successCodes remap them to 0 in-shell so the Parsl path
     # accepts exactly the exits the runners accept.
@@ -243,6 +255,51 @@ def cached_bash_executor(func: Any, *args: Any, **kwargs: Any) -> int:
     return exit_code
 
 
+def resilient_bash_executor(func: Any, *args: Any, **kwargs: Any) -> int:
+    """Bash-app executor adding retries, fault injection and timeout mapping.
+
+    The fault-tolerance layer's execution-side half for the Parsl engines:
+    the same :func:`~repro.cwl.retry.execute_with_retries` loop the runner
+    engines use wraps the whole inner executor call, so injected faults fire
+    *before* the execution-side cache probe (``cwl_tool_command`` runs inside
+    the inner executor) and every re-attempt re-opens (and truncates) the
+    stdout/stderr redirections.  A ``timeout``-killed command (exit 124 with
+    ``cwl_timeout_s`` configured) is re-raised as
+    :class:`~repro.cwl.errors.JobTimeout` so retry classification and the
+    conformance exit-class contract match the runner engines.  Retries are
+    recorded into the in-process ``cwl_retry_note`` list, which the workflow
+    bridge reads off the future to emit ``"retry"`` events.
+    """
+    from repro.cwl.errors import JobTimeout
+    from repro.cwl.retry import execute_with_retries
+
+    kwargs = dict(kwargs)
+    policy = kwargs.pop("cwl_retry_policy", None)
+    plan = kwargs.pop("cwl_fault_plan", None)
+    retry_note = kwargs.pop("cwl_retry_note", None)
+    job_name = kwargs.pop("cwl_job_name", None) or getattr(func, "__name__", "<tool>")
+    timeout_s = kwargs.get("cwl_timeout_s")
+    inner = cached_bash_executor if kwargs.get("cwl_cache_dir") else remote_side_bash_executor
+
+    def attempt(_n: int) -> int:
+        try:
+            # A fresh kwargs copy per attempt: the caching wrapper injects a
+            # mutable cwl_cache_ctx into its own copy each time.
+            return inner(func, *args, **dict(kwargs))
+        except BashExitFailure as exc:
+            if timeout_s and exc.exitcode == 124:
+                raise JobTimeout(job_name, float(timeout_s)) from exc
+            raise
+
+    def on_retry(attempt_no: int, exc: BaseException, delay: float) -> None:
+        if retry_note is not None:
+            retry_note.append({"attempt": attempt_no, "error": str(exc),
+                               "delay_s": delay})
+
+    return execute_with_retries(attempt, policy=policy, job=job_name,
+                                fault_plan=plan, on_retry=on_retry)
+
+
 def _store_bridge_results(ctx: Dict[str, Any], declared_outputs: List[Any],
                           stdout_spec: Any, stderr_spec: Any,
                           exit_code: int) -> None:
@@ -282,6 +339,9 @@ class CWLApp:
         validate_document: bool = True,
         job_cache: Union[None, bool, str, JobCache] = None,
         compile_expressions: Optional[bool] = None,
+        retry_policy: Optional[Any] = None,
+        fault_plan: Optional[Any] = None,
+        timeout_s: Optional[float] = None,
     ) -> None:
         if isinstance(cwl_file, CommandLineTool):
             self.tool = cwl_file
@@ -310,6 +370,13 @@ class CWLApp:
         #: still cached and restored, but the submit side cannot observe the
         #: outcome: ``JobEvent.cache`` / ``cache_stats`` read as no caching.
         self.job_cache: Optional[JobCache] = resolve_job_cache(job_cache)
+        #: Fault-tolerance options (see :mod:`repro.cwl.retry` /
+        #: :mod:`repro.cwl.faults`): when any is set the app routes through
+        #: :func:`resilient_bash_executor`, which retries the whole
+        #: execution-side call (cache probe included) under the policy.
+        self.retry_policy = retry_policy
+        self.fault_plan = fault_plan
+        self.timeout_s = timeout_s
         self.executor_label = executors if isinstance(executors, str) or executors is None \
             else (executors[0] if executors else "all")
         if self.executor_label is None:
@@ -415,6 +482,20 @@ class CWLApp:
             cache_note = {}
             app_kwargs["cwl_cache_note"] = cache_note
             executor_fn = cached_bash_executor
+        retry_note: Optional[List[Dict[str, Any]]] = None
+        if (self.retry_policy is not None or self.fault_plan is not None
+                or self.timeout_s):
+            if self.timeout_s:
+                app_kwargs["cwl_timeout_s"] = float(self.timeout_s)
+            if self.retry_policy is not None:
+                app_kwargs["cwl_retry_policy"] = self.retry_policy
+            if self.fault_plan is not None:
+                app_kwargs["cwl_fault_plan"] = self.fault_plan
+            app_kwargs["cwl_job_name"] = self.tool.id or self.__name__
+            # Per-call retry channel, the resilience analogue of cache_note.
+            retry_note = []
+            app_kwargs["cwl_retry_note"] = retry_note
+            executor_fn = resilient_bash_executor
 
         body = functools.partial(cwl_tool_command, self.tool.raw, self.cwl_path)
         functools.update_wrapper(body, cwl_tool_command)
@@ -437,6 +518,8 @@ class CWLApp:
         future.cwl_outputs = named  # type: ignore[attr-defined]
         if cache_note is not None:
             future.cwl_cache_note = cache_note  # type: ignore[attr-defined]
+        if retry_note is not None:
+            future.cwl_retry_note = retry_note  # type: ignore[attr-defined]
         return future
 
     # ----------------------------------------------------------------- helpers

@@ -44,6 +44,7 @@ def run_tool_with_parsl(
     job_cache: Union[None, bool, str, JobCache] = None,
     cache_note: Optional[Dict[str, str]] = None,
     compile_expressions: Optional[bool] = None,
+    timeout_s: Optional[float] = None,
 ) -> Dict[str, Any]:
     """Execute ``tool`` with the given ``job_order`` on Parsl.
 
@@ -75,6 +76,11 @@ def run_tool_with_parsl(
         (the Parsl default); ``False`` evaluates expressions with fresh
         uncached engines, like the reference runner (the conformance
         matrix's uncompiled leg).
+    timeout_s:
+        Optional per-job wall-clock limit, enforced in-shell on the execution
+        side; exceeding it raises :class:`~repro.cwl.errors.JobTimeout`
+        (retries, if any, are the caller's concern — the unified API wraps
+        this whole call, cache probe included, in its retry loop).
     """
     job_order = dict(job_order or {})
     tool_doc = tool if isinstance(tool, CommandLineTool) else load_tool(tool)
@@ -116,7 +122,8 @@ def run_tool_with_parsl(
         cleanup = loaded_here
 
     try:
-        app = CWLApp(tool_doc, compile_expressions=compile_expressions)
+        app = CWLApp(tool_doc, compile_expressions=compile_expressions,
+                     timeout_s=timeout_s)
         future = app(**job_order)
         future.result()
 

@@ -66,7 +66,14 @@ class CWLWorkflowBridge:
                  validate: bool = True,
                  job_observer: Optional[Any] = None,
                  job_cache: Optional[Any] = None,
-                 compile_expressions: Optional[bool] = None) -> None:
+                 compile_expressions: Optional[bool] = None,
+                 retry_policy: Optional[Any] = None,
+                 fault_plan: Optional[Any] = None,
+                 timeout_s: Optional[float] = None,
+                 on_error: str = "stop",
+                 journal: Optional[Any] = None) -> None:
+        if on_error not in ("stop", "continue"):
+            raise ValueError(f"on_error must be 'stop' or 'continue', got {on_error!r}")
         if isinstance(workflow, Workflow):
             self.workflow = workflow
         else:
@@ -95,6 +102,23 @@ class CWLWorkflowBridge:
         #: :class:`CWLApp` (``False`` = fresh uncached evaluators end to end,
         #: the conformance matrix's uncompiled leg).
         self.compile_expressions = compile_expressions is not False
+        #: Fault-tolerance options handed to every step's :class:`CWLApp`
+        #: (see :mod:`repro.cwl.retry` / :mod:`repro.cwl.faults`): retries and
+        #: fault injection run inside the execution-side bash wrapper, ahead
+        #: of the cache probe, matching the runner engines' ordering.
+        self.retry_policy = retry_policy
+        self.fault_plan = fault_plan
+        self.timeout_s = timeout_s
+        #: ``"stop"`` re-raises the first failed step from :meth:`run`;
+        #: ``"continue"`` resolves unaffected outputs and records the failed
+        #: steps in :attr:`failures` (permanentFail propagation, like the
+        #: scheduler's poisoning).
+        self.on_error = on_error
+        #: Optional :class:`~repro.cwl.journal.RunJournal`; per-step terminal
+        #: states are recorded when futures drain.
+        self.journal = journal
+        #: Failed step name → exception, from the last :meth:`run`.
+        self.failures: Dict[str, BaseException] = {}
         self._pending_observations: List[tuple] = []
         self._apps: Dict[str, CWLApp] = {}
 
@@ -140,9 +164,24 @@ class CWLWorkflowBridge:
         return outputs
 
     def run(self, job_order: Dict[str, Any]) -> Dict[str, Any]:
-        """Submit the workflow and block until all outputs are concrete values."""
+        """Submit the workflow and block until all outputs are concrete values.
+
+        Under ``on_error="continue"`` a failed step does not abort the run:
+        outputs that (transitively) depend on it resolve to ``None`` — Parsl's
+        dependency propagation fails the dependent futures for us — and the
+        failures are available in :attr:`failures` afterwards.
+        """
+        self.failures = {}
         try:
             outputs = self.submit(job_order)
+            if self.on_error == "continue":
+                resolved: Dict[str, Any] = {}
+                for key, value in outputs.items():
+                    try:
+                        resolved[key] = self._wait(value)
+                    except Exception:
+                        resolved[key] = None
+                return resolved
             return {key: self._wait(value) for key, value in outputs.items()}
         finally:
             self._drain_observations()
@@ -245,29 +284,45 @@ class CWLWorkflowBridge:
         waiters and would let :meth:`run` return before its events landed.
         """
         observer = self.job_observer
-        if observer is None:
-            return app(**kwargs)
-        token = observer.job_started(name)
+        token = observer.job_started(name) if observer is not None else None
         try:
             future = app(**kwargs)
         except Exception as exc:
-            observer.job_finished(token, ok=False, error=str(exc))
+            if observer is not None:
+                observer.job_finished(token, ok=False, error=str(exc))
             raise
-        self._pending_observations.append((future, token))
+        self._pending_observations.append((future, token, name))
         return future
 
     def _drain_observations(self) -> None:
-        """Report an end event for every submitted future (waits as needed)."""
+        """Resolve every submitted future: failures, retry events, end events.
+
+        Futures are tracked even without an observer so that
+        ``on_error="continue"`` can report which steps failed.  Retries are
+        replayed from the future's in-process ``cwl_retry_note`` (written by
+        :func:`~repro.core.cwl_app.resilient_bash_executor`), so the event
+        stream per job reads start → retry* → end like the runner engines'.
+        """
         observer = self.job_observer
         pending, self._pending_observations = self._pending_observations, []
-        if observer is None:
-            return
-        for future, token in pending:
+        for future, token, name in pending:
             exception = future.exception()
+            if exception is not None:
+                self.failures.setdefault(name, exception)
             note = getattr(future, "cwl_cache_note", None) or {}
+            retries = getattr(future, "cwl_retry_note", None) or []
+            if self.journal is not None:
+                self.journal.node_state(name, "failed" if exception else "done")
+            if observer is None:
+                continue
+            for entry in retries:
+                observer.job_retry(token, entry["attempt"],
+                                   error=entry["error"],
+                                   delay_s=entry["delay_s"])
             observer.job_finished(token, ok=exception is None,
                                   error=str(exception) if exception else None,
-                                  cache=note.get("cache"))
+                                  cache=note.get("cache"),
+                                  attempt=retries[-1]["attempt"] + 1 if retries else 1)
 
     def _app_for(self, node: GraphNode) -> CWLApp:
         if node.id in self._apps:
@@ -290,7 +345,10 @@ class CWLWorkflowBridge:
             raise WorkflowException(f"step {step.id!r} does not resolve to a CommandLineTool")
         app = CWLApp(process, data_flow_kernel=self.data_flow_kernel,
                      job_cache=self.job_cache,
-                     compile_expressions=self.compile_expressions)
+                     compile_expressions=self.compile_expressions,
+                     retry_policy=self.retry_policy,
+                     fault_plan=self.fault_plan,
+                     timeout_s=self.timeout_s)
         self._apps[node.id] = app
         return app
 

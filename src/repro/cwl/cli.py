@@ -15,7 +15,9 @@ respectively), so these CLIs observe exactly what a
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.cwl.loader import load_document
@@ -87,7 +89,8 @@ def _split_known_args(argv: Sequence[str]) -> Tuple[List[str], List[str]]:
     i = 0
     argv = list(argv)
     option_with_value = {"--outdir", "--max-workers", "--jobStore", "--batchSystem", "--nodes",
-                         "--cores-per-node", "--cachedir"}
+                         "--cores-per-node", "--cachedir", "--retries", "--retry-backoff",
+                         "--retry-exit-codes", "--timeout", "--on-error", "--rundir"}
     while i < len(argv):
         token = argv[i]
         if token.startswith("--") and positionals >= 1:
@@ -118,6 +121,71 @@ def _finalise_outputs(outputs: Dict[str, Any], outdir: Optional[str]) -> Dict[st
     return stage_outputs(outputs, outdir)
 
 
+def _add_fault_tolerance_args(parser: argparse.ArgumentParser) -> None:
+    """The fault-tolerance flags shared by both runner CLIs."""
+    parser.add_argument("--retries", type=int, default=0,
+                        help="retry transient job failures up to N times (default 0)")
+    parser.add_argument("--retry-backoff", type=float, default=0.05,
+                        help="base backoff in seconds between retries")
+    parser.add_argument("--retry-exit-codes", default=None,
+                        help="comma-separated tool exit codes considered transient")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-job wall-clock timeout in seconds")
+    parser.add_argument("--on-error", dest="on_error", default="stop",
+                        choices=("stop", "continue"),
+                        help="stop on the first failed step, or continue and "
+                             "report partial outputs (failed subtrees skipped)")
+    parser.add_argument("--rundir", default=None,
+                        help="journalled run directory (crash-safe; enables --resume)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume the interrupted run recorded in --rundir "
+                             "(completed jobs replay from its cache)")
+
+
+def _retry_policy_from_args(args: argparse.Namespace):
+    """Build the RetryPolicy the CLI flags describe, or None."""
+    if args.retries <= 0:
+        return None
+    from repro.cwl.retry import RetryPolicy
+
+    codes: Tuple[int, ...] = ()
+    if args.retry_exit_codes:
+        codes = tuple(int(code) for code in str(args.retry_exit_codes).split(","))
+    return RetryPolicy(max_attempts=args.retries + 1,
+                       backoff_s=args.retry_backoff,
+                       retryable_exit_codes=codes)
+
+
+def _install_sigterm_handler() -> None:
+    """Make SIGTERM interrupt the run like Ctrl-C, so cleanup still executes.
+
+    Only possible from the main thread; embedded callers (tests importing the
+    main functions from a worker thread) keep their process-wide handler.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return
+
+    def raise_interrupt(_signum: int, _frame: Any) -> None:
+        raise KeyboardInterrupt()
+
+    try:
+        signal.signal(signal.SIGTERM, raise_interrupt)
+    except (ValueError, OSError):  # non-main interpreter contexts
+        pass
+
+
+def _handle_interrupt(prog: str, runtime_context: RuntimeContext,
+                      rundir: Optional[str]) -> int:
+    """Common Ctrl-C/SIGTERM epilogue: reap jobs, clean scratch, hint resume."""
+    reaped = runtime_context.terminate_processes()
+    runtime_context.close()
+    message = f"{prog}: interrupted; terminated {reaped} live job(s)"
+    if rundir:
+        message += f"; resume with: {prog} --rundir {rundir} --resume <document>"
+    print(message, file=sys.stderr)
+    return 130
+
+
 def cwltool_main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``repro-cwltool``."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -132,27 +200,48 @@ def cwltool_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--max-workers", type=int, default=8)
     parser.add_argument("--cachedir", dest="cache_dir", default=None,
                         help="reuse tool results through the job cache at this directory")
+    _add_fault_tolerance_args(parser)
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(known)
 
+    _install_sigterm_handler()
+    runtime_context = RuntimeContext(outdir=args.outdir, basedir=args.outdir,
+                                     cache_dir=args.cache_dir,
+                                     retry_policy=_retry_policy_from_args(args),
+                                     timeout_s=args.timeout,
+                                     on_error=args.on_error)
     try:
-        from repro.api import Session
+        from repro import api
 
-        process = load_document(args.document)
         job_order = parse_job_order(args.job_order, overrides)
-        runtime_context = RuntimeContext(outdir=args.outdir, basedir=args.outdir,
-                                         cache_dir=args.cache_dir)
-        with Session(engine="reference", runtime_context=runtime_context,
-                     parallel=args.parallel, max_workers=args.max_workers) as session:
-            result = session.run(process, job_order)
+        if args.resume:
+            if not args.rundir:
+                raise ValueError("--resume requires --rundir")
+            result = api.resume(args.rundir, engine="reference",
+                                runtime_context=runtime_context,
+                                parallel=args.parallel,
+                                max_workers=args.max_workers)
+        elif args.rundir:
+            result = api.run_with_journal(
+                args.document, job_order, run_dir=args.rundir,
+                engine="reference", runtime_context=runtime_context,
+                parallel=args.parallel, max_workers=args.max_workers)
+        else:
+            process = load_document(args.document)
+            with api.Session(engine="reference", runtime_context=runtime_context,
+                             parallel=args.parallel,
+                             max_workers=args.max_workers) as session:
+                result = session.run(process, job_order)
         outputs = _finalise_outputs(result.outputs, args.outdir)
+    except KeyboardInterrupt:
+        return _handle_interrupt("repro-cwltool", runtime_context, args.rundir)
     except Exception as exc:  # CLI boundary: report and return failure
         print(f"repro-cwltool: error: {exc}", file=sys.stderr)
         return 1
     print(dump_json(outputs))
     if not args.quiet:
         print(f"Final process status is {result.status}", file=sys.stderr)
-    return 0
+    return 0 if result.status == "success" else 1
 
 
 def toil_main(argv: Optional[Sequence[str]] = None) -> int:
@@ -173,18 +262,22 @@ def toil_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--cores-per-node", type=int, default=48)
     parser.add_argument("--cachedir", dest="cache_dir", default=None,
                         help="reuse tool results through the job cache at this directory")
+    _add_fault_tolerance_args(parser)
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(known)
 
+    _install_sigterm_handler()
+    runtime_context = RuntimeContext(outdir=args.outdir, basedir=args.outdir,
+                                     cache_dir=args.cache_dir,
+                                     retry_policy=_retry_policy_from_args(args),
+                                     timeout_s=args.timeout,
+                                     on_error=args.on_error)
     cluster = None
     try:
-        from repro.api import Session
+        from repro import api
         from repro.cwl.runners.toil.batch import SingleMachineBatchSystem, SlurmBatchSystem
 
-        process = load_document(args.document)
         job_order = parse_job_order(args.job_order, overrides)
-        runtime_context = RuntimeContext(outdir=args.outdir, basedir=args.outdir,
-                                         cache_dir=args.cache_dir)
         if args.batchSystem == "slurm":
             from repro.cluster.nodes import NodeInventory
             from repro.cluster.scheduler import SimulatedSlurmCluster
@@ -194,10 +287,25 @@ def toil_main(argv: Optional[Sequence[str]] = None) -> int:
             batch = SlurmBatchSystem(cluster=cluster)
         else:
             batch = SingleMachineBatchSystem(max_cores=args.max_workers)
-        with Session(engine="toil", job_store_dir=args.jobStore, batch_system=batch,
-                     runtime_context=runtime_context, max_workers=args.max_workers) as session:
-            result = session.run(process, job_order)
+        engine_options = dict(job_store_dir=args.jobStore, batch_system=batch,
+                              runtime_context=runtime_context,
+                              max_workers=args.max_workers)
+        if args.resume:
+            if not args.rundir:
+                raise ValueError("--resume requires --rundir")
+            result = api.resume(args.rundir, engine="toil", **engine_options)
+        elif args.rundir:
+            result = api.run_with_journal(
+                args.document, job_order, run_dir=args.rundir, engine="toil",
+                **engine_options)
+        else:
+            process = load_document(args.document)
+            with api.Session(engine="toil", **engine_options) as session:
+                result = session.run(process, job_order)
         outputs = _finalise_outputs(result.outputs, args.outdir)
+    except KeyboardInterrupt:
+        return _handle_interrupt("repro-toil-cwl-runner", runtime_context,
+                                 args.rundir)
     except Exception as exc:
         print(f"repro-toil-cwl-runner: error: {exc}", file=sys.stderr)
         return 1
@@ -207,4 +315,4 @@ def toil_main(argv: Optional[Sequence[str]] = None) -> int:
     print(dump_json(outputs))
     if not args.quiet:
         print(f"Final process status is {result.status}", file=sys.stderr)
-    return 0
+    return 0 if result.status == "success" else 1

@@ -51,6 +51,38 @@ class JobFailure(WorkflowException):
         super().__init__(message)
 
 
+class JobTimeout(WorkflowException):
+    """A command-line job exceeded its wall-clock deadline and was reaped.
+
+    Raised after the SIGTERM→SIGKILL escalation in
+    :meth:`~repro.cwl.job.CommandLineJob.execute` (or after the in-shell
+    ``timeout(1)`` wrapper on the Parsl paths).  Timeouts are *transient* by
+    definition — a :class:`~repro.cwl.retry.RetryPolicy` retries them.
+    """
+
+    def __init__(self, tool_id: str, timeout_s: float) -> None:
+        self.tool_id = tool_id
+        self.timeout_s = timeout_s
+        super().__init__(
+            f"tool {tool_id!r} exceeded its wall-clock timeout of {timeout_s:g}s "
+            f"and was terminated")
+
+
+class InjectedFault(JobFailure):
+    """A deterministic failure injected by a :class:`~repro.cwl.faults.FaultPlan`.
+
+    Subclasses :class:`JobFailure` so that every engine classifies an injected
+    failure exactly like a real non-zero tool exit (``exit_class ==
+    "permanentFail"``) — the property the fault-injection differential matrix
+    asserts on.
+    """
+
+    def __init__(self, tool_id: str, exit_code: int, attempt: int) -> None:
+        self.attempt = attempt
+        super().__init__(tool_id, exit_code,
+                         command=f"<injected fault, attempt {attempt}>")
+
+
 class OutputCollectionError(WorkflowException):
     """Declared outputs could not be collected after a job ran."""
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.cwl.command_line import CommandLineParts, build_command_line, fill_in_defaults
-from repro.cwl.errors import InputValidationError, JobFailure
+from repro.cwl.errors import InputValidationError, JobFailure, JobTimeout
 from repro.cwl.expressions.evaluator import ExpressionEvaluator
 from repro.cwl.outputs import collect_outputs
 from repro.cwl.runtime import RuntimeContext
@@ -194,6 +194,7 @@ class CommandLineJob:
         env.setdefault("TMPDIR", tmpdir)
 
         logger.debug("executing %s in %s", parts.argv, outdir)
+        proc = None
         try:
             proc = subprocess.Popen(
                 parts.argv,
@@ -202,9 +203,28 @@ class CommandLineJob:
                 stdin=stdin_handle,
                 stdout=stdout_handle,
                 stderr=stderr_handle,
+                # Own session ⇒ own process group: timeout/interrupt reaping
+                # signals the whole group, so a shell wrapper cannot orphan
+                # grandchildren (sh -c '...; sleep N').
+                start_new_session=True,
             )
-            exit_code = proc.wait()
+            self.runtime_context.register_process(proc)
+            try:
+                exit_code = proc.wait(timeout=self.runtime_context.timeout_s)
+            except subprocess.TimeoutExpired:
+                self._reap(proc)
+                self.runtime_context.cleanup_dir(tmpdir)
+                raise JobTimeout(self.tool.id or "<tool>",
+                                 float(self.runtime_context.timeout_s or 0))
+            except BaseException:
+                # Interrupted mid-wait (KeyboardInterrupt/SIGTERM unwinding
+                # the serial path): reap before the finally unregisters the
+                # process, or the tool would outlive the runner.
+                self._reap(proc)
+                raise
         finally:
+            if proc is not None:
+                self.runtime_context.unregister_process(proc)
             for handle in (stdin_handle, stdout_handle, stderr_handle):
                 if handle is not subprocess.DEVNULL and hasattr(handle, "close"):
                     handle.close()
@@ -242,6 +262,10 @@ class CommandLineJob:
                 logger.warning("could not store job %s in the cache at %s",
                                self.tool.id, cache.cache_dir, exc_info=True)
         self.runtime_context.cleanup_dir(tmpdir)
+        if self.runtime_context.journal is not None:
+            self.runtime_context.journal.record(
+                "job", tool=self.tool.id, key=cache_key, cache="miss",
+                exit_code=exit_code)
         return JobResult(
             outputs=outputs,
             exit_code=exit_code,
@@ -250,6 +274,25 @@ class CommandLineJob:
             stdout_path=stdout_path,
             stderr_path=stderr_path,
         )
+
+    @staticmethod
+    def _reap(proc: "subprocess.Popen", grace_s: float = 2.0) -> None:
+        """SIGTERM the timed-out subprocess (and its group), then SIGKILL."""
+        import signal
+
+        from repro.cwl.runtime import signal_job_process
+
+        try:
+            signal_job_process(proc, signal.SIGTERM)
+            proc.wait(timeout=grace_s)
+        except subprocess.TimeoutExpired:
+            signal_job_process(proc, signal.SIGKILL)
+            try:
+                proc.wait(timeout=grace_s)
+            except subprocess.TimeoutExpired:
+                logger.warning("timed-out job pid %s survived SIGKILL", proc.pid)
+        except OSError:
+            pass
 
     def _restore_from_cache(self, cache, entry, outdir: str, tmpdir: str,
                             runtime: Dict[str, Any]) -> JobResult:
@@ -276,6 +319,10 @@ class CommandLineJob:
             compute_checksum=self.runtime_context.compute_checksum,
         )
         self.runtime_context.cleanup_dir(tmpdir)
+        if self.runtime_context.journal is not None:
+            self.runtime_context.journal.record(
+                "job", tool=self.tool.id, key=entry.key, cache="hit",
+                exit_code=entry.exit_code)
         return JobResult(
             outputs=outputs,
             exit_code=entry.exit_code,

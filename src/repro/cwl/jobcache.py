@@ -376,26 +376,55 @@ class JobCache:
         with self._stats_lock:
             self.stats.hits += 1
 
+    def _quarantine(self, path: str, reason: str) -> None:
+        """Move a damaged store artifact aside (``*.corrupt``) — never raise.
+
+        Quarantining (rather than deleting) keeps the evidence for post-mortem
+        while guaranteeing the next lookup is a clean miss and the re-executed
+        job re-publishes a fresh body under the same name.
+        """
+        target = path + ".corrupt"
+        try:
+            os.replace(path, target)
+            logger.warning("quarantined corrupt job-cache artifact %s (%s)",
+                           path, reason)
+        except OSError:
+            logger.warning("could not quarantine job-cache artifact %s (%s)",
+                           path, reason, exc_info=True)
+
     def _load_entry(self, key: str) -> Optional[CacheEntry]:
         path = self._entry_path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 data = json.load(handle)
-        except (OSError, ValueError):
+        except OSError:
+            return None  # no entry — the ordinary miss
+        except ValueError:
+            # Unparseable manifest (torn write, disk damage): quarantine it
+            # and fall through to a miss instead of raising mid-run.
+            self._quarantine(path, "unparseable manifest")
             return None
         if data.get("version") != MANIFEST_VERSION:
             return None
         files = dict(data.get("files") or {})
         for spec in files.values():
             body = self._cas_path(spec.get("cas", ""))
-            # A missing or truncated body (e.g. a shared file later rewritten
-            # in place) invalidates the whole entry rather than replaying it.
+            # A missing, truncated or bit-flipped body (e.g. a shared file
+            # later rewritten in place) quarantines the entry rather than
+            # replaying damaged data.  Size is the cheap first gate; the
+            # content fingerprint catches same-size corruption and is memoized
+            # on (path, size, mtime), so intact warm paths hash once, ever.
             try:
                 if os.path.getsize(body) != int(spec.get("size", -1)):
-                    logger.debug("cache entry %s has a stale CAS body %s", key, body)
+                    self._quarantine(body, f"size mismatch for entry {key}")
+                    self._quarantine(path, "stale CAS body")
+                    return None
+                if file_fingerprint(body) != spec.get("cas"):
+                    self._quarantine(body, f"content mismatch for entry {key}")
+                    self._quarantine(path, "corrupt CAS body")
                     return None
             except OSError:
-                logger.debug("cache entry %s refers to missing CAS body %s", key, body)
+                self._quarantine(path, f"missing CAS body {os.path.basename(body)}")
                 return None
         return CacheEntry(
             key=key,

@@ -53,6 +53,10 @@ class BaseRunner(ABC):
         self.runtime_context = runtime_context or RuntimeContext()
         self.validate = validate
         self.jobs_run = 0
+        #: Scheduler node states / failures of the last workflow run (filled
+        #: by ``run_workflow``; empty for single tools and fully green runs).
+        self.node_states: Dict[str, str] = {}
+        self.failures: Dict[str, BaseException] = {}
         #: Optional job observer (duck-typed ``job_started``/``job_finished``,
         #: see :class:`repro.api.events.EventRecorder`).  Set by the unified
         #: API engines; may be called from worker threads.
@@ -70,6 +74,41 @@ class BaseRunner(ABC):
         current.update(meta)
         self._job_meta.value = current
 
+    def _with_retries(self, runtime_context: RuntimeContext, job_name: str,
+                      fn) -> Any:
+        """Run ``fn(attempt)`` under the context's retry policy + fault plan.
+
+        The one retry loop every runner's ``run_tool`` goes through: faults
+        inject *before* each attempt (ahead of any cache probe), retries are
+        surfaced as ``"retry"`` events on the observer channel, and the final
+        attempt number is noted on the job's end event.
+        """
+        policy = runtime_context.retry_policy
+        plan = runtime_context.fault_plan
+        if policy is None and plan is None:
+            return fn(1)
+        from repro.cwl.retry import RetryObservation, execute_with_retries
+
+        hooks = self.hooks
+
+        def on_retry(attempt: int, exc: BaseException, delay: float) -> None:
+            token = getattr(self._job_meta, "token", None)
+            if hooks is not None and token is not None:
+                hooks.job_retry(token, attempt, error=str(exc), delay_s=delay)
+            if runtime_context.journal is not None:
+                runtime_context.journal.record(
+                    "retry", job=job_name, attempt=attempt, error=str(exc),
+                    delay_s=delay)
+
+        observation = RetryObservation()
+        try:
+            return execute_with_retries(
+                fn, policy=policy, job=job_name, fault_plan=plan,
+                observation=observation, on_retry=on_retry)
+        finally:
+            if observation.attempt > 1:
+                self.note_job_meta(attempt=observation.attempt)
+
     # ------------------------------------------------------------------ public
 
     def run(self, process: Process, job_order: Dict[str, Any]) -> RunnerResult:
@@ -78,6 +117,8 @@ class BaseRunner(ABC):
 
         start = time.perf_counter()
         self.jobs_run = 0
+        self.node_states: Dict[str, str] = {}
+        self.failures: Dict[str, BaseException] = {}
         if self.validate:
             ensure_valid(process)
         if self.runtime_context.compile_expressions:
@@ -90,8 +131,17 @@ class BaseRunner(ABC):
         job_order = {k: coerce_file_inputs(v) for k, v in job_order.items()}
         outputs = self._run_process(process, job_order, self.runtime_context)
         elapsed = time.perf_counter() - start
-        return RunnerResult(outputs=outputs, status="success", jobs_run=self.jobs_run,
-                            wall_time_s=elapsed)
+        # Failed nodes only reach this point under on_error="continue": the
+        # outputs are partial and the result says so instead of raising.
+        details: Dict[str, Any] = {}
+        if self.failures:
+            details["failures"] = {node: str(exc)
+                                   for node, exc in self.failures.items()}
+        if self.node_states:
+            details["node_states"] = dict(self.node_states)
+        status = "permanentFail" if self.failures else "success"
+        return RunnerResult(outputs=outputs, status=status, jobs_run=self.jobs_run,
+                            wall_time_s=elapsed, details=details)
 
     # ----------------------------------------------------------------- dispatch
 
@@ -116,14 +166,21 @@ class BaseRunner(ABC):
             return method(process, job_order, runtime_context)
         token = hooks.job_started(process.id or type(process).__name__)
         self._job_meta.value = None
+        self._job_meta.token = token
         try:
             outputs = method(process, job_order, runtime_context)
         except Exception as exc:
-            hooks.job_finished(token, ok=False, error=str(exc))
+            meta = getattr(self._job_meta, "value", None) or {}
+            self._job_meta.value = None
+            self._job_meta.token = None
+            hooks.job_finished(token, ok=False, error=str(exc),
+                               attempt=meta.get("attempt", 1))
             raise
         meta = getattr(self._job_meta, "value", None) or {}
         self._job_meta.value = None
-        hooks.job_finished(token, cache=meta.get("cache"))
+        self._job_meta.token = None
+        hooks.job_finished(token, cache=meta.get("cache"),
+                           attempt=meta.get("attempt", 1))
         return outputs
 
     # ------------------------------------------------------------- per-process

@@ -52,12 +52,15 @@ class ReferenceRunner(BaseRunner):
         # reproducing that per-job work keeps the runner comparison honest.
         if self.validate:
             ensure_valid(tool)
-        job = CommandLineJob(
-            tool=tool,
-            job_order=copy.deepcopy(job_order),
-            runtime_context=runtime_context,
-        )
-        result = job.execute()
+        def attempt(_n: int):
+            job = CommandLineJob(
+                tool=tool,
+                job_order=copy.deepcopy(job_order),
+                runtime_context=runtime_context,
+            )
+            return job.execute()
+
+        result = self._with_retries(runtime_context, tool.id or "<tool>", attempt)
         if runtime_context.job_cache_dir() is not None:
             self.note_job_meta(cache="hit" if result.cache_hit else "miss")
         return result.outputs
@@ -71,7 +74,11 @@ class ReferenceRunner(BaseRunner):
             parallel=self.parallel,
             max_workers=self.max_workers,
         )
-        return engine.run(job_order)
+        try:
+            return engine.run(job_order)
+        finally:
+            self.node_states = engine.node_states
+            self.failures = engine.failures
 
     # ----------------------------------------------------------------- plumbing
 

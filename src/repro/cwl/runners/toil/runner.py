@@ -80,50 +80,56 @@ class ToilStyleRunner(BaseRunner):
             requirements=self._job_requirements(tool),
             payload={"inputs": _summarise_job_order(job_order)},
         )
-        job = CommandLineJob(
-            tool=tool,
-            # Copy-on-write view instead of deepcopy: scatter loops issue
-            # this per job, and the leaves never needed copying.
-            job_order=job_order_view(job_order),
-            runtime_context=runtime_context,
-        )
-
         cache_enabled = runtime_context.job_cache_dir() is not None
-        if cache_enabled:
-            # Probe the job cache before issuing: a hit restores the outputs
-            # without the batch-system round trip (Toil likewise reuses
-            # job-store results without rescheduling the job).
-            cached = job.cached_result()
-            if cached is not None:
-                if self.import_outputs:
-                    self._import_output_files(cached.outputs)
-                self.job_store.update_job(stored, state="done")
-                self.note_job_meta(cache="hit")
-                return cached.outputs
 
-        cache_outcome: Dict[str, str] = {}
-
-        def payload() -> Dict[str, Any]:
-            self.job_store.update_job(stored, state="running")
-            result = job.execute()
+        def attempt(_n: int) -> Dict[str, Any]:
+            job = CommandLineJob(
+                tool=tool,
+                # Copy-on-write view instead of deepcopy: scatter loops issue
+                # this per job, and the leaves never needed copying.
+                job_order=job_order_view(job_order),
+                runtime_context=runtime_context,
+            )
             if cache_enabled:
-                cache_outcome["cache"] = "hit" if result.cache_hit else "miss"
-            if self.import_outputs:
-                self._import_output_files(result.outputs)
-            return result.outputs
+                # Probe the job cache before issuing: a hit restores the
+                # outputs without the batch-system round trip (Toil likewise
+                # reuses job-store results without rescheduling the job).
+                cached = job.cached_result()
+                if cached is not None:
+                    if self.import_outputs:
+                        self._import_output_files(cached.outputs)
+                    self.job_store.update_job(stored, state="done")
+                    self.note_job_meta(cache="hit")
+                    return cached.outputs
 
-        self.job_store.update_job(stored, state="issued")
-        cores = int(self._job_requirements(tool).get("coresMin", 1))
-        future = self.batch_system.issue(stored.name, payload, cores=cores)
-        try:
-            outputs = future.result()
-        except Exception as exc:
-            self.job_store.update_job(stored, state="failed", error=str(exc))
-            raise
-        self.job_store.update_job(stored, state="done")
-        if cache_outcome:
-            self.note_job_meta(**cache_outcome)
-        return outputs
+            cache_outcome: Dict[str, str] = {}
+
+            def payload() -> Dict[str, Any]:
+                self.job_store.update_job(stored, state="running")
+                result = job.execute()
+                if cache_enabled:
+                    cache_outcome["cache"] = "hit" if result.cache_hit else "miss"
+                if self.import_outputs:
+                    self._import_output_files(result.outputs)
+                return result.outputs
+
+            self.job_store.update_job(stored, state="issued")
+            cores = int(self._job_requirements(tool).get("coresMin", 1))
+            future = self.batch_system.issue(stored.name, payload, cores=cores)
+            try:
+                outputs = future.result()
+            except Exception as exc:
+                self.job_store.update_job(stored, state="failed", error=str(exc))
+                raise
+            self.job_store.update_job(stored, state="done")
+            if cache_outcome:
+                self.note_job_meta(**cache_outcome)
+            return outputs
+
+        # The retry loop wraps the whole probe-and-issue path, so injected
+        # faults fire ahead of the cache probe (identical to the other
+        # engines) and each re-attempt is re-issued through the batch system.
+        return self._with_retries(runtime_context, tool.id or "<tool>", attempt)
 
     def run_workflow(self, workflow: Workflow, job_order: Dict[str, Any],
                      runtime_context: RuntimeContext) -> Dict[str, Any]:
@@ -134,7 +140,11 @@ class ToilStyleRunner(BaseRunner):
             parallel=self.parallel,
             max_workers=self.max_workers,
         )
-        return engine.run(job_order)
+        try:
+            return engine.run(job_order)
+        finally:
+            self.node_states = engine.node_states
+            self.failures = engine.failures
 
     # --------------------------------------------------------------- plumbing
 

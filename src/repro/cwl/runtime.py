@@ -12,10 +12,32 @@ from __future__ import annotations
 
 import os
 import shutil
+import signal as _signal_module
 import tempfile
 import threading
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional, Set
+
+
+def signal_job_process(proc: Any, sig: int) -> None:
+    """Deliver ``sig`` to a job subprocess — its whole group when it leads one.
+
+    Jobs are spawned with ``start_new_session=True`` so shell wrappers
+    (``sh -c '...; sleep N'``) cannot orphan grandchildren when reaped: the
+    signal goes to the process group.  The group path is guarded by a
+    leader check so a process that (unexpectedly) shares our group is never
+    group-signalled — that would hit the caller itself.
+    """
+    try:
+        if os.getpgid(proc.pid) == proc.pid:
+            os.killpg(proc.pid, sig)
+            return
+    except (OSError, AttributeError):
+        pass
+    try:
+        proc.send_signal(sig)
+    except OSError:
+        pass
 
 
 @dataclass
@@ -60,8 +82,30 @@ class RuntimeContext:
     #: sessions and processes).  ``None`` falls back to ``REPRO_JOBCACHE_DIR``
     #: or a per-user directory under the system temp dir.
     cache_dir: Optional[str] = None
+    #: Bounded-retry policy (:class:`~repro.cwl.retry.RetryPolicy`) applied to
+    #: every job; ``None`` disables retries (fail on first error).
+    retry_policy: Optional[Any] = None
+    #: Per-job wall-clock deadline in seconds.  On expiry the subprocess is
+    #: reaped (SIGTERM, grace period, SIGKILL), its scratch dirs cleaned up,
+    #: and a retryable :class:`~repro.cwl.errors.JobTimeout` raised.
+    timeout_s: Optional[float] = None
+    #: Workflow failure semantics: ``"stop"`` aborts the DAG on the first
+    #: failed node (historic behaviour); ``"continue"`` lets independent
+    #: branches finish — the failed node poisons only its transitive
+    #: successors (marked ``skipped``) and partial outputs are returned.
+    on_error: str = "stop"
+    #: Deterministic fault-injection plan (:class:`~repro.cwl.faults.FaultPlan`)
+    #: consulted before every job attempt; ``None`` injects nothing.
+    fault_plan: Optional[Any] = None
+    #: Append-only run journal (:class:`~repro.cwl.journal.RunJournal`) that
+    #: node transitions and job cache keys are recorded to; ``None`` disables
+    #: journaling.
+    journal: Optional[Any] = None
     #: Scratch directories this context created, removed by :meth:`close`.
     _scratch_dirs: Set[str] = field(default_factory=set, repr=False, compare=False)
+    #: Live subprocesses started under this context (shared with children),
+    #: so an interrupted run can reap them via :meth:`terminate_processes`.
+    _live_procs: Set[Any] = field(default_factory=set, repr=False, compare=False)
     #: Parent directories this context itself had to create for staging;
     #: pruned (when empty) by :meth:`cleanup_dir` / :meth:`close`.
     _created_parents: Set[str] = field(default_factory=set, repr=False, compare=False)
@@ -168,6 +212,41 @@ class RuntimeContext:
 
         return get_job_cache(directory)
 
+    # ------------------------------------------------------------ subprocesses
+
+    def register_process(self, proc: Any) -> None:
+        """Track a live job subprocess for interrupt-time reaping."""
+        with self._teardown_lock:
+            self._live_procs.add(proc)
+
+    def unregister_process(self, proc: Any) -> None:
+        with self._teardown_lock:
+            self._live_procs.discard(proc)
+
+    def terminate_processes(self, grace_s: float = 2.0) -> int:
+        """SIGTERM every live job subprocess, escalating to SIGKILL.
+
+        Called on :exc:`KeyboardInterrupt`/SIGTERM so workers blocked in
+        ``proc.wait()`` unblock promptly and teardown can run.  Returns the
+        number of processes signalled.
+        """
+        with self._teardown_lock:
+            procs = [p for p in self._live_procs if p.poll() is None]
+        for proc in procs:
+            signal_job_process(proc, _signal_module.SIGTERM)
+        deadline = _now() + grace_s
+        for proc in procs:
+            remaining = deadline - _now()
+            try:
+                proc.wait(timeout=max(remaining, 0.05))
+            except Exception:
+                try:
+                    signal_job_process(proc, _signal_module.SIGKILL)
+                    proc.wait(timeout=grace_s)
+                except Exception:
+                    pass
+        return len(procs)
+
     # --------------------------------------------------------------- teardown
 
     def cleanup_dir(self, path: str) -> None:
@@ -223,6 +302,12 @@ class RuntimeContext:
                 os.rmdir(parent)
             except OSError:
                 pass
+
+
+def _now() -> float:
+    import time
+
+    return time.monotonic()
 
 
 def _as_positive_int(value: Any, default: int) -> int:

@@ -33,6 +33,13 @@ from repro.cwl.graph import GraphNode, WorkflowGraph
 #: A node executor: runs one node, optionally returning new nodes to schedule.
 NodeExecutor = Callable[[GraphNode], Optional["Expansion"]]
 
+#: Scheduler node states (also what the run journal records).
+NODE_PENDING = "pending"
+NODE_RUNNING = "running"
+NODE_DONE = "done"
+NODE_FAILED = "failed"
+NODE_SKIPPED = "skipped"
+
 
 @dataclass
 class Expansion:
@@ -51,11 +58,22 @@ class GraphScheduler:
     """Run every node of a graph, respecting dependencies and ``max_workers``."""
 
     def __init__(self, graph: WorkflowGraph, execute: NodeExecutor,
-                 parallel: bool = False, max_workers: int = 8) -> None:
+                 parallel: bool = False, max_workers: int = 8,
+                 on_error: str = "stop", journal: Optional[object] = None) -> None:
+        if on_error not in ("stop", "continue"):
+            raise ValueError(f"on_error must be 'stop' or 'continue', got {on_error!r}")
         self.graph = graph
         self.execute = execute
         self.parallel = parallel
         self.max_workers = max(1, int(max_workers))
+        #: ``"stop"`` aborts the whole DAG on the first failed node;
+        #: ``"continue"`` poisons only the failed node's transitive successors
+        #: (marked ``skipped``, cwltool-style permanentFail propagation) and
+        #: lets independent branches finish.
+        self.on_error = on_error
+        #: Optional :class:`~repro.cwl.journal.RunJournal`; every node state
+        #: transition is appended to it.
+        self.journal = journal
         self._lock = threading.Lock()
         self._event = threading.Condition(self._lock)
         self._nodes: Dict[str, GraphNode] = dict(graph.nodes)
@@ -66,14 +84,26 @@ class GraphScheduler:
         self._seq = itertools.count()
         self._pending = len(self._nodes)
         self._completed: set = set()
+        self._skipped: set = set()
         self._inflight = 0
         self._failure: Optional[BaseException] = None
         self._pool: Optional[cf.ThreadPoolExecutor] = None
+        #: Final state per node id (``pending``/``running``/``done``/
+        #: ``failed``/``skipped``) — inspect after :meth:`run`.
+        self.states: Dict[str, str] = {nid: NODE_PENDING for nid in self._nodes}
+        #: node id -> the exception that failed it (``on_error="continue"``).
+        self.failures: Dict[str, BaseException] = {}
 
     # ------------------------------------------------------------------ public
 
     def run(self) -> None:
-        """Execute all nodes; raises the first node failure (if any)."""
+        """Execute all nodes; raises the first node failure (``on_error="stop"``).
+
+        With ``on_error="continue"`` node failures do not raise — they are
+        collected in :attr:`failures`, their transitive successors are marked
+        ``skipped`` in :attr:`states`, and every independent branch still
+        executes.
+        """
         for node_id in self.graph.topological_order():
             if self._indegree[node_id] == 0:
                 self._push(node_id)
@@ -86,9 +116,17 @@ class GraphScheduler:
 
     def _run_serial(self) -> None:
         while self._ready:
-            node = self._nodes[self._pop()]
-            expansion = self.execute(node)
-            self._complete(node.id, expansion)
+            node_id = self._pop()
+            node = self._nodes[node_id]
+            self._set_state(node_id, NODE_RUNNING)
+            try:
+                expansion = self.execute(node)
+                self._complete(node_id, expansion)
+            except BaseException as exc:  # noqa: BLE001 — classified below
+                with self._lock:
+                    self._node_failed_locked(node_id, exc)
+                if self._failure is not None:
+                    raise self._failure
         self._check_drained()
 
     # ---------------------------------------------------------------- parallel
@@ -104,9 +142,18 @@ class GraphScheduler:
                         break  # stalled; reported by _check_drained below
                     self._event.wait()
             # Let in-flight workers finish before surfacing the outcome.
-        finally:
-            self._pool.shutdown(wait=True)
+        except BaseException as exc:  # interrupt: stop feeding, don't block
+            with self._lock:
+                if self._failure is None:
+                    self._failure = exc
+            # wait=False: in-flight jobs may sit in minutes-long subprocess
+            # waits; the caller reaps those (RuntimeContext.terminate_processes)
+            # and the workers then drain on their own threads.
+            self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+            raise
+        self._pool.shutdown(wait=True)
+        self._pool = None
         if self._failure is not None:
             raise self._failure
         self._check_drained()
@@ -121,18 +168,27 @@ class GraphScheduler:
             failure = exc
         with self._lock:
             self._inflight -= 1
-            if failure is not None:
+            try:
+                if failure is not None:
+                    self._node_failed_locked(node_id, failure)
+                elif self._failure is None:
+                    self._complete(node_id, expansion)
                 if self._failure is None:
-                    self._failure = failure
-            elif self._failure is None:
-                self._complete(node_id, expansion)
-                self._dispatch()
-            self._event.notify_all()
+                    self._dispatch()
+            except BaseException as exc:  # noqa: BLE001 — bookkeeping fault
+                # A bug in completion bookkeeping (e.g. a malformed dynamic
+                # expansion) must surface as the run's failure — swallowing it
+                # here would leave run() blocked in _event.wait() forever.
+                if self._failure is None:
+                    self._failure = exc
+            finally:
+                self._event.notify_all()
 
     def _dispatch(self) -> None:
         """Submit ready nodes, highest priority first, up to the worker cap."""
         while self._ready and self._inflight < self.max_workers and self._failure is None:
             node_id = self._pop()
+            self._set_state(node_id, NODE_RUNNING)
             self._inflight += 1
             self._pool.submit(self._worker, node_id)
 
@@ -145,16 +201,57 @@ class GraphScheduler:
     def _pop(self) -> str:
         return heapq.heappop(self._ready)[2]
 
+    def _set_state(self, node_id: str, state: str) -> None:
+        self.states[node_id] = state
+        if self.journal is not None:
+            self.journal.node_state(node_id, state)
+
     def _complete(self, node_id: str, expansion: Optional[Expansion]) -> None:
         """Record a completion: integrate any expansion, wake successors."""
         if expansion is not None and expansion.nodes:
             self._apply_expansion(node_id, expansion)
         for successor in self._successors.get(node_id, ()):
             self._indegree[successor] -= 1
-            if self._indegree[successor] == 0:
+            if self._indegree[successor] == 0 and successor not in self._skipped:
                 self._push(successor)
         self._completed.add(node_id)
         self._pending -= 1
+        self._set_state(node_id, NODE_DONE)
+
+    def _node_failed_locked(self, node_id: str, exc: BaseException) -> None:
+        """Record a node failure (caller holds the lock in parallel mode).
+
+        ``on_error="stop"``: the exception becomes the run's failure and
+        aborts the DAG.  ``on_error="continue"``: the failure poisons only the
+        node's transitive successors — each is marked ``skipped`` and removed
+        from the schedule — while every independent branch keeps running.
+        """
+        self.failures[node_id] = exc
+        self._set_state(node_id, NODE_FAILED)
+        if self.on_error != "continue":
+            if self._failure is None:
+                self._failure = exc
+            return
+        self._pending -= 1
+        for skipped_id in self._transitive_successors(node_id):
+            if (skipped_id in self._completed or skipped_id in self._skipped
+                    or skipped_id in self.failures):
+                continue
+            self._skipped.add(skipped_id)
+            self._pending -= 1
+            self._set_state(skipped_id, NODE_SKIPPED)
+
+    def _transitive_successors(self, node_id: str) -> List[str]:
+        """Every node reachable from ``node_id`` via dependency edges."""
+        seen: set = set()
+        frontier = list(self._successors.get(node_id, ()))
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self._successors.get(current, ()))
+        return sorted(seen)
 
     def _apply_expansion(self, node_id: str, expansion: Expansion) -> None:
         base_priority = self._nodes[node_id].priority
@@ -164,6 +261,7 @@ class GraphScheduler:
             # Dynamic nodes inherit the expanding node's critical-path rank.
             node.priority = base_priority
             self._nodes[node.id] = node
+            self.states[node.id] = NODE_PENDING
             self._successors[node.id] = []
             self._indegree[node.id] = 0
         for new_id, preds in expansion.preds.items():
@@ -180,7 +278,23 @@ class GraphScheduler:
                 self._push(node.id)
 
     def _check_drained(self) -> None:
-        if self._pending:
-            remaining = sorted(set(self._nodes) - self._completed)
-            raise WorkflowException(
-                f"workflow deadlock: no node can run; remaining nodes: {remaining}")
+        if not self._pending:
+            return
+        resolved = self._completed | self._skipped | set(self.failures)
+        stalled = sorted(set(self._nodes) - resolved)
+        predecessors: Dict[str, List[str]] = {nid: [] for nid in self._nodes}
+        for pred, succs in self._successors.items():
+            for succ in succs:
+                predecessors.setdefault(succ, []).append(pred)
+        details = []
+        for node_id in stalled[:20]:
+            unmet = sorted(p for p in predecessors.get(node_id, ())
+                           if p not in self._completed)
+            details.append(
+                f"{node_id} (indegree {self._indegree.get(node_id)}, "
+                f"unmet: {', '.join(unmet) if unmet else '<none>'})")
+        if len(stalled) > 20:
+            details.append(f"... and {len(stalled) - 20} more")
+        raise WorkflowException(
+            f"workflow stalled: {len(stalled)} node(s) cannot run with "
+            f"{self._inflight} in flight; stalled nodes: " + "; ".join(details))

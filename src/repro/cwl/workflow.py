@@ -111,6 +111,12 @@ class WorkflowEngine:
         #: gather as ``None`` (matching the historical per-shard ``.get``)
         #: instead of raising like a plain subworkflow step does.
         self._lenient_egress: Set[str] = set()
+        #: Scheduler node states after :meth:`run` (``pending``/``running``/
+        #: ``done``/``failed``/``skipped``).
+        self.node_states: Dict[str, str] = {}
+        #: node id -> exception, for nodes that failed under
+        #: ``on_error="continue"``.
+        self.failures: Dict[str, BaseException] = {}
 
     def _step_evaluator(self):
         """Evaluator for step-level ``when`` / ``valueFrom`` expressions.
@@ -141,16 +147,31 @@ class WorkflowEngine:
         return self._graph
 
     def run(self, job_order: Dict[str, Any]) -> Dict[str, Any]:
-        """Execute the workflow and return its output object."""
+        """Execute the workflow and return its output object.
+
+        With ``runtime_context.on_error == "continue"`` a failed step no
+        longer aborts the run: its transitive successors are skipped
+        (cwltool-style permanentFail propagation), independent branches
+        finish, and the returned output object is *partial* — outputs whose
+        source failed or was skipped are ``None``.  The per-node outcome is
+        left on :attr:`node_states` / :attr:`failures`.
+        """
         job_order = {k: coerce_file_inputs(v) for k, v in job_order.items()}
         self._skipped_scopes = []
         self._lenient_egress = set()
         self._seed_inputs(job_order)
         scheduler = GraphScheduler(self.graph, self._execute_node,
                                    parallel=self.parallel,
-                                   max_workers=self.max_workers)
-        scheduler.run()
-        return self._collect_outputs(self.workflow, scope="")
+                                   max_workers=self.max_workers,
+                                   on_error=self.runtime_context.on_error,
+                                   journal=self.runtime_context.journal)
+        try:
+            scheduler.run()
+        finally:
+            self.node_states = dict(scheduler.states)
+            self.failures = dict(scheduler.failures)
+        return self._collect_outputs(self.workflow, scope="",
+                                     lenient=bool(self.failures))
 
     # --------------------------------------------------------------- data store
 
@@ -408,8 +429,14 @@ class WorkflowEngine:
 
     # --------------------------------------------------------- workflow outputs
 
-    def _collect_outputs(self, workflow: Workflow, scope: str) -> Dict[str, Any]:
-        """Collect a (sub)workflow's outputs from the value store."""
+    def _collect_outputs(self, workflow: Workflow, scope: str,
+                         lenient: bool = False) -> Dict[str, Any]:
+        """Collect a (sub)workflow's outputs from the value store.
+
+        ``lenient=True`` (a run with failed nodes under
+        ``on_error="continue"``) maps never-produced sources to ``None``
+        instead of raising, yielding the partial output object.
+        """
         outputs: Dict[str, Any] = {}
         for output in workflow.workflow_outputs:
             if not output.output_source:
@@ -418,6 +445,9 @@ class WorkflowEngine:
             values = []
             for source in output.output_source:
                 if not self._available(scope + source):
+                    if lenient:
+                        values.append(None)
+                        continue
                     raise WorkflowException(
                         f"workflow output {output.id!r} source {source!r} was never produced"
                     )

@@ -14,9 +14,10 @@ property-based differential testing of compilers:
   with scatter, ``when`` guards and nested subworkflows, all inside the
   subset every engine supports.
 * :mod:`repro.testing.differential` — runs one case across the engine ×
-  cache × compiled matrix (via :func:`repro.api.run_matrix`) and
+  cache × compiled × faults matrix (via :func:`repro.api.run_matrix`) and
   deep-compares each configuration's canonicalised outputs and exit classes
-  against the reference engine.
+  against the reference engine (faulted configurations against a
+  same-fault-profile reference baseline).
 * :mod:`repro.testing.report` — aggregates case outcomes into the
   machine-readable ``CONFORMANCE.json`` report.
 * :mod:`repro.testing.conformance` — the command line:

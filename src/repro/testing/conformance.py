@@ -67,6 +67,12 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
                         help="fast subset: tier-1 cases, cache off+warm, "
                              "engine-default expressions, 2 generated workflows "
                              "(explicit --cache/--compiled/--generated still win)")
+    parser.add_argument("--faults", action="append", dest="faults", default=None,
+                        help="inject this seeded fault profile into every "
+                             "configuration (repeatable; see "
+                             "repro.cwl.faults.fault_profiles). Each faulted "
+                             "run is compared against a reference baseline "
+                             "under the same profile.")
     parser.add_argument("--report", default="CONFORMANCE.json",
                         help="where to write the JSON report")
     parser.add_argument("--workdir", default=None,
@@ -90,7 +96,20 @@ def _configs_from(args: argparse.Namespace) -> List[MatrixConfig]:
     except KeyError as exc:
         raise SystemExit(f"unknown --compiled mode {exc.args[0]!r} "
                          f"(expected on, off or default)")
-    return matrix_configs(engines, cache_modes, compiled_modes)
+    fault_modes: Sequence[Optional[str]] = (None,)
+    if args.faults:
+        from repro.cwl.faults import fault_profiles
+        known = fault_profiles()
+        wanted: List[str] = []
+        for spec in args.faults:
+            wanted.extend(name.strip() for name in spec.split(",")
+                          if name.strip())
+        unknown = [name for name in wanted if name not in known]
+        if unknown:
+            raise SystemExit(f"unknown --faults profile(s) {unknown} "
+                             f"(expected one of {sorted(known)})")
+        fault_modes = tuple(wanted)
+    return matrix_configs(engines, cache_modes, compiled_modes, fault_modes)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -146,6 +165,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "generated": len(generated),
         "base_seed": args.seed,
         "tier1": bool(args.tier1),
+        "faults": sorted({c.faults for c in configs if c.faults}),
     })
     path = write_report(args.report, report)
 

@@ -13,6 +13,13 @@ configuration must either
 
 Anything else is a divergence, recorded per configuration on the
 :class:`CaseOutcome`.
+
+Configurations with a fault profile (``MatrixConfig.faults``) are compared
+against a *same-profile* reference baseline: the oracle for "engine X under
+injected fault plan P" is the reference runner under exactly the same plan P.
+Static corpus expectations are not checked against faulted baselines — a
+fail-forever plan legitimately breaks a case that expects success; what the
+fault matrix asserts is that all engines agree, fault for fault.
 """
 
 from __future__ import annotations
@@ -67,6 +74,30 @@ class CaseOutcome:
                 for outcome in self.outcomes if outcome.divergence]
 
 
+def _reference_for(faults: Optional[str]) -> MatrixConfig:
+    """The oracle configuration for a given fault profile (None = no faults)."""
+    return MatrixConfig("reference", faults=faults) if faults else REFERENCE_CONFIG
+
+
+def _baseline_faults(configs: Sequence[MatrixConfig]) -> List[Optional[str]]:
+    """The fault profiles whose baselines a run needs, no-fault oracle first."""
+    seen: List[Optional[str]] = []
+    for config in configs:
+        if config.faults not in seen:
+            seen.append(config.faults)
+    if not seen:
+        seen.append(None)
+    if None in seen:  # the unfaulted oracle always runs first when needed
+        seen.remove(None)
+        seen.insert(0, None)
+    return seen
+
+
+def _baseline_dir(workdir: str, faults: Optional[str]) -> str:
+    suffix = f"-faults-{faults}" if faults else ""
+    return os.path.join(workdir, f"reference-baseline{suffix}")
+
+
 def run_case(case: ConformanceCase, configs: Sequence[MatrixConfig],
              workdir: str, max_workers: int = 4) -> CaseOutcome:
     """Run one corpus case under every applicable configuration."""
@@ -75,26 +106,35 @@ def run_case(case: ConformanceCase, configs: Sequence[MatrixConfig],
     engines = case.applicable_engines()
 
     outcome = CaseOutcome(case_id=case.id, origin="corpus")
-    baseline = run_config(case.process, job, REFERENCE_CONFIG,
-                          os.path.join(workdir, "reference-baseline"),
-                          max_workers=max_workers)
-    outcome.outcomes.append(ConfigOutcome(
-        run=baseline,
-        divergence=_check_expectation(baseline, case.expectation_for("reference")),
-    ))
+    baselines: Dict[Optional[str], MatrixRun] = {}
+    for faults in _baseline_faults(configs):
+        baseline = run_config(case.process, job, _reference_for(faults),
+                              _baseline_dir(workdir, faults),
+                              max_workers=max_workers)
+        baselines[faults] = baseline
+        # Corpus expectations describe unfaulted behaviour; a faulted
+        # baseline is an oracle by definition (cross-engine agreement is
+        # what the fault axis asserts).
+        outcome.outcomes.append(ConfigOutcome(
+            run=baseline,
+            divergence=_check_expectation(baseline,
+                                          case.expectation_for("reference"))
+            if faults is None else None,
+        ))
 
     for index, config in enumerate(configs):
         if config.engine not in engines:
             outcome.skipped.append(config.label)
             continue
-        if config == REFERENCE_CONFIG:
-            continue  # already ran as the baseline
+        if config == _reference_for(config.faults):
+            continue  # already ran as its profile's baseline
         run = run_config(case.process, job, config,
                          os.path.join(workdir, f"{index:03d}"),
                          max_workers=max_workers)
         outcome.outcomes.append(ConfigOutcome(
             run=run,
-            divergence=_verdict(run, baseline, case.expectation_for(config.engine)),
+            divergence=_verdict(run, baselines[config.faults],
+                                case.expectation_for(config.engine)),
         ))
     return outcome
 
@@ -104,23 +144,30 @@ def run_generated(generated: GeneratedWorkflow, configs: Sequence[MatrixConfig],
     """Run one generated workflow; the reference engine is the only oracle."""
     workdir = os.path.abspath(workdir)
     outcome = CaseOutcome(case_id=generated.id, origin="generated")
-    baseline = run_config(generated.doc, generated.job, REFERENCE_CONFIG,
-                          os.path.join(workdir, "reference-baseline"),
-                          max_workers=max_workers)
-    divergence = None
-    if not baseline.ok:
-        divergence = (f"reference baseline failed: {baseline.exit_class} "
-                      f"({baseline.error})")
-    outcome.outcomes.append(ConfigOutcome(run=baseline, divergence=divergence))
+    baselines: Dict[Optional[str], MatrixRun] = {}
+    for faults in _baseline_faults(configs):
+        baseline = run_config(generated.doc, generated.job,
+                              _reference_for(faults),
+                              _baseline_dir(workdir, faults),
+                              max_workers=max_workers)
+        baselines[faults] = baseline
+        divergence = None
+        if faults is None and not baseline.ok:
+            # Generated workflows must pass unfaulted; under a fault profile
+            # a failing baseline can be by design (fail-forever plans).
+            divergence = (f"reference baseline failed: {baseline.exit_class} "
+                          f"({baseline.error})")
+        outcome.outcomes.append(ConfigOutcome(run=baseline, divergence=divergence))
 
     for index, config in enumerate(configs):
-        if config == REFERENCE_CONFIG:
+        if config == _reference_for(config.faults):
             continue
         run = run_config(generated.doc, generated.job, config,
                          os.path.join(workdir, f"{index:03d}"),
                          max_workers=max_workers)
         outcome.outcomes.append(ConfigOutcome(
-            run=run, divergence=_verdict(run, baseline, CaseExpectation())))
+            run=run, divergence=_verdict(run, baselines[config.faults],
+                                         CaseExpectation())))
     return outcome
 
 

@@ -1,0 +1,156 @@
+"""CLI interrupt handling: SIGTERM/SIGINT still tear down, runs stay resumable.
+
+Runs ``repro-cwltool`` in a real subprocess, interrupts it mid-job, and
+asserts the contract: exit code 130, the in-flight tool subprocess is
+reaped, tracked scratch directories are removed, the journal survives, and
+``--resume`` finishes the run.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))), "src")
+
+#: Unique sleep duration so /proc scans cannot collide with anything else.
+SLEEP_MARKER = "28731"
+
+CLI_STUB = ("import sys; from repro.cwl.cli import cwltool_main; "
+            "sys.exit(cwltool_main(sys.argv[1:]))")
+
+
+def interruptible_workflow() -> dict:
+    """echo → a step that sleeps forever until its gate file exists."""
+    slow_script = f'test -e "$1" || sleep {SLEEP_MARKER}; wc -c < "$2"'
+    return {
+        "cwlVersion": "v1.2", "class": "Workflow",
+        "inputs": {"message": "string", "gate": "string"},
+        "outputs": {"count": {"type": "File", "outputSource": "slow/out"}},
+        "steps": {
+            "shout": {"run": {"class": "CommandLineTool", "id": "shout-tool",
+                              "baseCommand": "echo",
+                              "inputs": {"message": {"type": "string",
+                                                     "inputBinding": {"position": 1}}},
+                              "outputs": {"out": "stdout"},
+                              "stdout": "shout.txt"},
+                      "in": {"message": "message"}, "out": ["out"]},
+            "slow": {"run": {"class": "CommandLineTool", "id": "slow-tool",
+                             "baseCommand": ["sh", "-c", slow_script, "sh"],
+                             "inputs": {"gate": {"type": "string",
+                                                 "inputBinding": {"position": 1}},
+                                        "data": {"type": "File",
+                                                 "inputBinding": {"position": 2}}},
+                             "outputs": {"out": "stdout"},
+                             "stdout": "count.txt"},
+                     "in": {"gate": "gate", "data": "shout/out"},
+                     "out": ["out"]},
+        },
+    }
+
+
+def sleeping_tool_pids() -> list:
+    """PIDs of live ``sleep <marker>`` processes."""
+    pids = []
+    for proc_dir in glob.glob("/proc/[0-9]*"):
+        try:
+            with open(os.path.join(proc_dir, "cmdline"), "rb") as handle:
+                cmdline = handle.read().split(b"\0")
+        except OSError:
+            continue
+        if b"sleep" in cmdline and SLEEP_MARKER.encode() in cmdline:
+            pids.append(int(os.path.basename(proc_dir)))
+    return pids
+
+
+def wait_for(predicate, timeout_s=30.0, message="condition"):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.1)
+    pytest.fail(f"timed out waiting for {message}")
+
+
+@pytest.fixture
+def staged_run(tmp_path):
+    """Paths for one interruptible journalled CLI run."""
+    # A crashed earlier run may have orphaned marker sleeps; they would make
+    # the reap assertion below fail forever, so clear them first.
+    for pid in sleeping_tool_pids():
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except OSError:
+            pass
+    doc = tmp_path / "wf.cwl"
+    doc.write_text(json.dumps(interruptible_workflow()))
+    order = tmp_path / "job.json"
+    order.write_text(json.dumps({"message": "interrupt me",
+                                 "gate": str(tmp_path / "gate")}))
+    scratch = tmp_path / "scratch"
+    scratch.mkdir()
+    env = dict(os.environ,
+               PYTHONPATH=SRC_DIR + os.pathsep + os.environ.get("PYTHONPATH", ""),
+               TMPDIR=str(scratch))
+    return {"doc": doc, "order": order, "tmp": tmp_path,
+            "rundir": tmp_path / "run", "scratch": scratch, "env": env}
+
+
+def launch(staged, *extra_args):
+    return subprocess.Popen(
+        [sys.executable, "-c", CLI_STUB, "--rundir", str(staged["rundir"]),
+         *extra_args, str(staged["doc"]), str(staged["order"])],
+        env=staged["env"], cwd=str(staged["tmp"]),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+
+
+@pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+def test_interrupt_tears_down_and_leaves_a_resumable_run(staged_run, signum):
+    proc = launch(staged_run)
+    try:
+        # Let the first step finish and the sleeper actually start.
+        wait_for(lambda: sleeping_tool_pids(),
+                 message="the slow step's sleep subprocess")
+        journal = staged_run["rundir"] / "journal.jsonl"
+        wait_for(journal.exists, message="the journal file")
+
+        proc.send_signal(signum)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    stderr = proc.stderr.read()
+
+    assert proc.returncode == 130, stderr
+    assert "interrupted" in stderr
+    assert "--resume" in stderr  # the resume hint names the flags to use
+
+    # The in-flight tool subprocess was reaped, not orphaned.
+    wait_for(lambda: not sleeping_tool_pids(),
+             message="the sleep subprocess to be reaped")
+    # Tracked scratch directories were torn down by RuntimeContext.close().
+    assert glob.glob(os.path.join(str(staged_run["scratch"]), "cwl-tmp-*")) == []
+
+    # The journal survived with the completed step recorded.
+    from repro.cwl.journal import node_states, read_journal
+
+    states = node_states(read_journal(str(staged_run["rundir"])))
+    assert any(state == "done" for state in states.values())
+
+    # Open the gate and resume: the run completes without re-sleeping.
+    (staged_run["tmp"] / "gate").write_text("open")
+    resumed = launch(staged_run, "--resume")
+    out, err = resumed.communicate(timeout=60)
+    assert resumed.returncode == 0, err
+    outputs = json.loads(out)
+    with open(outputs["count"]["path"]) as handle:
+        assert handle.read().strip() == "13"  # wc -c of "interrupt me\n"

@@ -1,0 +1,143 @@
+"""Unit tests for deterministic fault injection (repro.cwl.faults)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cwl.errors import InjectedFault, exit_class
+from repro.cwl.faults import (
+    FaultPlan,
+    FaultSpec,
+    fault_profiles,
+    get_fault_profile,
+)
+
+
+# ------------------------------------------------------------------ matching
+
+def test_fail_spec_raises_injected_fault_with_exit_code():
+    plan = FaultPlan(specs=(FaultSpec(job="tool-*", exit_code=42),))
+    with pytest.raises(InjectedFault) as excinfo:
+        plan.apply("tool-a", 1)
+    assert excinfo.value.exit_code == 42
+    assert exit_class(excinfo.value) == "permanentFail"
+    plan.apply("other", 1)  # pattern miss: no fault
+    assert plan.injected == [("tool-a", 1, "fail")]
+
+
+def test_attempt_window_bounds_injection():
+    plan = FaultPlan(specs=(FaultSpec(job="*", attempts=2),))
+    for attempt in (1, 2):
+        with pytest.raises(InjectedFault):
+            plan.apply("job", attempt)
+    plan.apply("job", 3)  # past the window: succeeds
+    assert plan.max_failed_attempts("job") == 2
+
+
+def test_delay_spec_sleeps_without_failing():
+    slept = []
+    plan = FaultPlan(specs=(FaultSpec(job="*", action="delay", delay_s=0.25),),
+                     _sleep=slept.append)
+    plan.apply("job", 1)
+    assert slept == [0.25]
+    assert plan.injected == [("job", 1, "delay")]
+
+
+def test_unknown_action_is_an_error():
+    plan = FaultPlan(specs=(FaultSpec(job="*", action="explode"),))
+    with pytest.raises(ValueError):
+        plan.apply("job", 1)
+
+
+# -------------------------------------------------------- seeded selection
+
+def test_probability_selection_is_deterministic_per_seed():
+    spec = FaultSpec(job="*", probability=0.5)
+    jobs = [f"job-{i}" for i in range(64)]
+
+    def selected(seed):
+        plan = FaultPlan(specs=(spec,), seed=seed)
+        return [job for job in jobs if plan.faults_for(job, 1)]
+
+    first = selected(4242)
+    assert selected(4242) == first          # same seed → same subset
+    assert selected(7) != first             # different seed → different subset
+    assert 0 < len(first) < len(jobs)       # an actual ~half, not all-or-none
+
+
+def test_selection_fraction_range():
+    plan = FaultPlan(seed=3)
+    fractions = [plan.selection_fraction(f"j{i}") for i in range(32)]
+    assert all(0.0 <= f < 1.0 for f in fractions)
+    assert len(set(fractions)) == len(fractions)
+
+
+# ------------------------------------------------- durable-state vandalism
+
+def test_corrupt_file_flips_one_byte_in_place(tmp_path):
+    path = tmp_path / "body"
+    path.write_bytes(b"hello world")
+    FaultPlan.corrupt_file(str(path), offset=4)
+    data = path.read_bytes()
+    assert len(data) == 11
+    assert data != b"hello world"
+    assert data[:4] == b"hell" and data[5:] == b" world"
+
+
+def test_corrupt_file_refuses_empty_file(tmp_path):
+    path = tmp_path / "empty"
+    path.write_bytes(b"")
+    with pytest.raises(ValueError):
+        FaultPlan.corrupt_file(str(path))
+
+
+def test_truncate_cas_body_empties_one_body(tmp_path):
+    cas = tmp_path / "cas"
+    cas.mkdir()
+    (cas / "aaa").write_bytes(b"first")
+    (cas / "bbb").write_bytes(b"second")
+    digest = FaultPlan.truncate_cas_body(str(tmp_path))
+    assert digest == "aaa"
+    assert (cas / "aaa").read_bytes() == b""
+    assert (cas / "bbb").read_bytes() == b"second"
+
+
+def test_truncate_cas_body_requires_bodies(tmp_path):
+    os.makedirs(tmp_path / "cas")
+    with pytest.raises(ValueError):
+        FaultPlan.truncate_cas_body(str(tmp_path))
+
+
+# ----------------------------------------------------------------- profiles
+
+def test_profiles_registry_contents():
+    profiles = fault_profiles()
+    assert set(profiles) >= {"transient-all", "flaky-half", "fatal-all"}
+    for name, profile in profiles.items():
+        assert profile.name == name
+        plan = profile.make_plan()
+        assert isinstance(plan, FaultPlan)
+        assert profile.policy.max_attempts >= 1
+    # Fresh plans each call: no shared injected-record state.
+    p1 = profiles["transient-all"].make_plan()
+    p2 = profiles["transient-all"].make_plan()
+    assert p1 is not p2 and p1.injected == [] and p2.injected == []
+
+
+def test_transient_profile_is_tolerated_by_its_policy():
+    profile = get_fault_profile("transient-all")
+    plan = profile.make_plan()
+    assert plan.max_failed_attempts("anything") < profile.policy.max_attempts
+
+
+def test_fatal_profile_exhausts_its_policy():
+    profile = get_fault_profile("fatal-all")
+    plan = profile.make_plan()
+    assert plan.max_failed_attempts("anything") >= profile.policy.max_attempts
+
+
+def test_unknown_profile_names_the_known_ones():
+    with pytest.raises(KeyError, match="transient-all"):
+        get_fault_profile("nope")

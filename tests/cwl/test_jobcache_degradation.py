@@ -1,0 +1,120 @@
+"""Cache degradation: damaged store artifacts quarantine, never replay.
+
+A shared store lives on real disks: bodies get truncated by full volumes,
+bit-flipped by hardware, manifests torn by killed writers.  The contract
+under test — damage is *quarantined* (moved to ``*.corrupt``), the lookup
+becomes an ordinary miss, the job re-executes with correct outputs, and the
+re-execution re-publishes a fresh artifact so the next run hits again.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import pytest
+
+from repro import api
+from repro.cwl.faults import FaultPlan
+from repro.cwl.loader import load_document
+from repro.cwl.runtime import RuntimeContext
+
+
+def echo_tool() -> dict:
+    return {
+        "class": "CommandLineTool", "baseCommand": "echo",
+        "inputs": {"message": {"type": "string",
+                               "inputBinding": {"position": 1}}},
+        "outputs": {"out": "stdout"}, "stdout": "echoed.txt",
+    }
+
+
+def run_once(store, workdir, message="quarantine me"):
+    workdir.mkdir(parents=True, exist_ok=True)
+    return api.run(load_document(echo_tool()), {"message": message},
+                   engine="reference", cache_dir=str(store),
+                   runtime_context=RuntimeContext(basedir=str(workdir)))
+
+
+def output_bytes(result) -> bytes:
+    with open(result.outputs["out"]["path"], "rb") as handle:
+        return handle.read()
+
+
+def corrupt_artifacts(store) -> list:
+    return sorted(glob.glob(os.path.join(str(store), "**", "*.corrupt"),
+                            recursive=True))
+
+
+@pytest.fixture
+def warm_store(tmp_path):
+    """A store holding one cached echo job, plus the cold run's output bytes.
+
+    The bytes are snapshotted *before* any test damages the store: staged
+    outputs are hardlinks into the CAS, so vandalising a body in place also
+    rewrites the cold run's output file.
+    """
+    store = tmp_path / "store"
+    cold = run_once(store, tmp_path / "cold")
+    assert cold.cache_stats == {"hits": 0, "misses": 1}
+    return store, output_bytes(cold)
+
+
+def test_bit_flipped_cas_body_quarantines_and_repairs(tmp_path, warm_store):
+    store, expected = warm_store
+    bodies = sorted(glob.glob(os.path.join(str(store), "cas", "*")))
+    assert bodies
+    FaultPlan.corrupt_file(bodies[0])  # same size, different content
+
+    repaired = run_once(store, tmp_path / "repair")
+    # The damaged entry was a miss, not a replay of corrupt data.
+    assert repaired.cache_stats == {"hits": 0, "misses": 1}
+    assert output_bytes(repaired) == expected
+    quarantined = corrupt_artifacts(store)
+    assert quarantined, "damaged artifacts should be kept as *.corrupt"
+    assert any(os.sep + "cas" + os.sep in path for path in quarantined)
+
+    # The miss re-published: the store is warm again.
+    warm = run_once(store, tmp_path / "rewarm")
+    assert warm.cache_stats == {"hits": 1, "misses": 0}
+    assert output_bytes(warm) == expected
+
+
+def test_truncated_cas_body_quarantines_and_repairs(tmp_path, warm_store):
+    store, expected = warm_store
+    FaultPlan.truncate_cas_body(str(store))
+
+    repaired = run_once(store, tmp_path / "repair")
+    assert repaired.cache_stats == {"hits": 0, "misses": 1}
+    assert output_bytes(repaired) == expected
+    assert corrupt_artifacts(store)
+
+    warm = run_once(store, tmp_path / "rewarm")
+    assert warm.cache_stats == {"hits": 1, "misses": 0}
+
+
+def test_unparseable_manifest_quarantines_and_repairs(tmp_path, warm_store):
+    store, expected = warm_store
+    manifests = sorted(glob.glob(os.path.join(str(store), "entries", "*.json")))
+    assert manifests
+    with open(manifests[0], "w", encoding="utf-8") as handle:
+        handle.write('{"version": 1, "files": {torn')  # killed mid-write
+
+    repaired = run_once(store, tmp_path / "repair")
+    assert repaired.cache_stats == {"hits": 0, "misses": 1}
+    assert output_bytes(repaired) == expected
+    assert any(path.endswith(".json.corrupt")
+               for path in corrupt_artifacts(store))
+
+    warm = run_once(store, tmp_path / "rewarm")
+    assert warm.cache_stats == {"hits": 1, "misses": 0}
+
+
+def test_deleted_cas_body_is_a_clean_miss(tmp_path, warm_store):
+    store, expected = warm_store
+    for body in glob.glob(os.path.join(str(store), "cas", "*")):
+        os.unlink(body)
+
+    repaired = run_once(store, tmp_path / "repair")
+    assert repaired.cache_stats == {"hits": 0, "misses": 1}
+    assert output_bytes(repaired) == expected

@@ -1,0 +1,98 @@
+"""Unit tests for the append-only run journal (repro.cwl.journal)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cwl.journal import (
+    RunJournal,
+    document_fingerprint,
+    journal_header,
+    journal_path,
+    node_states,
+    open_run_dir,
+    read_journal,
+    run_cache_dir,
+)
+
+
+@pytest.fixture
+def process_doc(tmp_path):
+    path = tmp_path / "tool.cwl"
+    path.write_text('{"class": "CommandLineTool"}\n')
+    return str(path)
+
+
+def test_open_run_dir_writes_header_and_cache_dir(tmp_path, process_doc):
+    run_dir = str(tmp_path / "run")
+    with open_run_dir(run_dir, process_path=process_doc,
+                      job_order={"x": 1}, engine="toil") as journal:
+        journal.node_state("step1", "done")
+    assert os.path.isdir(run_cache_dir(run_dir))
+    records = read_journal(run_dir)
+    header = journal_header(records)
+    assert header["process"] == os.path.abspath(process_doc)
+    assert header["fingerprint"] == document_fingerprint(process_doc)
+    assert header["job_order"] == {"x": 1}
+    assert header["engine"] == "toil"
+    assert node_states(records) == {"step1": "done"}
+
+
+def test_records_survive_without_close_and_later_states_win(tmp_path):
+    journal = RunJournal(str(tmp_path / "journal.jsonl"))
+    journal.node_state("a", "running")
+    journal.node_state("a", "done")
+    journal.node_state("b", "running")
+    # No close(): every record was flushed at append time (crash safety).
+    records = read_journal(str(tmp_path))
+    assert node_states(records) == {"a": "done", "b": "running"}
+    journal.close()
+    journal.record("after", x=1)  # append after close is a silent no-op
+    assert len(read_journal(str(tmp_path))) == 3
+
+
+def test_torn_final_line_is_dropped(tmp_path, process_doc):
+    run_dir = str(tmp_path / "run")
+    open_run_dir(run_dir, process_path=process_doc, job_order={},
+                 engine="reference").close()
+    with open(journal_path(run_dir), "a", encoding="utf-8") as handle:
+        handle.write('{"kind": "node", "node": "a", "sta')  # crash mid-append
+    records = read_journal(run_dir)
+    assert [r["kind"] for r in records] == ["header"]
+
+
+def test_torn_middle_line_raises(tmp_path):
+    path = journal_path(str(tmp_path))
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"kind": "header"}) + "\n")
+        handle.write('{"torn": \n')
+        handle.write(json.dumps({"kind": "node", "node": "a"}) + "\n")
+    with pytest.raises(ValueError, match="corrupt journal record"):
+        read_journal(str(tmp_path))
+
+
+def test_journal_header_requires_header_record(tmp_path):
+    with pytest.raises(ValueError, match="no header"):
+        journal_header([{"kind": "node", "node": "a"}])
+
+
+def test_document_fingerprint_tracks_content(tmp_path):
+    path = tmp_path / "doc.cwl"
+    path.write_text("one")
+    first = document_fingerprint(str(path))
+    assert document_fingerprint(str(path)) == first
+    path.write_text("two")
+    assert document_fingerprint(str(path)) != first
+
+
+def test_second_header_wins_for_resumed_runs(tmp_path, process_doc):
+    run_dir = str(tmp_path / "run")
+    open_run_dir(run_dir, process_path=process_doc, job_order={},
+                 engine="reference").close()
+    open_run_dir(run_dir, process_path=process_doc, job_order={},
+                 engine="toil").close()
+    header = journal_header(read_journal(run_dir))
+    assert header["engine"] == "toil"
