@@ -97,15 +97,18 @@ def series_recorder() -> SeriesRecorder:
 #: trajectory is trackable across PRs.  Figures whose name starts with
 #: ``DAG`` (the scheduler benchmarks of ``test_dag_scheduling.py``) go to
 #: ``BENCH_dag.json``; figures starting with ``CACHE`` (the job-cache
-#: benchmarks of ``test_job_cache.py``) go to ``BENCH_cache.json``;
-#: everything else (the paper figures and ablations) goes to
-#: ``BENCH_expressions.json``.
+#: benchmarks of ``test_job_cache.py``) go to ``BENCH_cache.json``; figures
+#: starting with ``SCHED`` (the scheduler-core benchmarks of
+#: ``test_scheduler_overhead.py``) go to ``BENCH_sched.json``; everything
+#: else (the paper figures and ablations) goes to ``BENCH_expressions.json``.
 BENCH_JSON_ENV = "BENCH_EXPRESSIONS_JSON"
 BENCH_JSON_DEFAULT = REPO_ROOT / "BENCH_expressions.json"
 BENCH_DAG_JSON_ENV = "BENCH_DAG_JSON"
 BENCH_DAG_JSON_DEFAULT = REPO_ROOT / "BENCH_dag.json"
 BENCH_CACHE_JSON_ENV = "BENCH_CACHE_JSON"
 BENCH_CACHE_JSON_DEFAULT = REPO_ROOT / "BENCH_cache.json"
+BENCH_SCHED_JSON_ENV = "BENCH_SCHED_JSON"
+BENCH_SCHED_JSON_DEFAULT = REPO_ROOT / "BENCH_sched.json"
 
 
 def _write_series(terminalreporter, payload: dict, env: str, default, label: str):
@@ -129,14 +132,20 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
                        if figure.startswith("DAG")}
         cache_payload = {figure: series for figure, series in payload.items()
                          if figure.startswith("CACHE")}
+        sched_payload = {figure: series for figure, series in payload.items()
+                         if figure.startswith("SCHED")}
         expr_payload = {figure: series for figure, series in payload.items()
-                        if not (figure.startswith("DAG") or figure.startswith("CACHE"))}
+                        if not (figure.startswith("DAG")
+                                or figure.startswith("CACHE")
+                                or figure.startswith("SCHED"))}
         _write_series(terminalreporter, expr_payload, BENCH_JSON_ENV,
                       BENCH_JSON_DEFAULT, "Benchmark")
         _write_series(terminalreporter, dag_payload, BENCH_DAG_JSON_ENV,
                       BENCH_DAG_JSON_DEFAULT, "DAG scheduling")
         _write_series(terminalreporter, cache_payload, BENCH_CACHE_JSON_ENV,
                       BENCH_CACHE_JSON_DEFAULT, "Job-cache")
+        _write_series(terminalreporter, sched_payload, BENCH_SCHED_JSON_ENV,
+                      BENCH_SCHED_JSON_DEFAULT, "Scheduler-core")
 
 
 @pytest.fixture

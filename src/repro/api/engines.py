@@ -131,6 +131,7 @@ class RunnerEngine(Engine):
             cache_stats=_event_cache_stats(recorder) if cache_enabled else None,
             failures=dict(details.get("failures", {})),
             node_states=dict(details.get("node_states", {})),
+            stage_timings=getattr(runner, "stage_timings", None),
         )
 
 
@@ -145,14 +146,16 @@ class ReferenceEngine(RunnerEngine):
                  job_cache: Optional[bool] = None,
                  retry_policy: Any = None, timeout_s: Optional[float] = None,
                  on_error: Optional[str] = None, fault_plan: Any = None,
-                 journal: Any = None) -> None:
+                 journal: Any = None, pipeline: bool = False,
+                 max_inflight: Optional[int] = None) -> None:
         super().__init__()
         runtime_context = _context_with_options(
             runtime_context, cache_dir, job_cache, retry_policy=retry_policy,
             timeout_s=timeout_s, on_error=on_error, fault_plan=fault_plan,
             journal=journal)
         self._options = dict(runtime_context=runtime_context, parallel=parallel,
-                             max_workers=max_workers, validate=validate)
+                             max_workers=max_workers, validate=validate,
+                             pipeline=pipeline, max_inflight=max_inflight)
 
     def _make_runner(self) -> BaseRunner:
         return ReferenceRunner(**self._options)
@@ -173,7 +176,8 @@ class ToilEngine(RunnerEngine):
                  job_cache: Optional[bool] = None,
                  retry_policy: Any = None, timeout_s: Optional[float] = None,
                  on_error: Optional[str] = None, fault_plan: Any = None,
-                 journal: Any = None) -> None:
+                 journal: Any = None, pipeline: bool = False,
+                 max_inflight: Optional[int] = None) -> None:
         super().__init__()
         runtime_context = _context_with_options(
             runtime_context, cache_dir, job_cache, retry_policy=retry_policy,
@@ -182,7 +186,8 @@ class ToilEngine(RunnerEngine):
         self._options = dict(job_store_dir=job_store_dir, batch_system=batch_system,
                              runtime_context=runtime_context, parallel=parallel,
                              max_workers=max_workers, import_outputs=import_outputs,
-                             validate=validate)
+                             validate=validate, pipeline=pipeline,
+                             max_inflight=max_inflight)
         self._destroy_job_store = destroy_job_store_on_close
 
     def _make_runner(self) -> BaseRunner:
@@ -226,9 +231,14 @@ class ParslEngine(Engine):
                  compile_expressions: Optional[bool] = None,
                  retry_policy: Any = None, timeout_s: Optional[float] = None,
                  on_error: Optional[str] = None, fault_plan: Any = None,
-                 journal: Any = None) -> None:
+                 journal: Any = None,
+                 max_inflight: Optional[int] = None) -> None:
         self._config = config
         self._outdir = outdir
+        #: Bound on unfinished submitted jobs during bridge submission —
+        #: mirrors the pipelined core's in-flight window on the runner
+        #: engines (None = submit the whole graph eagerly, Parsl's default).
+        self._max_inflight = max_inflight
         #: Fault-tolerance options, mirroring the runner engines' context
         #: fields: retries wrap whole tool invocations (cache probe included,
         #: so injected faults behave identically warm or cold), timeouts are
@@ -386,7 +396,8 @@ class ParslEngine(Engine):
                                    fault_plan=self._fault_plan,
                                    timeout_s=self._timeout_s,
                                    on_error=self._on_error,
-                                   journal=self._journal)
+                                   journal=self._journal,
+                                   max_inflight=self._max_inflight)
         outputs = bridge.run(job_order)
         failures = {name: str(exc) for name, exc in bridge.failures.items()}
         return ({key: _normalise_output(value) for key, value in outputs.items()},

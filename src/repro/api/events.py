@@ -71,54 +71,85 @@ class EventRecorder:
 
     def __init__(self, hooks: Optional[ExecutionHooks] = None) -> None:
         self.hooks = hooks
-        self.events: List[JobEvent] = []
+        #: Raw records: either a materialised :class:`JobEvent` (hook path) or
+        #: a compact ``(kind, job, timestamp, ok, error, duration_s, cache,
+        #: attempt)`` tuple.  Tuples become events lazily via :attr:`events`,
+        #: so hook-less runs never pay dataclass construction on the hot path.
+        self._records: List[Any] = []
         self._lock = threading.Lock()
+
+    @property
+    def events(self) -> List[JobEvent]:
+        """Materialised event list (lazy: tuples become ``JobEvent`` here)."""
+        with self._lock:
+            records = list(self._records)
+        return [
+            r if type(r) is JobEvent else
+            JobEvent(job=r[1], kind=r[0], timestamp=r[2], ok=r[3], error=r[4],
+                     duration_s=r[5], cache=r[6], attempt=r[7])
+            for r in records
+        ]
 
     def job_started(self, job: str) -> _ActiveJob:
         now = time.time()
-        event = JobEvent(job=job, kind="start", timestamp=now)
+        hook = self.hooks.on_job_start if self.hooks else None
+        if hook is None:
+            record: Any = ("start", job, now, True, None, None, None, 1)
+        else:
+            record = JobEvent(job=job, kind="start", timestamp=now)
         with self._lock:
-            self.events.append(event)
-        if self.hooks and self.hooks.on_job_start:
-            self.hooks.on_job_start(event)
+            self._records.append(record)
+        if hook is not None:
+            hook(record)
         return _ActiveJob(job=job, started_at=time.perf_counter())
 
     def job_retry(self, token: _ActiveJob, attempt: int,
                   error: Optional[str] = None,
                   delay_s: Optional[float] = None) -> None:
         """Record that attempt ``attempt`` of a job failed and will be retried."""
-        event = JobEvent(
-            job=token.job,
-            kind="retry",
-            timestamp=time.time(),
-            ok=False,
-            error=error,
-            duration_s=delay_s,
-            attempt=attempt,
-        )
+        hook = self.hooks.on_job_retry if self.hooks else None
+        if hook is None:
+            record: Any = ("retry", token.job, time.time(), False, error,
+                           delay_s, None, attempt)
+        else:
+            record = JobEvent(
+                job=token.job,
+                kind="retry",
+                timestamp=time.time(),
+                ok=False,
+                error=error,
+                duration_s=delay_s,
+                attempt=attempt,
+            )
         with self._lock:
-            self.events.append(event)
-        if self.hooks and self.hooks.on_job_retry:
-            self.hooks.on_job_retry(event)
+            self._records.append(record)
+        if hook is not None:
+            hook(record)
 
     def job_finished(self, token: _ActiveJob, ok: bool = True,
                      error: Optional[str] = None,
                      cache: Optional[str] = None,
                      attempt: int = 1) -> None:
-        event = JobEvent(
-            job=token.job,
-            kind="end",
-            timestamp=time.time(),
-            ok=ok,
-            error=error,
-            duration_s=time.perf_counter() - token.started_at,
-            cache=cache,
-            attempt=attempt,
-        )
+        duration = time.perf_counter() - token.started_at
+        hook = self.hooks.on_job_end if self.hooks else None
+        if hook is None:
+            record: Any = ("end", token.job, time.time(), ok, error,
+                           duration, cache, attempt)
+        else:
+            record = JobEvent(
+                job=token.job,
+                kind="end",
+                timestamp=time.time(),
+                ok=ok,
+                error=error,
+                duration_s=duration,
+                cache=cache,
+                attempt=attempt,
+            )
         with self._lock:
-            self.events.append(event)
-        if self.hooks and self.hooks.on_job_end:
-            self.hooks.on_job_end(event)
+            self._records.append(record)
+        if hook is not None:
+            hook(record)
 
     @contextlib.contextmanager
     def observing(self, job: str) -> Iterator[None]:

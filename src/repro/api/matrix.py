@@ -9,7 +9,7 @@ directories) and returns a :class:`MatrixRun` whose outputs are already
 normalised to the engine-independent canonical form of
 :mod:`repro.cwl.canonical`.
 
-A configuration has four axes:
+A configuration has five axes:
 
 ========== ==========================================================
 engine     any registry name (``reference``/``toil``/``parsl``/
@@ -23,6 +23,10 @@ faults     ``None`` (no injection) or the name of a
            :func:`repro.cwl.faults.fault_profiles` entry — a seeded
            deterministic fault plan plus the retry policy that rides
            with it, applied identically to every engine
+pipeline   ``None`` (engine default: the thread-pool scheduler core)
+           or ``True`` — the asyncio pipelined core on the runner
+           engines; on the Parsl engines a bounded in-flight
+           submission window (the bridge's ``max_inflight``)
 ========== ==========================================================
 """
 
@@ -58,6 +62,10 @@ class MatrixConfig:
     #: to inject, or ``None``.  A *name* rather than the plan object keeps
     #: the config frozen/hashable; the plan is instantiated fresh per run.
     faults: Optional[str] = None
+    #: ``True`` selects the asyncio pipelined scheduler core (runner
+    #: engines) / a bounded submission window (Parsl engines); ``None``
+    #: keeps each engine's default core.
+    pipeline: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.cache not in CACHE_MODES:
@@ -71,6 +79,8 @@ class MatrixConfig:
         label = f"{self.engine}/cache={self.cache}/compiled={compiled}"
         if self.faults:
             label += f"/faults={self.faults}"
+        if self.pipeline:
+            label += "/pipeline=on"
         return label
 
 
@@ -126,13 +136,15 @@ def matrix_configs(engines: Sequence[str] = ENGINE_ORDER,
                    cache_modes: Sequence[str] = ("off",),
                    compiled_modes: Sequence[Optional[bool]] = (None,),
                    fault_modes: Sequence[Optional[str]] = (None,),
+                   pipeline_modes: Sequence[Optional[bool]] = (None,),
                    ) -> List[MatrixConfig]:
-    """The cross product of the four axes, in deterministic order."""
-    return [MatrixConfig(engine, cache, compiled, faults)
+    """The cross product of the five axes, in deterministic order."""
+    return [MatrixConfig(engine, cache, compiled, faults, pipeline)
             for engine in engines
             for cache in cache_modes
             for compiled in compiled_modes
-            for faults in fault_modes]
+            for faults in fault_modes
+            for pipeline in pipeline_modes]
 
 
 def run_config(process: Any, job_order: Optional[Dict[str, Any]],
@@ -251,6 +263,8 @@ def _engine_options(config: MatrixConfig, run_dir: str,
             fault_plan=fault_plan,
         )
         options["max_workers"] = max_workers
+        if config.pipeline:
+            options["pipeline"] = True
         if config.engine == "toil":
             options["job_store_dir"] = os.path.join(run_dir, "jobstore")
             options["destroy_job_store_on_close"] = True
@@ -264,6 +278,10 @@ def _engine_options(config: MatrixConfig, run_dir: str,
         options["job_cache"] = False if cache_dir is None else None
         options["retry_policy"] = retry_policy
         options["fault_plan"] = fault_plan
+        if config.pipeline:
+            # Parsl engines have no pipelined scheduler core; the axis maps
+            # to the bridge's bounded in-flight submission window instead.
+            options["max_inflight"] = max_workers
     else:
         # Custom registered engines: run with their defaults; the cache and
         # compiled axes only apply to engines that understand the options.

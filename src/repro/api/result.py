@@ -48,6 +48,11 @@ class ExecutionResult:
     #: (``pending``/``running``/``done``/``failed``/``skipped``); empty for
     #: single tools and engines that do not track them.
     node_states: Dict[str, str] = field(default_factory=dict)
+    #: Per-stage wall time from the pipelined scheduler core
+    #: (``stage_s``/``exec_s``/``collect_s`` cumulative seconds plus
+    #: ``nodes``/``tiny_nodes``/``tiny_batches`` counts); ``None`` unless the
+    #: run executed with ``pipeline=True``.
+    stage_timings: Optional[Dict[str, Any]] = None
 
     def __getitem__(self, key: str) -> Any:
         """Convenience indexing straight into :attr:`outputs`."""

@@ -64,6 +64,15 @@ class Session:
     identical tool invocations restore their outputs from the store (zero-copy
     hardlink staging) instead of re-executing, per-job events carry
     ``cache="hit"|"miss"`` and each result reports ``cache_stats``.
+
+    ``Session(engine, pipeline=True, max_inflight=...)`` selects the asyncio
+    pipelined scheduler core on the runner engines (``reference``, ``toil``):
+    staging, subprocess execution and output collection of *different* jobs
+    overlap, the in-flight window is bounded by ``max_inflight``, and each
+    workflow result carries per-stage wall time in
+    :attr:`~repro.api.result.ExecutionResult.stage_timings`.  On the Parsl
+    engines ``max_inflight`` bounds unfinished submissions during bridge
+    submission instead.
     """
 
     def __init__(self, engine: Union[str, Engine] = "reference",

@@ -71,7 +71,8 @@ class CWLWorkflowBridge:
                  fault_plan: Optional[Any] = None,
                  timeout_s: Optional[float] = None,
                  on_error: str = "stop",
-                 journal: Optional[Any] = None) -> None:
+                 journal: Optional[Any] = None,
+                 max_inflight: Optional[int] = None) -> None:
         if on_error not in ("stop", "continue"):
             raise ValueError(f"on_error must be 'stop' or 'continue', got {on_error!r}")
         if isinstance(workflow, Workflow):
@@ -119,6 +120,11 @@ class CWLWorkflowBridge:
         self.journal = journal
         #: Failed step name → exception, from the last :meth:`run`.
         self.failures: Dict[str, BaseException] = {}
+        #: Bound on *unfinished* submitted jobs during submission: with a 10k
+        #: node graph, eagerly materialising every app call would hold every
+        #: staged input handle live at once.  ``None`` keeps Parsl's eager
+        #: submission (the historical behaviour).
+        self.max_inflight = max(1, int(max_inflight)) if max_inflight else None
         self._pending_observations: List[tuple] = []
         self._apps: Dict[str, CWLApp] = {}
 
@@ -292,7 +298,24 @@ class CWLWorkflowBridge:
                 observer.job_finished(token, ok=False, error=str(exc))
             raise
         self._pending_observations.append((future, token, name))
+        if self.max_inflight is not None:
+            self._throttle_inflight()
         return future
+
+    def _throttle_inflight(self) -> None:
+        """Backpressure the submission walk against ``max_inflight``.
+
+        Blocks on the oldest unfinished future while more than
+        ``max_inflight`` submitted jobs are live.  Dependency edges are
+        already futures, so waiting on the oldest (a topological ancestor or
+        peer of everything after it) cannot deadlock the dataflow.
+        """
+        while True:
+            live = [f for f, _tok, _name in self._pending_observations
+                    if not f.done()]
+            if len(live) < self.max_inflight:
+                return
+            live[0].exception()  # block for completion without raising
 
     def _drain_observations(self) -> None:
         """Resolve every submitted future: failures, retry events, end events.

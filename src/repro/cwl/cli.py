@@ -90,7 +90,8 @@ def _split_known_args(argv: Sequence[str]) -> Tuple[List[str], List[str]]:
     argv = list(argv)
     option_with_value = {"--outdir", "--max-workers", "--jobStore", "--batchSystem", "--nodes",
                          "--cores-per-node", "--cachedir", "--retries", "--retry-backoff",
-                         "--retry-exit-codes", "--timeout", "--on-error", "--rundir"}
+                         "--retry-exit-codes", "--timeout", "--on-error", "--rundir",
+                         "--max-inflight"}
     while i < len(argv):
         token = argv[i]
         if token.startswith("--") and positionals >= 1:
@@ -119,6 +120,20 @@ def _finalise_outputs(outputs: Dict[str, Any], outdir: Optional[str]) -> Dict[st
     from repro.cwl.outputs import stage_outputs
 
     return stage_outputs(outputs, outdir)
+
+
+def _add_pipeline_args(parser: argparse.ArgumentParser) -> None:
+    """The pipelined-scheduler flags shared by both runner CLIs."""
+    parser.add_argument("--pipeline", action="store_true",
+                        help="run on the asyncio pipelined scheduler core: "
+                             "staging, execution and collection of different "
+                             "jobs overlap (outputs are identical to the "
+                             "default thread-pool core)")
+    parser.add_argument("--max-inflight", dest="max_inflight", type=int,
+                        default=None,
+                        help="bound on jobs concurrently in the pipelined "
+                             "core's stage/exec/collect window (default 64; "
+                             "implies nothing without --pipeline)")
 
 
 def _add_fault_tolerance_args(parser: argparse.ArgumentParser) -> None:
@@ -200,6 +215,7 @@ def cwltool_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--max-workers", type=int, default=8)
     parser.add_argument("--cachedir", dest="cache_dir", default=None,
                         help="reuse tool results through the job cache at this directory")
+    _add_pipeline_args(parser)
     _add_fault_tolerance_args(parser)
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(known)
@@ -214,23 +230,23 @@ def cwltool_main(argv: Optional[Sequence[str]] = None) -> int:
         from repro import api
 
         job_order = parse_job_order(args.job_order, overrides)
+        engine_options = dict(runtime_context=runtime_context,
+                              parallel=args.parallel,
+                              max_workers=args.max_workers,
+                              pipeline=args.pipeline,
+                              max_inflight=args.max_inflight)
         if args.resume:
             if not args.rundir:
                 raise ValueError("--resume requires --rundir")
             result = api.resume(args.rundir, engine="reference",
-                                runtime_context=runtime_context,
-                                parallel=args.parallel,
-                                max_workers=args.max_workers)
+                                **engine_options)
         elif args.rundir:
             result = api.run_with_journal(
                 args.document, job_order, run_dir=args.rundir,
-                engine="reference", runtime_context=runtime_context,
-                parallel=args.parallel, max_workers=args.max_workers)
+                engine="reference", **engine_options)
         else:
             process = load_document(args.document)
-            with api.Session(engine="reference", runtime_context=runtime_context,
-                             parallel=args.parallel,
-                             max_workers=args.max_workers) as session:
+            with api.Session(engine="reference", **engine_options) as session:
                 result = session.run(process, job_order)
         outputs = _finalise_outputs(result.outputs, args.outdir)
     except KeyboardInterrupt:
@@ -262,6 +278,7 @@ def toil_main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--cores-per-node", type=int, default=48)
     parser.add_argument("--cachedir", dest="cache_dir", default=None,
                         help="reuse tool results through the job cache at this directory")
+    _add_pipeline_args(parser)
     _add_fault_tolerance_args(parser)
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(known)
@@ -289,7 +306,9 @@ def toil_main(argv: Optional[Sequence[str]] = None) -> int:
             batch = SingleMachineBatchSystem(max_cores=args.max_workers)
         engine_options = dict(job_store_dir=args.jobStore, batch_system=batch,
                               runtime_context=runtime_context,
-                              max_workers=args.max_workers)
+                              max_workers=args.max_workers,
+                              pipeline=args.pipeline,
+                              max_inflight=args.max_inflight)
         if args.resume:
             if not args.rundir:
                 raise ValueError("--resume requires --rundir")

@@ -155,25 +155,31 @@ def find_step_cycle(workflow: Workflow) -> List[str]:
     WHITE, GREY, BLACK = 0, 1, 2
     colour = {step_id: WHITE for step_id in depends_on}
 
-    def visit(node: str, stack: List[str]) -> List[str]:
-        colour[node] = GREY
-        stack.append(node)
-        for dep in depends_on[node]:
-            if colour[dep] == GREY:
-                return stack[stack.index(dep):] + [dep]
-            if colour[dep] == WHITE:
-                cycle = visit(dep, stack)
-                if cycle:
-                    return cycle
-        stack.pop()
-        colour[node] = BLACK
-        return []
-
-    for step_id in depends_on:
-        if colour[step_id] == WHITE:
-            cycle = visit(step_id, [])
-            if cycle:
-                return cycle
+    # Iterative colouring DFS: an explicit (node, dep-iterator) stack instead
+    # of recursion, so a 10k-step linear chain cannot hit the interpreter's
+    # recursion limit during validation.
+    for root in depends_on:
+        if colour[root] != WHITE:
+            continue
+        colour[root] = GREY
+        path = [root]
+        frames = [(root, iter(depends_on[root]))]
+        while frames:
+            node, deps = frames[-1]
+            advanced = False
+            for dep in deps:
+                if colour[dep] == GREY:
+                    return path[path.index(dep):] + [dep]
+                if colour[dep] == WHITE:
+                    colour[dep] = GREY
+                    path.append(dep)
+                    frames.append((dep, iter(depends_on[dep])))
+                    advanced = True
+                    break
+            if not advanced:
+                frames.pop()
+                path.pop()
+                colour[node] = BLACK
     return []
 
 

@@ -8,10 +8,12 @@ cwltool-like and Toil-like runners).
 
 from __future__ import annotations
 
+import asyncio
 import os
 import subprocess
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cwl.command_line import CommandLineParts, build_command_line, fill_in_defaults
 from repro.cwl.errors import InputValidationError, JobFailure, JobTimeout
@@ -38,6 +40,64 @@ class JobResult:
     #: True when the result was restored from the job cache instead of
     #: executing the subprocess (see :mod:`repro.cwl.jobcache`).
     cache_hit: bool = False
+
+
+@dataclass
+class StagedJob:
+    """Everything :meth:`CommandLineJob.stage_execution` prepares up front.
+
+    Produced by the *stage* step of the pipelined lifecycle and consumed by
+    *launch* (the subprocess) and *collect* (output collection + cache store),
+    so the three steps can run on different workers without re-deriving any
+    of this state.  ``cache_entry`` non-None means the invocation is a job
+    cache hit: launch is a no-op and collect restores instead of collecting.
+    """
+
+    outdir: str
+    tmpdir: str
+    runtime: Dict[str, Any]
+    evaluator: Any = None
+    parts: Optional[CommandLineParts] = None
+    cache: Any = None
+    cache_key: Optional[str] = None
+    cache_entry: Any = None
+    stdout_path: Optional[str] = None
+    stderr_path: Optional[str] = None
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.cache_entry is not None
+
+
+class _AsyncProcessHandle:
+    """Popen-shaped view of an asyncio subprocess for interrupt-time reaping.
+
+    ``RuntimeContext.terminate_processes`` expects ``pid``/``poll``/
+    ``send_signal``/``wait(timeout)``; asyncio's Process has a coroutine
+    ``wait`` instead, so this adapter polls ``returncode`` (only exercised
+    during interrupt teardown, never on the hot path).
+    """
+
+    def __init__(self, proc: "asyncio.subprocess.Process") -> None:
+        self._proc = proc
+
+    @property
+    def pid(self) -> int:
+        return self._proc.pid
+
+    def poll(self) -> Optional[int]:
+        return self._proc.returncode
+
+    def send_signal(self, sig: int) -> None:
+        self._proc.send_signal(sig)
+
+    def wait(self, timeout: Optional[float] = None) -> int:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self._proc.returncode is None:
+            if deadline is not None and time.monotonic() >= deadline:
+                raise subprocess.TimeoutExpired("<async job>", timeout or 0)
+            time.sleep(0.02)
+        return self._proc.returncode
 
 
 @dataclass
@@ -150,7 +210,34 @@ class CommandLineJob:
         job's fresh working directory — and the subprocess never runs; output
         collection still executes against the restored files, so hits and
         misses flow through identical collection code.
+
+        Synchronous composition of the three pipeline steps — the reference
+        runner's serial path.  The pipelined scheduler calls
+        :meth:`stage_execution` / :meth:`launch` / :meth:`collect_execution`
+        individually so the steps of different jobs can overlap.
         """
+        staged = self.stage_execution(outdir)
+        exit_code = self.launch(staged)
+        return self.collect_execution(staged, exit_code)
+
+    async def execute_async(self, outdir: Optional[str] = None) -> JobResult:
+        """:meth:`execute`, but awaiting the subprocess on the event loop.
+
+        Same stage and collect steps; the exec step uses
+        ``asyncio.create_subprocess_exec`` with identical environment,
+        session/process-group, timeout and reaping semantics, so one event
+        loop can supervise thousands of concurrent subprocesses without a
+        thread parked in ``wait()`` per job.
+        """
+        staged = self.stage_execution(outdir)
+        exit_code = await self.launch_async(staged)
+        return self.collect_execution(staged, exit_code)
+
+    # ------------------------------------------------- pipeline: stage inputs
+
+    def stage_execution(self, outdir: Optional[str] = None) -> StagedJob:
+        """Prepare everything the subprocess needs: dirs, validation, cache
+        probe, command line.  Pure staging — nothing is executed yet."""
         outdir = outdir or self.runtime_context.make_job_dir(
             name=(self.tool.id or "tool").replace("/", "_") or "tool"
         )
@@ -164,41 +251,77 @@ class CommandLineJob:
                 f"job order for tool {self.tool.id!r} is invalid: " + "; ".join(problems)
             )
 
+        staged = StagedJob(outdir=outdir, tmpdir=tmpdir, runtime=runtime)
         cache = self.runtime_context.get_job_cache()
-        cache_key: Optional[str] = None
         if cache is not None:
             from repro.cwl.jobcache import job_key
 
-            cache_key = job_key(self.tool, self.job_order,
-                                cores=runtime["cores"], ram_mb=runtime["ram"],
-                                extra_env=self.runtime_context.env)
-            entry = cache.lookup(cache_key)
-            if entry is not None:
-                return self._restore_from_cache(cache, entry, outdir, tmpdir, runtime)
+            staged.cache = cache
+            staged.cache_key = job_key(self.tool, self.job_order,
+                                       cores=runtime["cores"], ram_mb=runtime["ram"],
+                                       extra_env=self.runtime_context.env)
+            staged.cache_entry = cache.lookup(staged.cache_key)
+            if staged.cache_entry is not None:
+                # Hit: skip command-line construction entirely (the key
+                # proves the resolved command would be identical).
+                return staged
 
-        evaluator = self.make_evaluator()
-        parts = build_command_line(self.tool, self.job_order, runtime, evaluator)
+        staged.evaluator = self.make_evaluator()
+        staged.parts = build_command_line(self.tool, self.job_order, runtime,
+                                          staged.evaluator)
+        if staged.parts.stdout:
+            staged.stdout_path = os.path.join(outdir, staged.parts.stdout)
+        if staged.parts.stderr:
+            staged.stderr_path = os.path.join(outdir, staged.parts.stderr)
+        return staged
 
-        stdout_path = os.path.join(outdir, parts.stdout) if parts.stdout else None
-        stderr_path = os.path.join(outdir, parts.stderr) if parts.stderr else None
+    # ---------------------------------------------- pipeline: run the process
+
+    def _open_launch_handles(self, staged: StagedJob) -> Tuple[Any, Any, Any, Dict[str, str]]:
+        parts = staged.parts
+        assert parts is not None
         stdin_handle = open(parts.stdin, "rb") if parts.stdin else subprocess.DEVNULL
-        stdout_handle = open(stdout_path, "wb") if stdout_path else subprocess.DEVNULL
-        stderr_handle = open(stderr_path, "wb") if stderr_path else subprocess.DEVNULL
+        stdout_handle = open(staged.stdout_path, "wb") if staged.stdout_path \
+            else subprocess.DEVNULL
+        stderr_handle = open(staged.stderr_path, "wb") if staged.stderr_path \
+            else subprocess.DEVNULL
 
         from repro.utils.environment import subprocess_environment
 
         env = subprocess_environment()
         env.update(self.runtime_context.env)
         env.update(parts.environment)
-        env.setdefault("HOME", outdir)
-        env.setdefault("TMPDIR", tmpdir)
+        env.setdefault("HOME", staged.outdir)
+        env.setdefault("TMPDIR", staged.tmpdir)
+        return stdin_handle, stdout_handle, stderr_handle, env
 
-        logger.debug("executing %s in %s", parts.argv, outdir)
+    @staticmethod
+    def _close_launch_handles(*handles: Any) -> None:
+        for handle in handles:
+            if handle is not subprocess.DEVNULL and hasattr(handle, "close"):
+                handle.close()
+
+    def launch(self, staged: StagedJob) -> int:
+        """Run the staged subprocess to completion and return its exit code.
+
+        A no-op on a cache hit (the cached exit code is returned so collect
+        sees the same value either way).  Raises :class:`JobTimeout` after
+        group-reaping on timeout and :class:`JobFailure` on a non-success
+        exit code, exactly like the pre-split monolithic ``execute``.
+        """
+        if staged.cache_entry is not None:
+            return staged.cache_entry.exit_code
+        parts = staged.parts
+        assert parts is not None
+        stdin_handle, stdout_handle, stderr_handle, env = \
+            self._open_launch_handles(staged)
+
+        logger.debug("executing %s in %s", parts.argv, staged.outdir)
         proc = None
         try:
             proc = subprocess.Popen(
                 parts.argv,
-                cwd=outdir,
+                cwd=staged.outdir,
                 env=env,
                 stdin=stdin_handle,
                 stdout=stdout_handle,
@@ -213,7 +336,7 @@ class CommandLineJob:
                 exit_code = proc.wait(timeout=self.runtime_context.timeout_s)
             except subprocess.TimeoutExpired:
                 self._reap(proc)
-                self.runtime_context.cleanup_dir(tmpdir)
+                self.runtime_context.cleanup_dir(staged.tmpdir)
                 raise JobTimeout(self.tool.id or "<tool>",
                                  float(self.runtime_context.timeout_s or 0))
             except BaseException:
@@ -225,54 +348,119 @@ class CommandLineJob:
         finally:
             if proc is not None:
                 self.runtime_context.unregister_process(proc)
-            for handle in (stdin_handle, stdout_handle, stderr_handle):
-                if handle is not subprocess.DEVNULL and hasattr(handle, "close"):
-                    handle.close()
+            self._close_launch_handles(stdin_handle, stdout_handle, stderr_handle)
 
         if exit_code not in self.tool.success_codes:
             raise JobFailure(self.tool.id or "<tool>", exit_code, " ".join(parts.argv))
+        return exit_code
 
+    async def launch_async(self, staged: StagedJob) -> int:
+        """:meth:`launch` as a coroutine via ``asyncio.create_subprocess_exec``.
+
+        The subprocess still leads its own session/process group and is
+        registered with the runtime context (through a Popen-shaped adapter)
+        so interrupt-time ``terminate_processes`` reaps it like any other
+        job; timeout reaping SIGTERMs then SIGKILLs the whole group.
+        """
+        if staged.cache_entry is not None:
+            return staged.cache_entry.exit_code
+        parts = staged.parts
+        assert parts is not None
+        stdin_handle, stdout_handle, stderr_handle, env = \
+            self._open_launch_handles(staged)
+
+        logger.debug("executing %s in %s (async)", parts.argv, staged.outdir)
+        handle = None
+        try:
+            proc = await asyncio.create_subprocess_exec(
+                *parts.argv,
+                cwd=staged.outdir,
+                env=env,
+                stdin=stdin_handle,
+                stdout=stdout_handle,
+                stderr=stderr_handle,
+                start_new_session=True,
+            )
+            handle = _AsyncProcessHandle(proc)
+            self.runtime_context.register_process(handle)
+            try:
+                exit_code = await asyncio.wait_for(
+                    proc.wait(), timeout=self.runtime_context.timeout_s)
+            except asyncio.TimeoutError:
+                await self._reap_async(proc)
+                self.runtime_context.cleanup_dir(staged.tmpdir)
+                raise JobTimeout(self.tool.id or "<tool>",
+                                 float(self.runtime_context.timeout_s or 0))
+            except BaseException:
+                # Cancelled mid-wait (scheduler shutdown): reap before the
+                # finally unregisters, or the tool would outlive the runner.
+                await self._reap_async(proc)
+                raise
+        finally:
+            if handle is not None:
+                self.runtime_context.unregister_process(handle)
+            self._close_launch_handles(stdin_handle, stdout_handle, stderr_handle)
+
+        if exit_code not in self.tool.success_codes:
+            raise JobFailure(self.tool.id or "<tool>", exit_code, " ".join(parts.argv))
+        return exit_code
+
+    # -------------------------------------------- pipeline: collect + persist
+
+    def collect_execution(self, staged: StagedJob, exit_code: int) -> JobResult:
+        """Collect outputs, store into the cache, journal, clean up.
+
+        On a cache hit this restores the cached invocation instead (hits and
+        misses still flow through identical output-collection code inside
+        :meth:`_restore_from_cache`).
+        """
+        if staged.cache_entry is not None:
+            return self._restore_from_cache(staged.cache, staged.cache_entry,
+                                            staged.outdir, staged.tmpdir,
+                                            staged.runtime)
+        parts = staged.parts
+        assert parts is not None
         outputs = collect_outputs(
             self.tool,
-            outdir=outdir,
-            stdout_path=stdout_path,
-            stderr_path=stderr_path,
+            outdir=staged.outdir,
+            stdout_path=staged.stdout_path,
+            stderr_path=staged.stderr_path,
             job_order=self.job_order,
-            runtime=runtime,
-            evaluator=evaluator,
+            runtime=staged.runtime,
+            evaluator=staged.evaluator,
             compute_checksum=self.runtime_context.compute_checksum,
         )
         cacheable = not any(name and os.path.isabs(name)
                             for name in (parts.stdout, parts.stderr))
-        if cache is not None and cache_key is not None and cacheable:
+        if staged.cache is not None and staged.cache_key is not None and cacheable:
             from repro.cwl.jobcache import canonical_command
 
             try:
-                cache.store_outdir(
-                    cache_key, outdir,
+                staged.cache.store_outdir(
+                    staged.cache_key, staged.outdir,
                     stdout_name=parts.stdout, stderr_name=parts.stderr,
                     exit_code=exit_code,
                     command=canonical_command(parts.argv, parts.stdin, parts.stdout,
                                               parts.stderr, parts.environment,
-                                              outdir=outdir, tmpdir=tmpdir,
+                                              outdir=staged.outdir, tmpdir=staged.tmpdir,
                                               job_order=self.job_order),
                 )
             except Exception:
                 # A full/read-only store must never fail a job that succeeded.
                 logger.warning("could not store job %s in the cache at %s",
-                               self.tool.id, cache.cache_dir, exc_info=True)
-        self.runtime_context.cleanup_dir(tmpdir)
+                               self.tool.id, staged.cache.cache_dir, exc_info=True)
+        self.runtime_context.cleanup_dir(staged.tmpdir)
         if self.runtime_context.journal is not None:
             self.runtime_context.journal.record(
-                "job", tool=self.tool.id, key=cache_key, cache="miss",
+                "job", tool=self.tool.id, key=staged.cache_key, cache="miss",
                 exit_code=exit_code)
         return JobResult(
             outputs=outputs,
             exit_code=exit_code,
             command=parts.argv,
-            outdir=outdir,
-            stdout_path=stdout_path,
-            stderr_path=stderr_path,
+            outdir=staged.outdir,
+            stdout_path=staged.stdout_path,
+            stderr_path=staged.stderr_path,
         )
 
     @staticmethod
@@ -290,6 +478,28 @@ class CommandLineJob:
             try:
                 proc.wait(timeout=grace_s)
             except subprocess.TimeoutExpired:
+                logger.warning("timed-out job pid %s survived SIGKILL", proc.pid)
+        except OSError:
+            pass
+
+    @staticmethod
+    async def _reap_async(proc: "asyncio.subprocess.Process",
+                          grace_s: float = 2.0) -> None:
+        """:meth:`_reap` for the asyncio exec path — same SIGTERM→SIGKILL
+        escalation against the whole process group, awaited instead of
+        blocked on."""
+        import signal
+
+        from repro.cwl.runtime import signal_job_process
+
+        try:
+            signal_job_process(proc, signal.SIGTERM)
+            await asyncio.wait_for(proc.wait(), timeout=grace_s)
+        except asyncio.TimeoutError:
+            signal_job_process(proc, signal.SIGKILL)
+            try:
+                await asyncio.wait_for(proc.wait(), timeout=grace_s)
+            except asyncio.TimeoutError:
                 logger.warning("timed-out job pid %s survived SIGKILL", proc.pid)
         except OSError:
             pass

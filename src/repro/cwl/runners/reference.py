@@ -37,12 +37,19 @@ class ReferenceRunner(BaseRunner):
 
     def __init__(self, runtime_context: Optional[RuntimeContext] = None,
                  parallel: bool = False, max_workers: int = 8,
-                 validate: bool = True) -> None:
+                 validate: bool = True, pipeline: bool = False,
+                 max_inflight: Optional[int] = None) -> None:
         if runtime_context is None:
             runtime_context = RuntimeContext(cache_js_engine=False)
         super().__init__(runtime_context=runtime_context, validate=validate)
         self.parallel = parallel
         self.max_workers = max_workers
+        #: Run workflows on the asyncio pipelined scheduler core instead of
+        #: the thread-pool core (``max_inflight`` bounds its in-flight window).
+        self.pipeline = pipeline
+        self.max_inflight = max_inflight
+        #: Per-stage wall time of the last pipelined workflow run.
+        self.stage_timings: Optional[Dict[str, Any]] = None
 
     # ----------------------------------------------------------------- tooling
 
@@ -73,12 +80,15 @@ class ReferenceRunner(BaseRunner):
             runtime_context=runtime_context,
             parallel=self.parallel,
             max_workers=self.max_workers,
+            pipeline=self.pipeline,
+            max_inflight=self.max_inflight,
         )
         try:
             return engine.run(job_order)
         finally:
             self.node_states = engine.node_states
             self.failures = engine.failures
+            self.stage_timings = engine.stage_timings
 
     # ----------------------------------------------------------------- plumbing
 

@@ -52,6 +52,8 @@ class ToilStyleRunner(BaseRunner):
         max_workers: int = 8,
         import_outputs: bool = True,
         validate: bool = True,
+        pipeline: bool = False,
+        max_inflight: Optional[int] = None,
     ) -> None:
         if runtime_context is None:
             runtime_context = RuntimeContext(cache_js_engine=False)
@@ -70,6 +72,12 @@ class ToilStyleRunner(BaseRunner):
         self.parallel = parallel
         self.max_workers = max_workers
         self.import_outputs = import_outputs
+        #: Run workflows on the asyncio pipelined scheduler core instead of
+        #: the thread-pool core (``max_inflight`` bounds its in-flight window).
+        self.pipeline = pipeline
+        self.max_inflight = max_inflight
+        #: Per-stage wall time of the last pipelined workflow run.
+        self.stage_timings: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------ tools
 
@@ -139,12 +147,15 @@ class ToilStyleRunner(BaseRunner):
             runtime_context=runtime_context,
             parallel=self.parallel,
             max_workers=self.max_workers,
+            pipeline=self.pipeline,
+            max_inflight=self.max_inflight,
         )
         try:
             return engine.run(job_order)
         finally:
             self.node_states = engine.node_states
             self.failures = engine.failures
+            self.stage_timings = engine.stage_timings
 
     # --------------------------------------------------------------- plumbing
 

@@ -20,12 +20,14 @@ with every other ready node in the shared pool.
 
 from __future__ import annotations
 
+import asyncio
 import concurrent.futures as cf
 import heapq
 import itertools
 import threading
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.cwl.errors import WorkflowException
 from repro.cwl.graph import GraphNode, WorkflowGraph
@@ -298,3 +300,262 @@ class GraphScheduler:
         raise WorkflowException(
             f"workflow stalled: {len(stalled)} node(s) cannot run with "
             f"{self._inflight} in flight; stalled nodes: " + "; ".join(details))
+
+
+class _CallableStageExecutor:
+    """Adapt a plain :data:`NodeExecutor` to the three-stage protocol.
+
+    The whole node runs in the exec lane; stage and collect are no-ops and
+    nothing is tiny.  Used when :class:`PipelineScheduler` is handed a bare
+    callable instead of a stage executor.
+    """
+
+    __slots__ = ("_execute",)
+
+    def __init__(self, execute: NodeExecutor) -> None:
+        self._execute = execute
+
+    def is_tiny(self, node: GraphNode) -> bool:
+        return False
+
+    def stage(self, node: GraphNode) -> Any:
+        return None
+
+    def execute(self, node: GraphNode, staged: Any) -> Any:
+        return self._execute(node)
+
+    def collect(self, node: GraphNode, staged: Any, result: Any) -> Optional[Expansion]:
+        return result
+
+
+class PipelineScheduler(GraphScheduler):
+    """Asyncio-cored scheduler: each node is a stage→exec→collect pipeline.
+
+    The dispatcher is one event loop; staging of ready successors and output
+    collection of finished jobs run on a small blocking pool (``max_workers``
+    threads, ``cwl-pipe`` prefix) while subprocess execution runs on a
+    supervised exec lane (at most ``max_inflight`` threads, ``cwl-exec``
+    prefix), so the three steps of *different* jobs overlap freely.  An
+    admission semaphore bounds the in-flight window to ``max_inflight`` and
+    per-stage semaphores backpressure staging/collection, so a 10k-node
+    ready frontier never explodes threads or memory: the thread bound is
+    ``max_workers + max_inflight`` regardless of graph width.
+
+    Tiny-job batching: nodes the executor declares *tiny* (cache-hit replays,
+    zero-cost expression/plumbing nodes) are coalesced — consecutive ready
+    runs execute inline on the event loop with no task, no pool round-trip
+    and no per-node loop iteration, then yield once per batch.
+
+    The executor is duck-typed: ``stage(node)``, ``execute(node, staged)``,
+    ``collect(node, staged, result) -> Optional[Expansion]``,
+    ``is_tiny(node)``.  A plain callable is adapted (everything in the exec
+    lane, nothing tiny).  All :class:`GraphScheduler` bookkeeping — heap
+    order, dynamic expansion, ``on_error`` poisoning, journal state
+    transitions, stall reporting — is inherited unchanged, which is what
+    keeps the two cores' observable semantics identical.
+    """
+
+    #: Upper bound on one inline tiny run before yielding to the loop.
+    TINY_BATCH_MAX = 64
+
+    def __init__(self, graph: WorkflowGraph, execute: Optional[NodeExecutor] = None,
+                 *, executor: Optional[Any] = None, max_inflight: int = 64,
+                 max_workers: int = 8, on_error: str = "stop",
+                 journal: Optional[object] = None) -> None:
+        if executor is None:
+            if execute is None:
+                raise ValueError("PipelineScheduler needs an executor or a callable")
+            executor = _CallableStageExecutor(execute)
+        super().__init__(graph, execute or (lambda node: None), parallel=True,
+                         max_workers=max_workers, on_error=on_error,
+                         journal=journal)
+        self.executor = executor
+        self.max_inflight = max(1, int(max_inflight))
+        #: Cumulative wall time spent in each pipeline step, plus node/batch
+        #: counts — surfaced as ``ExecutionResult.stage_timings``.
+        self.stage_timings: Dict[str, Any] = {
+            "stage_s": 0.0, "exec_s": 0.0, "collect_s": 0.0,
+            "nodes": 0, "tiny_nodes": 0, "tiny_batches": 0,
+        }
+        self._blocking_pool: Optional[cf.ThreadPoolExecutor] = None
+        self._exec_pool: Optional[cf.ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------------ public
+
+    def run(self) -> None:
+        for node_id in self.graph.topological_order():
+            if self._indegree[node_id] == 0:
+                self._push(node_id)
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # interrupt: stop feeding, don't block
+            with self._lock:
+                if self._failure is None:
+                    self._failure = exc
+            for pool in (self._blocking_pool, self._exec_pool):
+                if pool is not None:
+                    pool.shutdown(wait=False, cancel_futures=True)
+            self._blocking_pool = self._exec_pool = None
+            raise
+        if self._failure is not None:
+            raise self._failure
+        self._check_drained()
+
+    # -------------------------------------------------------------- dispatcher
+
+    async def _main(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._admission = asyncio.Semaphore(self.max_inflight)
+        self._stage_sem = asyncio.Semaphore(self.max_workers)
+        self._collect_sem = asyncio.Semaphore(self.max_workers)
+        self._wake = asyncio.Event()
+        blocking = self._blocking_pool = cf.ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="cwl-pipe")
+        exec_pool = self._exec_pool = cf.ThreadPoolExecutor(
+            max_workers=self.max_inflight, thread_name_prefix="cwl-exec")
+        tasks = self._task_set = set()
+        try:
+            while True:
+                progressed = await self._dispatch_ready(loop, blocking,
+                                                        exec_pool, tasks)
+                with self._lock:
+                    finished = self._pending == 0 or self._failure is not None
+                if not tasks and (finished or not progressed):
+                    # Done, failed-and-drained, or stalled (reported by
+                    # _check_drained after the pools wind down).
+                    break
+                if not progressed:
+                    # Nothing dispatchable (admission full, or ready empty).
+                    # Consume one wake signal per rescan: if a completion
+                    # already landed, rescan immediately; otherwise park.
+                    # Never skip the await based on heap state alone — a
+                    # ready-but-inadmissible top would busy-spin the loop
+                    # and starve the very tasks that would free a slot.
+                    if self._wake.is_set():
+                        self._wake.clear()
+                        continue
+                    await self._wake.wait()
+        except BaseException as exc:  # interrupt unwinding the dispatcher
+            with self._lock:
+                if self._failure is None:
+                    self._failure = exc
+            for task in list(tasks):
+                task.cancel()
+            # wait=False: in-flight jobs may sit in minutes-long subprocess
+            # waits; the caller reaps those (RuntimeContext.terminate_processes)
+            # and the workers then drain on their own threads.
+            blocking.shutdown(wait=False, cancel_futures=True)
+            exec_pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        blocking.shutdown(wait=True)
+        exec_pool.shutdown(wait=True)
+        self._blocking_pool = self._exec_pool = None
+
+    async def _dispatch_ready(self, loop, blocking, exec_pool, tasks) -> bool:
+        """Drain the ready heap in priority order; return whether we did work.
+
+        Tiny runs execute inline; heavy nodes become pipeline tasks while
+        admission slots remain.  Stops (without busy-waiting) when the heap
+        is empty, the in-flight window is full, or the run has failed.
+        """
+        progressed = False
+        while True:
+            with self._lock:
+                if self._failure is not None or not self._ready:
+                    return progressed
+                top_id = self._ready[0][2]
+                tiny = self.executor.is_tiny(self._nodes[top_id])
+                if not tiny and self._admission.locked():
+                    return progressed  # backpressure: wait for a completion
+                node_id = self._pop()
+                self._set_state(node_id, NODE_RUNNING)
+            progressed = True
+            if tiny:
+                await self._run_tiny_batch(node_id)
+            else:
+                await self._admission.acquire()
+                with self._lock:
+                    self._inflight += 1
+                task = loop.create_task(
+                    self._pipeline(node_id, loop, blocking, exec_pool))
+                tasks.add(task)
+
+    async def _run_tiny_batch(self, first_id: str) -> None:
+        """Execute ``first_id`` plus consecutive ready tiny nodes inline.
+
+        No task, no pool round-trip, no per-node event-loop iteration: the
+        whole run executes synchronously on the loop, then yields once so
+        completions of heavy jobs can interleave between batches.
+        """
+        batch = 0
+        node_id: Optional[str] = first_id
+        started = time.perf_counter()
+        while node_id is not None:
+            node = self._nodes[node_id]
+            try:
+                staged = self.executor.stage(node)
+                result = self.executor.execute(node, staged)
+                expansion = self.executor.collect(node, staged, result)
+                with self._lock:
+                    self._complete(node_id, expansion)
+            except BaseException as exc:  # noqa: BLE001 — classified below
+                with self._lock:
+                    self._node_failed_locked(node_id, exc)
+            batch += 1
+            node_id = None
+            if batch < self.TINY_BATCH_MAX:
+                with self._lock:
+                    if self._failure is None and self._ready:
+                        top_id = self._ready[0][2]
+                        if self.executor.is_tiny(self._nodes[top_id]):
+                            node_id = self._pop()
+                            self._set_state(node_id, NODE_RUNNING)
+        with self._lock:
+            self.stage_timings["tiny_nodes"] += batch
+            self.stage_timings["tiny_batches"] += 1
+            self.stage_timings["exec_s"] += time.perf_counter() - started
+        await asyncio.sleep(0)
+
+    async def _pipeline(self, node_id: str, loop, blocking, exec_pool) -> None:
+        """One heavy node's three-stage lifecycle, then completion bookkeeping."""
+        node = self._nodes[node_id]
+        expansion: Optional[Expansion] = None
+        failure: Optional[BaseException] = None
+        stage_s = exec_s = collect_s = 0.0
+        try:
+            t0 = time.perf_counter()
+            async with self._stage_sem:
+                staged = await loop.run_in_executor(
+                    blocking, self.executor.stage, node)
+            t1 = time.perf_counter()
+            result = await loop.run_in_executor(
+                exec_pool, self.executor.execute, node, staged)
+            t2 = time.perf_counter()
+            async with self._collect_sem:
+                expansion = await loop.run_in_executor(
+                    blocking, self.executor.collect, node, staged, result)
+            t3 = time.perf_counter()
+            stage_s, exec_s, collect_s = t1 - t0, t2 - t1, t3 - t2
+        except BaseException as exc:  # noqa: BLE001 — re-raised by run()
+            failure = exc
+        with self._lock:
+            self._inflight -= 1
+            self.stage_timings["stage_s"] += stage_s
+            self.stage_timings["exec_s"] += exec_s
+            self.stage_timings["collect_s"] += collect_s
+            self.stage_timings["nodes"] += 1
+            try:
+                if failure is not None:
+                    self._node_failed_locked(node_id, failure)
+                elif self._failure is None:
+                    self._complete(node_id, expansion)
+            except BaseException as exc:  # noqa: BLE001 — bookkeeping fault
+                # A bug in completion bookkeeping must surface as the run's
+                # failure — swallowing it would park the dispatcher forever.
+                if self._failure is None:
+                    self._failure = exc
+        # Leave the task set before signalling the dispatcher, so its
+        # "all drained?" check never sees this finished task as live.
+        self._task_set.discard(asyncio.current_task())
+        self._admission.release()
+        self._wake.set()

@@ -57,8 +57,8 @@ from repro.cwl.graph import (
 from repro.cwl.loader import load_document_cached
 from repro.cwl.runtime import RuntimeContext
 from repro.cwl.scatter import build_scatter_jobs, nest_outputs
-from repro.cwl.scheduler import Expansion, GraphScheduler
-from repro.cwl.schema import Process, Workflow, WorkflowStep
+from repro.cwl.scheduler import Expansion, GraphScheduler, PipelineScheduler
+from repro.cwl.schema import ExpressionTool, Process, Workflow, WorkflowStep
 from repro.cwl.types import coerce_file_inputs
 from repro.utils.logging_config import get_logger
 
@@ -79,6 +79,78 @@ class StepExecutionRecord:
     outputs: Dict[str, Any] = field(default_factory=dict)
 
 
+@dataclass
+class _StagedStep:
+    """What :meth:`WorkflowEngine._stage_step` prepares for one step node."""
+
+    record: StepExecutionRecord
+    process: Optional[Process] = None
+    inputs: Optional[Dict[str, Any]] = None
+    skipped: bool = False
+
+
+class _PipelinedNodeExecutor:
+    """Three-stage view of the engine's node executor for the pipelined core.
+
+    Heavy step/shard nodes split into stage (resolve process, gather inputs,
+    evaluate ``when``) / exec (the runner's process invocation — retries,
+    hooks, cache and journal all live inside it, untouched) / collect (store
+    outputs, declared-output check), so the scheduler can overlap the steps
+    of different jobs.  Plumbing nodes (scatter/gather/ingress/egress),
+    ExpressionTool steps and skipped-scope nodes are *tiny*: they run inline
+    on the event loop through the exact same ``_execute_node`` dispatch the
+    thread-pool core uses, in coalesced batches.
+    """
+
+    __slots__ = ("_engine",)
+
+    def __init__(self, engine: "WorkflowEngine") -> None:
+        self._engine = engine
+
+    def is_tiny(self, node: GraphNode) -> bool:
+        if node.kind in (SCATTER, GATHER, INGRESS, EGRESS):
+            return True
+        engine = self._engine
+        if engine._is_skipped(node.scope):
+            return True
+        if node.kind == SHARD:
+            return isinstance(node.payload[0], ExpressionTool)
+        if node.kind == STEP:
+            return isinstance(engine._resolve_process(node.step, node.workflow),
+                              ExpressionTool)
+        return False
+
+    def stage(self, node: GraphNode) -> Optional[_StagedStep]:
+        if node.kind == STEP and not self._engine._is_skipped(node.scope):
+            return self._engine._stage_step(node)
+        return None
+
+    def execute(self, node: GraphNode, staged: Optional[_StagedStep]) -> Any:
+        engine = self._engine
+        if staged is not None:  # heavy STEP
+            if staged.skipped:
+                return None
+            return engine.process_runner(staged.process, staged.inputs,
+                                         engine.runtime_context)
+        if node.kind == SHARD and not engine._is_skipped(node.scope):
+            process, job = node.payload
+            return engine.process_runner(process, job, engine.runtime_context)
+        # Tiny kinds (and skipped scopes) take the thread-pool core's exact
+        # dispatch path, so the two cores cannot diverge on plumbing.
+        return engine._execute_node(node)
+
+    def collect(self, node: GraphNode, staged: Optional[_StagedStep],
+                result: Any) -> Optional[Expansion]:
+        engine = self._engine
+        if staged is not None:
+            return engine._collect_step(node, staged, result)
+        if node.kind == SHARD and not engine._is_skipped(node.scope):
+            for out_id in node.step.out:
+                engine._store(f"{node.id}/{out_id}", result.get(out_id))
+            return None
+        return result  # _execute_node already stored; pass any Expansion on
+
+
 class WorkflowEngine:
     """Graph-backed dataflow scheduler for one workflow instance."""
 
@@ -89,12 +161,21 @@ class WorkflowEngine:
         runtime_context: Optional[RuntimeContext] = None,
         parallel: bool = False,
         max_workers: int = 8,
+        pipeline: bool = False,
+        max_inflight: Optional[int] = None,
     ) -> None:
         self.workflow = workflow
         self.process_runner = process_runner
         self.runtime_context = runtime_context or RuntimeContext()
         self.parallel = parallel
         self.max_workers = max_workers
+        #: Use the asyncio pipelined core (stage/exec/collect overlap) instead
+        #: of the thread-pool core.  ``max_inflight`` bounds the in-flight
+        #: window; None picks a default that keeps the exec lane saturated.
+        self.pipeline = pipeline
+        self.max_inflight = max_inflight
+        #: Per-stage wall time from the pipelined core (None otherwise).
+        self.stage_timings: Optional[Dict[str, Any]] = None
         self.records: Dict[str, StepExecutionRecord] = {}
         self._values: Dict[str, Any] = {}
         self._values_lock = threading.Lock()
@@ -160,16 +241,25 @@ class WorkflowEngine:
         self._skipped_scopes = []
         self._lenient_egress = set()
         self._seed_inputs(job_order)
-        scheduler = GraphScheduler(self.graph, self._execute_node,
-                                   parallel=self.parallel,
-                                   max_workers=self.max_workers,
-                                   on_error=self.runtime_context.on_error,
-                                   journal=self.runtime_context.journal)
+        if self.pipeline:
+            scheduler: GraphScheduler = PipelineScheduler(
+                self.graph, executor=_PipelinedNodeExecutor(self),
+                max_inflight=self.max_inflight or 64,
+                max_workers=self.max_workers,
+                on_error=self.runtime_context.on_error,
+                journal=self.runtime_context.journal)
+        else:
+            scheduler = GraphScheduler(self.graph, self._execute_node,
+                                       parallel=self.parallel,
+                                       max_workers=self.max_workers,
+                                       on_error=self.runtime_context.on_error,
+                                       journal=self.runtime_context.journal)
         try:
             scheduler.run()
         finally:
             self.node_states = dict(scheduler.states)
             self.failures = dict(scheduler.failures)
+            self.stage_timings = getattr(scheduler, "stage_timings", None)
         return self._collect_outputs(self.workflow, scope="",
                                      lenient=bool(self.failures))
 
@@ -221,6 +311,13 @@ class WorkflowEngine:
     # ------------------------------------------------------------- plain steps
 
     def _execute_step_node(self, node: GraphNode) -> None:
+        staged = self._stage_step(node)
+        outputs = None if staged.skipped else self.process_runner(
+            staged.process, staged.inputs, self.runtime_context)
+        self._collect_step(node, staged, outputs)
+
+    def _stage_step(self, node: GraphNode) -> _StagedStep:
+        """Stage one step: resolve the process, gather inputs, evaluate ``when``."""
         step = node.step
         logger.debug("executing step %s", node.id)
         record = StepExecutionRecord(step_id=node.id)
@@ -228,14 +325,20 @@ class WorkflowEngine:
 
         process = self._resolve_process(step, node.workflow)
         step_inputs = self._gather_step_inputs(step, node.scope)
-
+        staged = _StagedStep(record=record, process=process, inputs=step_inputs)
         if step.when is not None and not self._evaluate_when(step, step_inputs):
             record.skipped = True
+            staged.skipped = True
+        return staged
+
+    def _collect_step(self, node: GraphNode, staged: _StagedStep,
+                      outputs: Optional[Dict[str, Any]]) -> None:
+        """Store a staged step's outputs (``None`` per output when skipped)."""
+        step = node.step
+        if staged.skipped:
             for out_id in step.out:
                 self._store(f"{node.scope}{step.id}/{out_id}", None)
             return
-
-        outputs = self.process_runner(process, step_inputs, self.runtime_context)
         for out_id in step.out:
             if out_id not in outputs:
                 raise WorkflowException(
@@ -243,7 +346,7 @@ class WorkflowEngine:
                     f"(produced {sorted(outputs)})"
                 )
             self._store(f"{node.scope}{step.id}/{out_id}", outputs[out_id])
-        record.outputs = {out_id: outputs[out_id] for out_id in step.out}
+        staged.record.outputs = {out_id: outputs[out_id] for out_id in step.out}
 
     def _evaluate_when(self, step: WorkflowStep, step_inputs: Dict[str, Any]) -> bool:
         evaluator = self._step_evaluator()

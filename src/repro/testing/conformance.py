@@ -38,6 +38,7 @@ from repro.testing.generator import DEFAULT_BASE_SEED, DEFAULT_SUITE_SIZE, gener
 from repro.testing.report import build_report, write_report
 
 _COMPILED_MODES = {"on": True, "off": False, "default": None}
+_PIPELINE_MODES = {"on": True, "default": None}
 
 
 def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
@@ -73,6 +74,12 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
                              "repro.cwl.faults.fault_profiles). Each faulted "
                              "run is compared against a reference baseline "
                              "under the same profile.")
+    parser.add_argument("--pipeline", default=None,
+                        help="comma-separated scheduler-core modes (on: the "
+                             "asyncio pipelined core on runner engines / a "
+                             "bounded submission window on Parsl engines; "
+                             "default: each engine's default core). "
+                             "'default,on' runs both and compares them.")
     parser.add_argument("--report", default="CONFORMANCE.json",
                         help="where to write the JSON report")
     parser.add_argument("--workdir", default=None,
@@ -109,7 +116,17 @@ def _configs_from(args: argparse.Namespace) -> List[MatrixConfig]:
             raise SystemExit(f"unknown --faults profile(s) {unknown} "
                              f"(expected one of {sorted(known)})")
         fault_modes = tuple(wanted)
-    return matrix_configs(engines, cache_modes, compiled_modes, fault_modes)
+    pipeline_modes: Sequence[Optional[bool]] = (None,)
+    if args.pipeline:
+        try:
+            pipeline_modes = tuple(
+                _PIPELINE_MODES[m.strip()] for m in args.pipeline.split(",")
+                if m.strip())
+        except KeyError as exc:
+            raise SystemExit(f"unknown --pipeline mode {exc.args[0]!r} "
+                             f"(expected on or default)")
+    return matrix_configs(engines, cache_modes, compiled_modes, fault_modes,
+                          pipeline_modes)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -166,6 +183,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "base_seed": args.seed,
         "tier1": bool(args.tier1),
         "faults": sorted({c.faults for c in configs if c.faults}),
+        "pipeline": bool(any(c.pipeline for c in configs)),
     })
     path = write_report(args.report, report)
 

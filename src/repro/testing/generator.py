@@ -274,6 +274,82 @@ def generate_workflow(seed: int, *, max_width: int = 3,
                              features=tuple(builder.features))
 
 
+def layered_dag_structure(nodes: int, *, seed: int = 0,
+                          fanin: int = 2) -> List[Tuple[str, List[str]]]:
+    """Deterministic layered DAG shape: ``[(step_name, predecessors), ...]``.
+
+    ``nodes`` steps are laid out in roughly ``sqrt(nodes)`` layers of
+    ``sqrt(nodes)`` steps each; every step past layer 0 depends on up to
+    ``fanin`` steps of the previous layer.  Construction is O(nodes) and all
+    choices flow from one ``random.Random(seed)``, so the same arguments
+    always yield the same structure — the 10k-node scheduler benchmarks and
+    the deep-graph tests share these shapes.
+    """
+    if nodes < 1:
+        raise ValueError("nodes must be at least 1")
+    fanin = max(1, int(fanin))
+    rng = random.Random(seed)
+    width = max(1, int(round(nodes ** 0.5)))
+    structure: List[Tuple[str, List[str]]] = []
+    previous_layer: List[str] = []
+    while len(structure) < nodes:
+        layer: List[str] = []
+        for _ in range(min(width, nodes - len(structure))):
+            name = f"n{len(structure)}"
+            if previous_layer:
+                count = min(fanin, len(previous_layer))
+                deps = sorted({previous_layer[rng.randrange(len(previous_layer))]
+                               for _ in range(count)})
+            else:
+                deps = []
+            structure.append((name, deps))
+            layer.append(name)
+        previous_layer = layer
+    return structure
+
+
+def generate_layered_dag(nodes: int, *, seed: int = 0,
+                         fanin: int = 2) -> GeneratedWorkflow:
+    """A layered Workflow document with exactly ``nodes`` steps (O(nodes)).
+
+    Layer-0 steps ``echo`` a shared workflow string input; every later step
+    ``cat``-combines the files of its (up to ``fanin``) predecessors from the
+    previous layer.  Unlike :func:`generate_workflow` this scales to
+    10k-step documents: no sampling over growing pools, every decision is a
+    constant-time draw, and the document stays inside the engine-portable
+    subset (plain CommandLineTool steps, no scatter/subworkflow/when).
+    """
+    structure = layered_dag_structure(nodes, seed=seed, fanin=fanin)
+    steps: Dict[str, Any] = {}
+    consumed: set = set()
+    for name, deps in structure:
+        if not deps:
+            steps[name] = {"run": _echo_tool(f"{name}.txt"),
+                           "in": {"text": "msg"}, "out": ["out"]}
+        else:
+            refs = [f"{dep}/out" for dep in deps]
+            steps[name] = {
+                "run": _cat_tool(len(refs), f"{name}.txt"),
+                "in": {f"f{index}": ref for index, ref in enumerate(refs)},
+                "out": ["out"],
+            }
+            consumed.update(refs)
+    outputs = {f"o{index}": {"type": "File", "outputSource": f"{name}/out"}
+               for index, (name, _deps) in enumerate(structure)
+               if f"{name}/out" not in consumed}
+    doc = {
+        "cwlVersion": "v1.2",
+        "class": "Workflow",
+        "id": f"layered-{nodes}-{seed}",
+        "inputs": {"msg": "string"},
+        "outputs": outputs,
+        "steps": steps,
+    }
+    return GeneratedWorkflow(seed=seed, doc=doc, job={"msg": "hello dag"},
+                             features=("layered", f"nodes={nodes}",
+                                       f"fanin={fanin}"))
+
+
 def generate_suite(count: int = DEFAULT_SUITE_SIZE, *,
                    base_seed: int = DEFAULT_BASE_SEED,
                    max_width: int = 3, max_depth: int = 3) -> List[GeneratedWorkflow]:

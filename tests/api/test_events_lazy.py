@@ -1,0 +1,63 @@
+"""Lazy JobEvent emission (repro.api.events.EventRecorder).
+
+Without hooks the recorder's hot path appends compact tuples and defers
+``JobEvent`` construction to the ``.events`` property; with hooks the event
+object is built eagerly (the callback needs it) and reused.  Either way the
+materialised stream is identical.
+"""
+
+from __future__ import annotations
+
+from repro.api.events import EventRecorder, ExecutionHooks, JobEvent
+
+
+def drive(recorder: EventRecorder) -> None:
+    token = recorder.job_started("alpha")
+    recorder.job_retry(token, 1, error="flake", delay_s=0.01)
+    recorder.job_finished(token, cache="miss", attempt=2)
+    token = recorder.job_started("beta")
+    recorder.job_finished(token, ok=False, error="boom")
+
+
+def shape(events) -> list:
+    return [(e.job, e.kind, e.ok, e.error, e.cache, e.attempt) for e in events]
+
+
+def test_hookless_recorder_defers_event_construction():
+    recorder = EventRecorder(hooks=None)
+    drive(recorder)
+    assert not any(isinstance(r, JobEvent) for r in recorder._records)
+    events = recorder.events
+    assert all(isinstance(e, JobEvent) for e in events)
+    assert shape(events) == [
+        ("alpha", "start", True, None, None, 1),
+        ("alpha", "retry", False, "flake", None, 1),
+        ("alpha", "end", True, None, "miss", 2),
+        ("beta", "start", True, None, None, 1),
+        ("beta", "end", False, "boom", None, 1),
+    ]
+    assert events[2].duration_s is not None and events[2].duration_s >= 0
+    assert events[1].duration_s == 0.01  # retry events carry the backoff
+
+
+def test_hooked_recorder_matches_lazy_stream_and_fires_callbacks():
+    seen = []
+    hooks = ExecutionHooks(on_job_start=lambda e: seen.append(("start", e.job)),
+                           on_job_end=lambda e: seen.append(("end", e.job)),
+                           on_job_retry=lambda e: seen.append(("retry", e.job)))
+    hooked = EventRecorder(hooks=hooks)
+    drive(hooked)
+    lazy = EventRecorder(hooks=None)
+    drive(lazy)
+    assert shape(hooked.events) == shape(lazy.events)
+    assert seen == [("start", "alpha"), ("retry", "alpha"), ("end", "alpha"),
+                    ("start", "beta"), ("end", "beta")]
+
+
+def test_partial_hooks_only_materialize_their_kind():
+    hooks = ExecutionHooks(on_job_end=lambda e: None)  # no start/retry hooks
+    recorder = EventRecorder(hooks=hooks)
+    drive(recorder)
+    eager = [r for r in recorder._records if isinstance(r, JobEvent)]
+    assert len(eager) == 2 and all(e.kind == "end" for e in eager)
+    assert len(recorder.events) == 5

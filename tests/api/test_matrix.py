@@ -104,3 +104,44 @@ def test_run_describe_is_json_ready(tmp_path):
     assert description["exit_class"] == "success"
     assert description["jobs_run"] == 1
     assert "wall_time_s" in description
+
+
+# ------------------------------------------------------------ pipeline axis
+
+def test_pipeline_axis_expands_and_labels():
+    configs = matrix_configs(("reference",), ("off",), (None,), (None,),
+                             pipeline_modes=(None, True))
+    assert [c.pipeline for c in configs] == [None, True]
+    assert configs[0].label == "reference/cache=off/compiled=default"
+    assert configs[1].label == "reference/cache=off/compiled=default/pipeline=on"
+
+
+def test_run_config_pipeline_matches_default_core(tmp_path):
+    tool = {key: value for key, value in ECHO_TOOL.items() if key != "cwlVersion"}
+    doc = {
+        "cwlVersion": "v1.2", "class": "Workflow",
+        "inputs": {"message": "string"},
+        "outputs": {"out": {"type": "File", "outputSource": "only/output"}},
+        "steps": {"only": {"run": tool, "in": {"message": "message"},
+                           "out": ["output"]}},
+    }
+    baseline = run_config(doc, {"message": "pipelined"},
+                          MatrixConfig("reference"), str(tmp_path / "plain"))
+    piped = run_config(doc, {"message": "pipelined"},
+                       MatrixConfig("reference", pipeline=True),
+                       str(tmp_path / "piped"))
+    assert piped.ok and baseline.ok
+    assert piped.outputs == baseline.outputs
+    assert piped.result.stage_timings is not None
+    assert baseline.result.stage_timings is None
+
+
+def test_conformance_cli_parses_pipeline_modes():
+    from repro.testing.conformance import _configs_from, _parse_args
+
+    args = _parse_args(["--engine", "reference", "--cache", "off",
+                        "--compiled", "default", "--pipeline", "default,on"])
+    configs = _configs_from(args)
+    assert [c.pipeline for c in configs] == [None, True]
+    with pytest.raises(SystemExit):
+        _configs_from(_parse_args(["--pipeline", "sideways"]))

@@ -87,3 +87,37 @@ def test_bounds_are_validated():
         generate_workflow(1, max_width=0)
     with pytest.raises(ValueError):
         generate_workflow(1, max_depth=0)
+
+
+# ------------------------------------------------------------- layered DAGs
+
+def test_layered_dag_structure_is_deterministic_and_scales_to_10k():
+    from repro.testing.generator import layered_dag_structure
+
+    structure = layered_dag_structure(10_000, seed=3)
+    assert structure == layered_dag_structure(10_000, seed=3)
+    assert len(structure) == 10_000
+    names = [name for name, _deps in structure]
+    assert len(set(names)) == 10_000
+    produced = set()
+    fanins = []
+    for name, deps in structure:
+        assert all(dep in produced for dep in deps), "dep from a later layer"
+        produced.add(name)
+        fanins.append(len(deps))
+    assert max(fanins) <= 2
+    assert any(fanins), "no edges at all"
+
+
+def test_layered_dag_document_validates_and_builds_a_graph():
+    from repro.testing.generator import generate_layered_dag
+
+    case = generate_layered_dag(300, seed=5)
+    assert case.doc == generate_layered_dag(300, seed=5).doc
+    assert len(case.doc["steps"]) == 300
+    workflow = load_document(case.doc)
+    ensure_valid(workflow)
+    graph = build_graph(workflow)
+    # 300 steps plus the ingress/egress plumbing nodes.
+    step_nodes = [n for n in graph.nodes.values() if n.kind == "step"]
+    assert len(step_nodes) == 300

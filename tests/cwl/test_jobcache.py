@@ -279,3 +279,48 @@ def test_workflow_scatter_shards_share_one_store(tmp_path):
     for cold_file, warm_file in zip(cold.outputs["outs"], warm.outputs["outs"]):
         with open(cold_file["path"], "rb") as a, open(warm_file["path"], "rb") as b:
             assert a.read() == b.read()
+
+
+# ---------------------------------------------------- fingerprint memoization
+
+def test_file_fingerprint_memoizes_and_invalidates(tmp_path, monkeypatch):
+    """N consumers of one input hash it once; size or mtime changes re-hash.
+
+    The memo key is (realpath, size, mtime_ns): repeated fingerprints of an
+    unchanged file never re-read its content, while any visible change —
+    different size, same size but newer mtime — drops straight through to a
+    fresh content hash.
+    """
+    import repro.cwl.jobcache as jobcache
+
+    hashed = []
+    real_hash_file = jobcache.hash_file
+
+    def counting_hash_file(path):
+        hashed.append(path)
+        return real_hash_file(path)
+
+    monkeypatch.setattr(jobcache, "hash_file", counting_hash_file)
+
+    data = tmp_path / "input.txt"
+    data.write_text("one")
+    first = file_fingerprint(str(data))
+    for _ in range(5):  # five more consumers of the same unchanged file
+        assert file_fingerprint(str(data)) == first
+    assert len(hashed) == 1, "unchanged file was re-hashed"
+
+    data.write_text("two!")  # different size -> different memo key
+    second = file_fingerprint(str(data))
+    assert second != first and len(hashed) == 2
+
+    data.write_text("tri!")  # same size as "two!"; bump mtime explicitly
+    stat = os.stat(data)
+    os.utime(data, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+    third = file_fingerprint(str(data))
+    assert third != second and len(hashed) == 3
+
+    # Symlinks resolve to the realpath: no duplicate hashing via an alias.
+    alias = tmp_path / "alias.txt"
+    alias.symlink_to(data)
+    assert file_fingerprint(str(alias)) == third
+    assert len(hashed) == 3

@@ -1,0 +1,334 @@
+"""The asyncio pipelined scheduler core (repro.cwl.scheduler.PipelineScheduler).
+
+The contract under test: the pipelined core is *observably identical* to the
+thread-pool core — same completion states, same ``on_error`` semantics, same
+deterministic dispatch order under equal priorities — while enforcing its
+additional invariants: the in-flight window never exceeds ``max_inflight``,
+worker threads never exceed ``max_workers + max_inflight``, tiny nodes run
+inline in batches without touching a pool, and an interrupt unwinds without
+hanging the dispatcher.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.cwl.errors import WorkflowException
+from repro.cwl.graph import GraphNode, WorkflowGraph, find_step_cycle
+from repro.cwl.scheduler import (
+    NODE_DONE,
+    NODE_FAILED,
+    NODE_SKIPPED,
+    Expansion,
+    GraphScheduler,
+    PipelineScheduler,
+)
+
+RUN_TIMEOUT_S = 30  # generous; guards against dispatcher hangs
+
+
+def make_graph(edges, extra_nodes=()):
+    """A WorkflowGraph from ``pred -> succ`` pairs of synthetic step nodes."""
+    graph = WorkflowGraph()
+    node_ids = list(dict.fromkeys(
+        [n for edge in edges for n in edge] + list(extra_nodes)))
+    for node_id in node_ids:
+        graph.nodes[node_id] = GraphNode(id=node_id, kind="step",
+                                         step=None, workflow=None)
+        graph.predecessors[node_id] = []
+    for pred, succ in edges:
+        graph.predecessors[succ].append(pred)
+    graph._finalise()
+    return graph
+
+
+def run_guarded(scheduler):
+    """Run the scheduler on a watchdog thread so a hang fails, not blocks."""
+    outcome = {}
+
+    def target():
+        try:
+            scheduler.run()
+            outcome["ok"] = True
+        except BaseException as exc:  # noqa: BLE001 — re-raised below
+            outcome["exc"] = exc
+
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    thread.join(RUN_TIMEOUT_S)
+    assert not thread.is_alive(), "scheduler run() hung"
+    if "exc" in outcome:
+        raise outcome["exc"]
+
+
+class RecordingExecutor:
+    """Three-stage executor that records calls, order and concurrency."""
+
+    def __init__(self, *, tiny=False, exec_sleep_s=0.0, fail=(),
+                 expansions=None, interrupt=()):
+        self.tiny_flag = tiny
+        self.exec_sleep_s = exec_sleep_s
+        self.fail = set(fail)
+        self.interrupt = set(interrupt)
+        self.expansions = expansions or {}
+        self.order = []
+        self.threads = []
+        self.lock = threading.Lock()
+        self.live = 0
+        self.peak = 0
+        self.pipe_threads_peak = 0
+        self.exec_threads_peak = 0
+
+    def is_tiny(self, node):
+        return self.tiny_flag
+
+    def stage(self, node):
+        return f"staged-{node.id}"
+
+    def execute(self, node, staged):
+        assert staged == f"staged-{node.id}"
+        with self.lock:
+            self.order.append(node.id)
+            self.threads.append(threading.current_thread().name)
+            self.live += 1
+            self.peak = max(self.peak, self.live)
+            names = [t.name for t in threading.enumerate()]
+            self.pipe_threads_peak = max(
+                self.pipe_threads_peak,
+                sum(1 for n in names if n.startswith("cwl-pipe")))
+            self.exec_threads_peak = max(
+                self.exec_threads_peak,
+                sum(1 for n in names if n.startswith("cwl-exec")))
+        if self.exec_sleep_s:
+            time.sleep(self.exec_sleep_s)
+        with self.lock:
+            self.live -= 1
+        if node.id in self.interrupt:
+            raise KeyboardInterrupt()
+        if node.id in self.fail:
+            raise WorkflowException(f"node {node.id} failed")
+        return f"ran-{node.id}"
+
+    def collect(self, node, staged, result):
+        if node.id in self.expansions:
+            return self.expansions[node.id]
+        assert result == f"ran-{node.id}"
+        return None
+
+
+def diamond_edges():
+    return [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+
+
+# ------------------------------------------------------------------- parity
+
+@pytest.mark.parametrize("tiny", [False, True])
+def test_pipeline_completes_all_nodes_like_threadpool(tiny):
+    reference = GraphScheduler(make_graph(diamond_edges()), lambda node: None,
+                               parallel=True, max_workers=4)
+    run_guarded(reference)
+
+    executor = RecordingExecutor(tiny=tiny)
+    scheduler = PipelineScheduler(make_graph(diamond_edges()),
+                                  executor=executor, max_inflight=4,
+                                  max_workers=4)
+    run_guarded(scheduler)
+    assert scheduler.states == reference.states
+    assert all(state == NODE_DONE for state in scheduler.states.values())
+    assert sorted(executor.order) == ["a", "b", "c", "d"]
+    counted = scheduler.stage_timings["tiny_nodes" if tiny else "nodes"]
+    assert counted == 4
+
+
+@pytest.mark.parametrize("tiny", [False, True])
+def test_equal_priority_dispatch_order_matches_threadpool_core(tiny):
+    """Satellite: the heap's insertion-order tie-break makes dispatch order
+    deterministic and identical across both cores (at concurrency 1)."""
+    edges = [("root", f"leaf{i}") for i in range(12)]  # equal-priority leaves
+
+    def ordered_threadpool():
+        order = []
+
+        def execute(node):
+            order.append(node.id)
+
+        scheduler = GraphScheduler(make_graph(edges), execute, parallel=True,
+                                   max_workers=1)
+        run_guarded(scheduler)
+        return order
+
+    def ordered_pipeline():
+        executor = RecordingExecutor(tiny=tiny)
+        scheduler = PipelineScheduler(make_graph(edges), executor=executor,
+                                      max_inflight=1, max_workers=1)
+        run_guarded(scheduler)
+        return executor.order
+
+    baseline = ordered_threadpool()
+    assert baseline[0] == "root" and len(baseline) == 13
+    # Stable across repeats and across cores.
+    assert ordered_threadpool() == baseline
+    assert ordered_pipeline() == baseline
+    assert ordered_pipeline() == baseline
+
+
+# ------------------------------------------------------------- backpressure
+
+def test_inflight_window_and_thread_caps_are_respected():
+    max_inflight, max_workers = 4, 3
+    edges = [("src", f"job{i}") for i in range(24)]
+    executor = RecordingExecutor(exec_sleep_s=0.01)
+    scheduler = PipelineScheduler(make_graph(edges), executor=executor,
+                                  max_inflight=max_inflight,
+                                  max_workers=max_workers)
+    run_guarded(scheduler)
+    assert all(state == NODE_DONE for state in scheduler.states.values())
+    assert executor.peak <= max_inflight, "in-flight window exceeded"
+    assert executor.peak >= 2, "no overlap at all: pipelining is broken"
+    assert executor.pipe_threads_peak <= max_workers
+    assert executor.exec_threads_peak <= max_inflight
+    assert (executor.pipe_threads_peak + executor.exec_threads_peak
+            <= max_workers + max_inflight)
+    # Heavy nodes run in the exec lane, never on the dispatcher loop.
+    assert all(name.startswith("cwl-exec") for name in executor.threads)
+
+
+def test_tiny_nodes_run_inline_in_batches_without_pool_threads():
+    count = 150
+    graph = make_graph([], extra_nodes=[f"t{i}" for i in range(count)])
+    executor = RecordingExecutor(tiny=True)
+    scheduler = PipelineScheduler(graph, executor=executor, max_inflight=8,
+                                  max_workers=4)
+    run_guarded(scheduler)
+    assert all(state == NODE_DONE for state in scheduler.states.values())
+    # Inline on the dispatcher's thread: no pool round-trips at all.
+    assert not any(name.startswith(("cwl-pipe", "cwl-exec"))
+                   for name in executor.threads)
+    timings = scheduler.stage_timings
+    assert timings["tiny_nodes"] == count
+    expected_batches = -(-count // PipelineScheduler.TINY_BATCH_MAX)
+    assert timings["tiny_batches"] == expected_batches
+
+
+# ----------------------------------------------------------------- failures
+
+def test_on_error_stop_raises_first_failure_without_hanging():
+    executor = RecordingExecutor(exec_sleep_s=0.005, fail={"c"})
+    scheduler = PipelineScheduler(make_graph(diamond_edges()),
+                                  executor=executor, max_inflight=2,
+                                  max_workers=2)
+    with pytest.raises(WorkflowException, match="node c failed"):
+        run_guarded(scheduler)
+    assert scheduler.states["c"] == NODE_FAILED
+    assert scheduler.states["d"] != NODE_DONE
+
+
+def test_on_error_continue_matches_threadpool_poisoning():
+    edges = [("a", "b"), ("b", "sink"), ("c", "sink2")]
+
+    def execute(node):
+        if node.id == "b":
+            raise WorkflowException("node b failed")
+
+    reference = GraphScheduler(make_graph(edges), execute, parallel=True,
+                               max_workers=2, on_error="continue")
+    run_guarded(reference)
+
+    executor = RecordingExecutor(fail={"b"})
+    scheduler = PipelineScheduler(make_graph(edges), executor=executor,
+                                  max_inflight=2, max_workers=2,
+                                  on_error="continue")
+    run_guarded(scheduler)
+
+    assert scheduler.states == reference.states
+    assert scheduler.states["b"] == NODE_FAILED
+    assert scheduler.states["sink"] == NODE_SKIPPED
+    assert scheduler.states["c"] == NODE_DONE
+    assert scheduler.states["sink2"] == NODE_DONE
+    assert set(scheduler.failures) == {"b"}
+
+
+def test_keyboard_interrupt_unwinds_and_shuts_down_pools():
+    edges = [("src", f"job{i}") for i in range(8)]
+    executor = RecordingExecutor(exec_sleep_s=0.005, interrupt={"job3"})
+    scheduler = PipelineScheduler(make_graph(edges), executor=executor,
+                                  max_inflight=2, max_workers=2)
+    with pytest.raises(KeyboardInterrupt):
+        run_guarded(scheduler)
+    # The pools are released (and their references dropped) on the way out.
+    assert scheduler._blocking_pool is None and scheduler._exec_pool is None
+    deadline = time.time() + 5
+    while time.time() < deadline:
+        if not any(t.name.startswith(("cwl-pipe", "cwl-exec"))
+                   for t in threading.enumerate()):
+            break
+        time.sleep(0.02)
+    assert not any(t.name.startswith(("cwl-pipe", "cwl-exec"))
+                   for t in threading.enumerate()), "pool threads leaked"
+
+
+# ---------------------------------------------------------------- expansion
+
+def test_dynamic_expansion_runs_under_the_pipeline():
+    edges = [("scatter", "after")]
+    shard_a = GraphNode(id="shard_a", kind="step", step=None, workflow=None)
+    shard_b = GraphNode(id="shard_b", kind="step", step=None, workflow=None)
+    gather = GraphNode(id="gather", kind="step", step=None, workflow=None)
+    expansion = Expansion(
+        nodes=[shard_a, shard_b, gather],
+        preds={"gather": ["shard_a", "shard_b"]},
+        retarget="gather",
+    )
+    executor = RecordingExecutor(expansions={"scatter": expansion})
+    scheduler = PipelineScheduler(make_graph(edges), executor=executor,
+                                  max_inflight=4, max_workers=2)
+    run_guarded(scheduler)
+    assert all(state == NODE_DONE for state in scheduler.states.values())
+    order = executor.order
+    # Downstream work waited for the gather, shards interleaved before it.
+    assert order.index("after") > order.index("gather")
+    assert order.index("gather") > order.index("shard_a")
+    assert order.index("gather") > order.index("shard_b")
+
+
+# --------------------------------------------------------------- deep graphs
+
+@pytest.mark.parametrize("core", ["threadpool", "pipeline"])
+def test_deep_chain_completes_without_recursion_error(core):
+    depth = 3000
+    edges = [(f"n{i}", f"n{i + 1}") for i in range(depth - 1)]
+    graph = make_graph(edges)
+    if core == "threadpool":
+        scheduler = GraphScheduler(graph, lambda node: None, parallel=True,
+                                   max_workers=2)
+    else:
+        scheduler = PipelineScheduler(graph, executor=RecordingExecutor(tiny=True),
+                                      max_inflight=4, max_workers=2)
+    run_guarded(scheduler)
+    assert all(state == NODE_DONE for state in scheduler.states.values())
+
+
+def _fake_chain_workflow(depth, back_edge=False):
+    """A duck-typed Workflow whose steps form one ``depth``-long chain."""
+    steps = []
+    for index in range(depth):
+        sources = [f"s{index - 1}/out"] if index else []
+        if back_edge and index == 0:
+            sources = [f"s{depth - 1}/out"]
+        steps.append(SimpleNamespace(
+            id=f"s{index}",
+            in_=[SimpleNamespace(source=sources)]))
+    return SimpleNamespace(steps=steps)
+
+
+def test_find_step_cycle_iterative_on_10k_chain():
+    """Cycle detection is an explicit-stack DFS: a 10k-step chain must not
+    hit the interpreter recursion limit (it is ~1000 by default)."""
+    assert find_step_cycle(_fake_chain_workflow(10_000)) == []
+    cycle = find_step_cycle(_fake_chain_workflow(10_000, back_edge=True))
+    assert cycle and cycle[0] == cycle[-1]
+    assert len(cycle) == 10_001  # the full loop, in order
